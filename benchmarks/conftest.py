@@ -1,0 +1,6 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints the rows/series the paper reports (run with ``-s`` to see them);
+assertions encode the shape checks recorded in EXPERIMENTS.md.
+"""

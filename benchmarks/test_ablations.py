@@ -1,0 +1,148 @@
+"""Ablation benchmarks: the design choices behind the paper's numbers.
+
+Not paper artifacts — each ablation varies one architectural parameter
+the paper fixed, quantifying why the chosen value is the knee:
+
+* tCCD burst gap (the 0.5 sustained duty that reconciles §VI with
+  Table I);
+* MACs per PE (Eq. 3 balances the MAC array against vault bandwidth);
+* weight-register capacity (Table II's 3,600 bits sets conv sub-passing);
+* NoC buffer depth and cache sub-bank capacity (backpressure headroom,
+  measured flit-accurately).
+"""
+
+import pytest
+
+from repro.core import (
+    AnalyticModel,
+    NeurocubeConfig,
+    NeurocubeSimulator,
+    compile_inference,
+)
+from repro.nn import models
+
+
+def scene_throughput(config, duplicate=True):
+    net = models.scene_labeling_convnn(qformat=None)
+    return AnalyticModel(config).evaluate_network(
+        net, duplicate=duplicate).throughput_gops
+
+
+def test_ablation_burst_duty(benchmark):
+    """Sustained vault duty vs whole-network throughput."""
+
+    def run():
+        rows = []
+        for gap in (0, 2, 4, 8, 12, 16):
+            config = NeurocubeConfig.hmc_15nm(tccd_gap_cycles=gap)
+            rows.append((gap, 8 / (8 + gap), scene_throughput(config)))
+        return rows
+
+    rows = benchmark(run)
+    print("\ngap  duty   GOPs/s")
+    for gap, duty, gops in rows:
+        print(f"{gap:>3}  {duty:4.2f}  {gops:7.1f}")
+    gops = [g for _, _, g in rows]
+    # Throughput is non-increasing in the gap, and the conv layers stay
+    # compute-bound down to the paper's 0.5 duty: the design point sits
+    # at the knee.
+    assert all(a >= b for a, b in zip(gops, gops[1:]))
+    assert gops[3] > 0.9 * gops[0]  # gap 8 (duty 0.5) barely costs
+    assert gops[5] < 0.85 * gops[0]  # duty 1/3 falls off the knee
+
+
+def test_ablation_macs_per_pe(benchmark):
+    """Eq. 3's n_MAC knob.
+
+    Because the MAC clock is ``f_PE / n_MAC``, the arithmetic peak is
+    *invariant* in the MAC count — more MACs only change how work is
+    grouped.  The cost of large groups is raggedness: layers whose
+    per-PE neuron count does not fill the lanes (the FC classifiers
+    here) waste whole MAC periods, so throughput degrades monotonically
+    past the paper's 16.
+    """
+
+    def run():
+        return {n: scene_throughput(NeurocubeConfig.hmc_15nm(n_mac=n))
+                for n in (4, 8, 16, 32, 64)}
+
+    rows = benchmark(run)
+    print("\nn_mac  GOPs/s  (peak)")
+    for n, gops in rows.items():
+        peak = NeurocubeConfig.hmc_15nm(n_mac=n).peak_gops
+        print(f"{n:>5}  {gops:6.1f}  ({peak:.0f})")
+    peaks = {NeurocubeConfig.hmc_15nm(n_mac=n).peak_gops
+             for n in rows}
+    assert peaks == {160.0}  # Eq. 3: peak invariant in n_mac
+    gops = list(rows.values())
+    assert all(a >= b for a, b in zip(gops, gops[1:]))
+    assert rows[64] < 0.8 * rows[16]  # raggedness bites at 64 lanes
+
+
+def test_ablation_weight_register(benchmark):
+    """Table II's 3,600-bit weight register vs conv sub-passing."""
+
+    def run():
+        rows = {}
+        net = models.scene_labeling_convnn(qformat=None)
+        for bits in (800, 1600, 3600, 8000):
+            config = NeurocubeConfig.hmc_15nm(weight_memory_bits=bits)
+            program = compile_inference(net, config, duplicate=True)
+            passes = sum(d.passes for d in program
+                         if d.kind == "conv")
+            gops = AnalyticModel(config).evaluate_program(
+                program).throughput_gops
+            rows[bits] = (passes, gops)
+        return rows
+
+    rows = benchmark(run)
+    print("\nbits   conv passes  GOPs/s")
+    for bits, (passes, gops) in rows.items():
+        print(f"{bits:>5}  {passes:>11}  {gops:7.1f}")
+    # A smaller register forces more sub-passes (more pass overhead,
+    # more partial-sum traffic); a larger one stops helping once every
+    # kernel block fits.
+    assert rows[800][0] > rows[3600][0]
+    assert rows[800][1] <= rows[3600][1]
+    assert rows[8000][1] == pytest.approx(rows[3600][1], rel=0.05)
+
+
+def test_ablation_noc_buffer_depth(benchmark):
+    """Flit-accurate: shallow router buffers throttle remote traffic."""
+
+    def run():
+        net = models.fully_connected_classifier(128, 64, qformat=None)
+        cycles = {}
+        for depth in (2, 16):
+            config = NeurocubeConfig.hmc_15nm(noc_buffer_depth=depth)
+            desc = compile_inference(net, config,
+                                     duplicate=False).descriptors[0]
+            cycles[depth] = NeurocubeSimulator(config).run_descriptor(
+                desc).cycles
+        return cycles
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nbuffer depth 2: {cycles[2]} cycles; "
+          f"depth 16 (paper): {cycles[16]} cycles")
+    assert cycles[2] >= cycles[16]
+
+
+def test_ablation_cache_subbank_capacity(benchmark):
+    """Flit-accurate: small sub-banks increase backpressure stalls."""
+
+    def run():
+        net = models.fully_connected_classifier(128, 64, qformat=None)
+        cycles = {}
+        for entries in (4, 64):
+            config = NeurocubeConfig.hmc_15nm(
+                cache_entries_per_subbank=entries)
+            desc = compile_inference(net, config,
+                                     duplicate=False).descriptors[0]
+            cycles[entries] = NeurocubeSimulator(config).run_descriptor(
+                desc).cycles
+        return cycles
+
+    cycles = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nsub-bank 4 entries: {cycles[4]} cycles; "
+          f"64 (paper): {cycles[64]} cycles")
+    assert cycles[4] >= cycles[64]

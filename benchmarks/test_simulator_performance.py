@@ -1,0 +1,45 @@
+"""Microbenchmarks of the simulators themselves.
+
+Not a paper artifact: these track the reproduction's own performance —
+cycle-simulation rate (simulated cycles per host second), analytic-model
+evaluation latency, and functional-substrate throughput — so regressions
+in the infrastructure show up here.
+"""
+
+import numpy as np
+
+from repro.core import (
+    AnalyticModel,
+    NeurocubeConfig,
+    NeurocubeSimulator,
+    compile_inference,
+)
+from repro.nn import models
+
+
+def test_cycle_simulator_rate(benchmark):
+    """Simulated cycles per benchmark round on a small conv layer."""
+    config = NeurocubeConfig.hmc_15nm()
+    net = models.single_conv_layer(24, 24, 3, qformat=None)
+    desc = compile_inference(net, config).descriptors[0]
+    simulator = NeurocubeSimulator(config)
+    run = benchmark(lambda: simulator.run_descriptor(desc))
+    assert run.cycles > 0
+
+
+def test_analytic_model_latency(benchmark):
+    """Full paper-scale network evaluation must stay interactive."""
+    config = NeurocubeConfig.hmc_15nm()
+    model = AnalyticModel(config)
+    net = models.scene_labeling_convnn(qformat=None)
+    report = benchmark(lambda: model.evaluate_network(net, True))
+    assert report.throughput_gops > 0
+
+
+def test_functional_forward_throughput(benchmark):
+    """The numpy substrate's forward rate on the 64x64 scene net."""
+    net = models.scene_labeling_convnn(height=64, width=64,
+                                       qformat=None)
+    x = np.random.default_rng(0).uniform(-1, 1, (1, 3, 64, 64))
+    out = benchmark(lambda: net.predict(x))
+    assert out.shape[0] == 1

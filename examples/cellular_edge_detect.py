@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Cellular neural network edge detection on the Neurocube (§VI).
+
+The paper's programmability argument: a CeNN layer maps exactly like a
+2D convolutional layer, so the same hardware runs a completely different
+workload with only new PNG registers and a new LUT.  This example
+programs the classic CeNN edge-detection template, runs it functionally
+on a synthetic scene, pushes the same computation through the
+flit-accurate simulator, and checks the two agree bit for bit.
+
+Run:  python examples/cellular_edge_detect.py
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.core import NeurocubeConfig, NeurocubeSimulator, compile_inference
+from repro.fixedpoint import quantize_float
+from repro.nn import data, models
+from repro.nn.activations import ActivationLUT, PiecewiseLinear
+
+#: The classic CeNN edge-detection feedforward template (B matrix).
+EDGE_TEMPLATE = np.array([[-1.0, -1.0, -1.0],
+                          [-1.0, 8.0, -1.0],
+                          [-1.0, -1.0, -1.0]]) / 4.0
+
+
+def main() -> None:
+    config = NeurocubeConfig.hmc_15nm()
+    net = models.cellular_nn(height=32, width=32, iterations=1,
+                             qformat=config.qformat, seed=0)
+    # Program the edge template and the CeNN output function.
+    step = net.layers[0]
+    step.params["weight"] = EDGE_TEMPLATE[None, None]
+    step.params["bias"] = np.array([-0.5])
+    step.quantize_params()
+    step.activation = ActivationLUT(PiecewiseLinear())
+
+    # A synthetic scene: flat regions with sharp class boundaries.
+    scene = data.synthetic_scenes(1, height=32, width=32, seed=7)
+    image = quantize_float(scene.x[:1, :1], config.qformat)
+
+    functional = net.predict(image)[0, 0]
+    edges = functional > 0.0
+    suppressed = functional <= 0.0  # flat regions settle below zero
+
+    desc = compile_inference(net, config).descriptors[0]
+    run = NeurocubeSimulator(config).run_descriptor(desc, step, image[0])
+    exact = bool(np.array_equal(run.output[0], functional))
+
+    print(f"image 32x32 -> edge map {functional.shape}")
+    print(f"pixels flagged as edges: {int(edges.sum())} "
+          f"({100 * edges.mean():.1f}%)")
+    print(f"flat-region pixels suppressed: {int(suppressed.sum())}")
+    print(f"cycle simulator matches functional output exactly: {exact}")
+    print(f"simulated cycles: {run.cycles:,} "
+          f"({run.cycles / config.f_pe_hz * 1e6:.2f} us at 5 GHz)")
+    print("\nThe hardware is unchanged — only the PNG registers (3x3 "
+          "template) and the LUT\n(piecewise-linear) differ from the "
+          "scene-labeling programming. That is the paper's\n"
+          "programmability claim, demonstrated.")
+    assert exact
+
+
+if __name__ == "__main__":
+    main()

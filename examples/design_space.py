@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Design-space exploration with the calibrated analytic model.
+
+Sweeps the architecture knobs the paper's notation section exposes —
+MACs per PE, vault count, burst gap (sustained memory duty), and NoC
+topology — and reports throughput, power and efficiency per point.
+This is the kind of study the Neurocube's analytic tier makes cheap:
+every point is closed-form, no RTL or flit simulation required.
+
+Run:  python examples/design_space.py
+"""
+
+from repro.core import AnalyticModel, NeurocubeConfig
+from repro.hw.power import PowerModel
+from repro.nn import models
+
+
+def sweep() -> None:
+    net = models.scene_labeling_convnn(qformat=None)
+    base_power = PowerModel("15nm")
+    header = (f"{'config':<34}{'GOPs/s':>9}{'fps':>9}{'peak%':>8}"
+              f"{'GOPs/s/W':>10}")
+    print(header)
+    print("-" * len(header))
+
+    points: list[tuple[str, NeurocubeConfig]] = []
+    for n_mac in (8, 16, 32):
+        points.append((f"n_mac={n_mac}",
+                       NeurocubeConfig.hmc_15nm(n_mac=n_mac)))
+    for channels in (4, 8, 16):
+        points.append((f"vaults={channels}",
+                       NeurocubeConfig.hmc_15nm(n_channels=channels,
+                                                n_pe=channels)))
+    for gap in (0, 4, 8, 12):
+        duty = 8 / (8 + gap)
+        points.append((f"tCCD gap={gap} (duty {duty:.2f})",
+                       NeurocubeConfig.hmc_15nm(tccd_gap_cycles=gap)))
+    points.append(("fully connected NoC",
+                   NeurocubeConfig.hmc_15nm(
+                       noc_topology="fully_connected")))
+
+    for label, config in points:
+        report = AnalyticModel(config).evaluate_network(net,
+                                                        duplicate=True)
+        # Scale compute power with the PE/MAC count relative to the
+        # baseline 16x16 design (a first-order estimate).
+        scale = (config.n_pe / 16) * (config.n_mac / 16 * 0.5 + 0.5)
+        power = base_power.compute_power_w * scale
+        print(f"{label:<34}{report.throughput_gops:>9.1f}"
+              f"{report.frames_per_second:>9.1f}"
+              f"{100 * report.utilization:>8.1f}"
+              f"{report.throughput_gops / power:>10.1f}")
+
+
+def roofline() -> None:
+    """Where the paper's layers sit on the bandwidth/compute roofline."""
+    from repro.core import RooflineModel
+
+    net = models.scene_labeling_convnn(qformat=None)
+    report = RooflineModel(NeurocubeConfig.hmc_15nm()).evaluate_network(
+        net, duplicate=True)
+    print(report.to_table())
+
+
+def main() -> None:
+    print("Design-space sweep on the scene-labeling workload "
+          "(duplication on, 15nm)\n")
+    sweep()
+    print("\nRoofline placement (the §I operational-density argument):\n")
+    roofline()
+    print("\nReading the table: the 16-vault/16-MAC design point the "
+          "paper chose sits at the\nknee — fewer vaults scale throughput "
+          "down directly; more MAC lanes leave the peak\nunchanged "
+          "(Eq. 3 ties the MAC clock to 1/n_MAC) while ragged layers "
+          "waste lanes;\nand the burst duty sets the ceiling for "
+          "supply-bound layers.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Watching packets move: a flit-level NoC and dataflow study.
+
+Uses the cycle simulator directly to expose what the aggregate numbers
+hide — per-layer packet counts, lateral-traffic fractions, mean packet
+latencies, and PE stall breakdowns — for a small conv layer and a small
+FC layer under both layout strategies.  This is the microscope view of
+the Fig. 14/15 effects.
+
+Run:  python examples/noc_study.py   (takes ~1 minute: flit-accurate)
+"""
+
+import numpy as np
+
+from repro import nn
+from repro.core import NeurocubeConfig, NeurocubeSimulator, compile_inference
+from repro.fixedpoint import quantize_float
+from repro.nn import models
+
+
+def study(net: nn.Network, workload: str, config: NeurocubeConfig,
+          x: np.ndarray) -> None:
+    simulator = NeurocubeSimulator(config)
+    header = (f"{'layer':<10}{'dup':<6}{'cycles':>9}{'packets':>9}"
+              f"{'lateral%':>10}{'latency':>9}{'idle':>9}"
+              f"{'search':>8}{'GOPs/s':>8}")
+    print(f"--- {workload} ---")
+    print(header)
+    print("-" * len(header))
+    for duplicate in (True, False):
+        program = compile_inference(net, config, duplicate=duplicate)
+        current = x
+        for desc in program:
+            layer = net.layers[desc.layer_index]
+            run = simulator.run_descriptor(desc, layer, current)
+            gops = (desc.ops / (run.cycles / config.f_pe_hz)) / 1e9
+            print(f"{desc.name:<10}{str(duplicate):<6}{run.cycles:>9,}"
+                  f"{run.packets:>9,}"
+                  f"{100 * run.lateral_fraction:>10.1f}"
+                  f"{run.mean_packet_latency:>9.1f}"
+                  f"{run.pe_idle_cycles:>9,}"
+                  f"{run.search_stall_cycles:>8,}{gops:>8.1f}")
+            current = run.output
+    print()
+
+
+def main() -> None:
+    config = NeurocubeConfig.hmc_15nm()
+    rng = np.random.default_rng(11)
+
+    conv = models.single_conv_layer(48, 48, kernel=7, qformat=None,
+                                    seed=5)
+    x = quantize_float(rng.uniform(-1, 1, conv.input_shape),
+                       config.qformat)
+    study(conv, "7x7 conv, 48x48 image", config, x)
+
+    fc = models.fully_connected_classifier(inputs=256, hidden_units=96,
+                                           qformat=None, seed=6)
+    x = quantize_float(rng.uniform(-1, 1, fc.input_shape), config.qformat)
+    study(fc, "FC 256 -> 96 -> 8", config, x)
+
+    print("Reading the tables: duplication zeroes the lateral fraction "
+          "for the conv layer\nand collapses FC cycles; without it the "
+          "FC layer's states broadcast across the\nmesh and the "
+          "lateral fraction approaches 50% of all packets.")
+
+
+if __name__ == "__main__":
+    main()

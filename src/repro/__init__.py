@@ -1,0 +1,23 @@
+"""Neurocube reproduction (ISCA 2016).
+
+A programmable digital neuromorphic architecture with high-density 3D
+memory, rebuilt as a Python library: functional NN substrate, cycle-level
+HMC/NoC/PE models, the programmable neurosequence generator (PNG), a
+calibrated analytic performance model, and hardware power/area/thermal
+models.  See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record.
+
+Quickstart::
+
+    from repro import nn, core
+    net = nn.models.scene_labeling_convnn()
+    config = core.NeurocubeConfig.hmc_15nm()
+    report = core.AnalyticModel(config).evaluate_network(net)
+    print(report.throughput_gops)
+"""
+
+from repro import errors, units
+
+__version__ = "1.0.0"
+
+__all__ = ["errors", "units", "__version__"]

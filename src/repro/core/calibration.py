@@ -1,0 +1,134 @@
+"""Calibration of the analytic model against the cycle simulator.
+
+Runs scaled-down layers through the flit-accurate simulator, compares
+against the analytic model's prediction with unit derates, and fits the
+:class:`CalibrationFactors`.  Tests assert the calibrated model stays
+within tolerance of the simulator on held-out configurations, which is
+the evidence that paper-scale analytic numbers are trustworthy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.analytic import AnalyticModel, CalibrationFactors
+from repro.core.compiler import compile_inference
+from repro.core.config import NeurocubeConfig
+from repro.core.simulator import NeurocubeSimulator
+from repro.nn import models
+
+
+@dataclass
+class CalibrationSample:
+    """One calibration run: a small layer in both simulators."""
+
+    name: str
+    duplicate: bool
+    cycle_cycles: float
+    analytic_cycles: float
+
+    @property
+    def ratio(self) -> float:
+        """cycle-sim / analytic; 1.0 means perfect agreement."""
+        return self.cycle_cycles / self.analytic_cycles
+
+
+@dataclass
+class CalibrationResult:
+    """Fitted factors plus the evidence they were fitted on."""
+
+    factors: CalibrationFactors
+    samples: list[CalibrationSample] = field(default_factory=list)
+
+    @property
+    def worst_ratio_error(self) -> float:
+        """Largest |ratio - 1| across samples, after fitting."""
+        return max(abs(s.ratio - 1.0) for s in self.samples)
+
+    def to_table(self) -> str:
+        rows = [f"{'sample':<28}{'dup':<6}{'cycle':>12}{'analytic':>12}"
+                f"{'ratio':>8}"]
+        for s in self.samples:
+            rows.append(f"{s.name:<28}{str(s.duplicate):<6}"
+                        f"{s.cycle_cycles:>12.0f}"
+                        f"{s.analytic_cycles:>12.0f}{s.ratio:>8.3f}")
+        return "\n".join(rows)
+
+
+def _small_workloads(config: NeurocubeConfig):
+    """Small layers covering the model's regimes: compute-bound conv,
+    supply-bound FC, and the remote-traffic (no-dup) variants."""
+    conv = models.single_conv_layer(40, 40, kernel=5, seed=1)
+    fc = models.fully_connected_classifier(inputs=256, hidden_units=128,
+                                           seed=1)
+    return [("conv5_40x40", conv, True), ("conv5_40x40", conv, False),
+            ("fc_256x128", fc, True), ("fc_256x128", fc, False)]
+
+
+def _measure(config: NeurocubeConfig, model: AnalyticModel,
+             workloads) -> list[CalibrationSample]:
+    simulator = NeurocubeSimulator(config)
+    samples = []
+    for name, network, duplicate in workloads:
+        program = compile_inference(network, config, duplicate)
+        cycle_total = 0.0
+        analytic_total = 0.0
+        for desc in program.descriptors:
+            run = simulator.run_descriptor(desc)
+            cycle_total += run.cycles
+            analytic_total += model.evaluate_descriptor(desc).cycles
+        samples.append(CalibrationSample(
+            name=name, duplicate=duplicate, cycle_cycles=cycle_total,
+            analytic_cycles=analytic_total))
+    return samples
+
+
+def calibrate(config: NeurocubeConfig | None = None) -> CalibrationResult:
+    """Fit the analytic derates against the cycle simulator.
+
+    The fitting is staged to keep each factor identified by the regime it
+    dominates: the duplicated conv run fits ``compute_derate``; the
+    duplicated FC run fits ``supply_derate``; the no-duplication FC run
+    fits ``ooo_stall_per_remote_item``.
+    """
+    config = config or NeurocubeConfig.hmc_15nm()
+    workloads = _small_workloads(config)
+    factors = CalibrationFactors(conv_derate=1.0, fc_derate=1.0,
+                                 ooo_stall_per_remote_item=0.0)
+    simulator = NeurocubeSimulator(config)
+
+    # Stage 1: conv derate from the duplicated conv (the knife-edge
+    # supply/compute interference cost of locally connected passes).
+    _, conv_net, _ = workloads[0]
+    conv_desc = compile_inference(conv_net, config, True).descriptors[0]
+    model = AnalyticModel(config, factors)
+    run = simulator.run_descriptor(conv_desc)
+    pred = model.evaluate_descriptor(conv_desc).cycles
+    factors = replace(factors,
+                      conv_derate=min(1.0, max(0.3, pred / run.cycles)))
+
+    # Stage 2: fc derate from the duplicated FC (supply-bound).
+    _, fc_net, _ = workloads[2]
+    fc_descs = compile_inference(fc_net, config, True).descriptors
+    model = AnalyticModel(config, factors)
+    sim_cycles = sum(simulator.run_descriptor(d).cycles for d in fc_descs)
+    pred = sum(model.evaluate_descriptor(d).cycles for d in fc_descs)
+    factors = replace(factors, fc_derate=min(
+        1.0, max(0.3, pred / sim_cycles)))
+
+    # Stage 3: out-of-order stall from the no-duplication FC.
+    fc_nodup = compile_inference(fc_net, config, False).descriptors
+    model = AnalyticModel(config, factors)
+    sim_nodup = sum(simulator.run_descriptor(d).cycles for d in fc_nodup)
+    pred_nodup = sum(model.evaluate_descriptor(d).cycles for d in fc_nodup)
+    remote_per_pe = sum(
+        d.macs * d.layout.remote_state_fraction / config.n_pe
+        for d in fc_nodup)
+    if remote_per_pe > 0 and sim_nodup > pred_nodup:
+        stall = (sim_nodup - pred_nodup) / remote_per_pe
+        factors = replace(factors, ooo_stall_per_remote_item=stall)
+
+    # Final evidence pass with the fitted factors.
+    fitted_model = AnalyticModel(config, factors)
+    samples = _measure(config, fitted_model, workloads)
+    return CalibrationResult(factors=factors, samples=samples)

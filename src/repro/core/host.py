@@ -1,0 +1,230 @@
+"""Host / global controller (paper §IV-B/C, Fig. 8).
+
+The host programs the Neurocube one layer at a time: it asserts the
+configuration-enable signal, writes each PNG's configuration registers
+(loop bounds, image width, base addresses, kernel offsets, LUT), then
+deasserts the signal to start the FSMs and waits for ``layer done``
+(Fig. 8c).  The paper assumes direct host programming over the HMC
+external links (§IV-C).
+
+This module is that host software made explicit:
+
+* :func:`registers_for_descriptor` produces the actual
+  :class:`~repro.core.png.PNGRegisters` values for a compiled
+  descriptor — the bridge between the compiler and the register-level
+  FSM model, validated by tests that the FSM's event count equals the
+  descriptor's MAC count.
+* :class:`HostController` sequences a program layer by layer and
+  accounts the host-interaction cost (register writes over the external
+  links) that the computation itself cannot hide.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import NeurocubeConfig
+from repro.core.layerdesc import LayerDescriptor, NeurocubeProgram
+from repro.core.png import AddressGenerator, PNGRegisters
+from repro.errors import ConfigurationError
+
+#: Scalar configuration registers written per PNG per pass: neuron
+#: count, connection count, MAC count, image width, output width,
+#: Addr_last, weight base, and the control word.
+SCALAR_REGISTERS_PER_PNG = 8
+
+#: External-link register-write rate: one register per link clock; the
+#: links run at the reference clock in this model.
+WRITES_PER_CYCLE = 1
+
+
+def kernel_offsets(kernel: int) -> tuple[tuple[int, int], ...]:
+    """The Eq. 4 connectivity offsets of a square kernel, row-major."""
+    if kernel < 1:
+        raise ConfigurationError(f"kernel must be >= 1, got {kernel}")
+    return tuple((dx, dy) for dy in range(kernel) for dx in range(kernel))
+
+
+def registers_for_descriptor(desc: LayerDescriptor,
+                             addr_last: int = 0,
+                             weight_base: int = 0) -> PNGRegisters:
+    """The PNG configuration-register values for one descriptor pass.
+
+    For locally connected layers the offsets table carries the kernel
+    (repeated per input map of the pass); fully connected layers leave
+    it empty so the connection counter indexes the input vector
+    directly (§IV-B).
+    """
+    if desc.kind in ("conv", "pool"):
+        per_map = kernel_offsets(desc.kernel)
+        maps = max(1, desc.connections // (desc.kernel * desc.kernel))
+        offsets = per_map * maps
+        out_width = desc.in_width - desc.kernel + 1
+        if desc.kind == "pool":
+            out_width = desc.in_width // desc.kernel
+    else:
+        offsets = ()
+        out_width = None
+    return PNGRegisters(
+        n_neurons=desc.neurons_per_pass, n_connections=desc.connections,
+        n_mac=desc.n_mac, image_width=desc.in_width,
+        output_width=out_width, addr_last=addr_last,
+        weight_base=weight_base, offsets=offsets)
+
+
+def registers_for_vault_pass(desc: LayerDescriptor,
+                             config: NeurocubeConfig,
+                             vault: int) -> PNGRegisters | None:
+    """Per-vault register values for a duplicated local pass.
+
+    With duplication every vault sources only its own PE's neurons
+    (Fig. 10b/c), so each PNG walks a rectangular slice of the output
+    grid.  The whole mapping folds into the paper's register set:
+
+    * the neuron counter covers the PE's output rectangle
+      (``output_width`` = its clipped width);
+    * ``W`` (``image_width``) is the *stored* tile's row pitch;
+    * ``Addr_last`` absorbs the constant offset between the PE's output
+      origin and the stored tile's origin — exactly what a programmable
+      base-address register is for.
+
+    Returns None for a vault whose PE owns no neurons.  Only valid for
+    single-input-map duplicated conv/pool descriptors (the hardware's
+    native case); the multi-map/no-duplication cases add per-map base
+    addresses the same way.
+    """
+    if desc.kind not in ("conv", "pool") or not desc.layout.duplicate:
+        raise ConfigurationError(
+            "per-vault registers are defined for duplicated local "
+            "passes")
+    from repro.memory.layout import partition_grid
+
+    kernel = desc.kernel
+    if desc.kind == "pool":
+        out_w = desc.in_width // kernel
+        out_h = desc.in_height // kernel
+    else:
+        out_w = desc.in_width - kernel + 1
+        out_h = desc.in_height - kernel + 1
+    tiles = partition_grid(desc.in_height, desc.in_width, config.n_pe)
+    tile = tiles[vault]
+    stored = desc.layout.stored_tiles[vault]
+    half = kernel // 2
+    # Output neurons whose window centre (conv) or window origin
+    # (pool) falls in this vault's tile.
+    if desc.kind == "pool":
+        x_lo = -(-tile.x0 // kernel)
+        x_hi = min(out_w, -(-tile.x1 // kernel)
+                   if tile.x1 % kernel else tile.x1 // kernel)
+        y_lo = -(-tile.y0 // kernel)
+        y_hi = min(out_h, tile.y1 // kernel)
+    else:
+        x_lo = max(0, tile.x0 - half)
+        x_hi = min(out_w, tile.x1 - half)
+        y_lo = max(0, tile.y0 - half)
+        y_hi = min(out_h, tile.y1 - half)
+    if x_hi <= x_lo or y_hi <= y_lo:
+        return None
+    width = x_hi - x_lo
+    height = y_hi - y_lo
+    stored_w = stored.width
+    # Offset from the FSM's rect-local input coordinates to the stored
+    # tile's row-major address space.
+    if desc.kind == "pool":
+        ox_off = x_lo * kernel - stored.x0
+        oy_off = y_lo * kernel - stored.y0
+    else:
+        ox_off = x_lo - stored.x0
+        oy_off = y_lo - stored.y0
+    addr_last = oy_off * stored_w + ox_off
+    return PNGRegisters(
+        n_neurons=width * height, n_connections=kernel * kernel,
+        n_mac=desc.n_mac, image_width=stored_w, output_width=width,
+        addr_last=addr_last, offsets=kernel_offsets(kernel))
+
+
+@dataclass
+class LayerProgrammingCost:
+    """Host-side cost of configuring one descriptor.
+
+    Attributes:
+        name: descriptor name.
+        register_writes: total register writes across PNGs and passes
+            (scalars plus the kernel-offset table).
+        lut_loaded: whether a new activation LUT had to be loaded
+            (the LUT persists between passes with the same activation).
+    """
+
+    name: str
+    register_writes: int
+    lut_loaded: bool
+
+    def cycles(self, writes_per_cycle: int = WRITES_PER_CYCLE) -> int:
+        """Reference cycles to push the writes over the links."""
+        return -(-self.register_writes // writes_per_cycle)
+
+
+@dataclass
+class HostSchedule:
+    """The host's layer-at-a-time schedule for a compiled program."""
+
+    program: NeurocubeProgram
+    costs: list[LayerProgrammingCost] = field(default_factory=list)
+
+    @property
+    def total_programming_cycles(self) -> int:
+        return sum(cost.cycles() for cost in self.costs)
+
+    @property
+    def lut_loads(self) -> int:
+        return sum(1 for cost in self.costs if cost.lut_loaded)
+
+
+class HostController:
+    """The direct-host-programming controller of §IV-C."""
+
+    def __init__(self, config: NeurocubeConfig) -> None:
+        self.config = config
+
+    def programming_cost(self, desc: LayerDescriptor,
+                         previous_activation: str | None
+                         ) -> LayerProgrammingCost:
+        """Register writes to configure one descriptor on every PNG.
+
+        Scalar registers are rewritten every pass; the kernel-offset
+        table once per descriptor (it is identical across passes); the
+        LUT only when the activation changes from the previous
+        descriptor (the per-layer LUT update of §VI).
+        """
+        scalars = (SCALAR_REGISTERS_PER_PNG * self.config.n_channels
+                   * desc.passes)
+        offsets = 0
+        if desc.kind in ("conv", "pool"):
+            offsets = desc.connections * self.config.n_channels
+        writes = scalars + offsets
+        lut_loaded = desc.activation != previous_activation
+        return LayerProgrammingCost(name=desc.name,
+                                    register_writes=writes,
+                                    lut_loaded=lut_loaded)
+
+    def schedule(self, program: NeurocubeProgram) -> HostSchedule:
+        """Cost out the whole program's host interaction."""
+        schedule = HostSchedule(program=program)
+        previous = None
+        for desc in program.descriptors:
+            schedule.costs.append(
+                self.programming_cost(desc, previous))
+            previous = desc.activation
+        return schedule
+
+    def validate_registers(self, desc: LayerDescriptor) -> None:
+        """Check that the register values drive the FSM over exactly the
+        descriptor's work (used by tests and as a mapping sanity check).
+        """
+        registers = registers_for_descriptor(desc)
+        generator = AddressGenerator(registers)
+        expected = desc.neurons_per_pass * desc.connections
+        if generator.total_events != expected:
+            raise ConfigurationError(
+                f"{desc.name}: FSM generates {generator.total_events} "
+                f"events per pass, descriptor expects {expected}")

@@ -1,0 +1,218 @@
+"""Layer descriptors: what the host programs into the PNGs (§IV-C).
+
+A :class:`LayerDescriptor` is the compiler's output for one network layer:
+the three loop bounds of the PNG FSM (neurons, connections, MACs), the
+chosen data layout across vaults, and bookkeeping (op counts, packet
+counts) shared by the cycle simulator and the analytic model.  Multi-map
+convolutions are lowered to per-output-map *passes* so each pass's kernel
+fits the PE weight register (Table II: 3,600 bits).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.memory.layout import LayoutPlan
+
+
+class Phase(Enum):
+    """Which pass of training a descriptor implements."""
+
+    FORWARD = "forward"
+    BACKWARD_DATA = "backward_data"
+    BACKWARD_WEIGHT = "backward_weight"
+    WEIGHT_UPDATE = "weight_update"
+
+
+@dataclass(frozen=True)
+class LayerDescriptor:
+    """One PNG-programmable unit of work.
+
+    Attributes:
+        name: layer name (suffixed with the phase for training).
+        kind: "conv", "fc" or "pool".
+        phase: forward / backward role.
+        layer_index: index of the source layer in the compiled network
+            (-1 for synthetic descriptors in tests).
+        passes: how many times the PNG program runs (one per output map
+            for convolutions, times ``sub_passes``; each pass reloads the
+            PE weight registers).
+        sub_passes: input-map blocking factor.  When a conv kernel has
+            more weights than the 3,600-bit PE weight register holds, the
+            compiler splits the input maps into blocks that fit and runs
+            one sub-pass per block, carrying partial sums between them.
+        neurons_per_pass: outer-loop bound of the PNG FSM per pass.
+        connections: middle-loop bound — inputs per output neuron.
+        n_mac: inner-loop bound (MACs per PE).
+        in_height, in_width: input image geometry (Eq. 5's ``W``); 1-wide
+            for vector layers.
+        kernel: kernel side for local connectivity (0 otherwise).
+        layout: the vault data layout chosen for this descriptor.
+        weights_resident: True when weights live in PE weight registers
+            (only states stream); False when weights stream from DRAM.
+        is_weighted: False for pooling (no synapses; MACs still do the
+            accumulation with fixed coefficients).
+        activation: activation name loaded into the PNG LUT.
+    """
+
+    name: str
+    kind: str
+    phase: Phase
+    layer_index: int
+    passes: int
+    neurons_per_pass: int
+    connections: int
+    n_mac: int
+    in_height: int
+    in_width: int
+    kernel: int
+    layout: LayoutPlan
+    weights_resident: bool
+    is_weighted: bool
+    activation: str
+    sub_passes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.passes < 1:
+            raise ConfigurationError(f"{self.name}: passes must be >= 1")
+        if self.sub_passes < 1 or self.passes % self.sub_passes:
+            raise ConfigurationError(
+                f"{self.name}: sub_passes ({self.sub_passes}) must divide "
+                f"passes ({self.passes})")
+        if self.neurons_per_pass < 1:
+            raise ConfigurationError(
+                f"{self.name}: neurons_per_pass must be >= 1")
+        if self.connections < 1:
+            raise ConfigurationError(
+                f"{self.name}: connections must be >= 1")
+        if self.kind not in ("conv", "fc", "pool"):
+            raise ConfigurationError(f"{self.name}: unknown kind "
+                                     f"{self.kind!r}")
+
+    # ------------------------------------------------------------------
+    # aggregate work
+    # ------------------------------------------------------------------
+
+    @property
+    def neurons(self) -> int:
+        """Total output neurons across all passes."""
+        return self.passes * self.neurons_per_pass
+
+    @property
+    def macs(self) -> int:
+        """Total multiply-accumulates."""
+        return self.neurons * self.connections
+
+    @property
+    def ops(self) -> int:
+        """Arithmetic ops (2 per MAC)."""
+        return 2 * self.macs
+
+    @property
+    def items_per_connection(self) -> int:
+        """Data items streamed from DRAM per connection evaluation.
+
+        One (the state) when weights are PE-resident; two (state +
+        weight) when weights stream.  Pooling streams one item.
+        """
+        if not self.is_weighted:
+            return 1
+        return 1 if self.weights_resident else 2
+
+    @property
+    def stream_items(self) -> int:
+        """Total 16-bit items streamed from DRAM for this descriptor."""
+        return self.macs * self.items_per_connection
+
+    @property
+    def noc_packets(self) -> int:
+        """Packets injected into the NoC: streamed items + write-backs."""
+        return self.stream_items + self.neurons
+
+    @property
+    def lateral_packets(self) -> float:
+        """Expected packets that cross the mesh (remote state accesses).
+
+        Weights are co-resident with the consuming PE's vault, so only the
+        state stream goes remote, at the layout's remote fraction.
+        Write-backs return to the neuron's home vault (local).
+        """
+        remote_states = self.macs * self.layout.remote_state_fraction
+        return remote_states
+
+    @property
+    def duplicate(self) -> bool:
+        """Whether the duplication strategy is in force."""
+        return self.layout.duplicate
+
+    def __repr__(self) -> str:
+        return (f"LayerDescriptor({self.name}, {self.kind}/"
+                f"{self.phase.value}, {self.passes}x{self.neurons_per_pass}"
+                f"n x {self.connections}c)")
+
+
+@dataclass(frozen=True)
+class NeurocubeProgram:
+    """A compiled network: the ordered descriptor list the host executes.
+
+    Attributes:
+        network_name: the source network's name.
+        descriptors: PNG programs in execution order.
+        duplicate: the layout strategy used throughout.
+        training: True when backward/update descriptors are included.
+    """
+
+    network_name: str
+    descriptors: tuple[LayerDescriptor, ...]
+    duplicate: bool
+    training: bool
+
+    def __iter__(self) -> Iterator[LayerDescriptor]:
+        return iter(self.descriptors)
+
+    def __len__(self) -> int:
+        return len(self.descriptors)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(d.macs for d in self.descriptors)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(d.ops for d in self.descriptors)
+
+    @property
+    def total_stream_items(self) -> int:
+        return sum(d.stream_items for d in self.descriptors)
+
+    @property
+    def state_bytes(self) -> int:
+        """Unique neuron-state bytes across forward descriptors."""
+        return sum(d.layout.state_bytes for d in self.descriptors
+                   if d.phase == Phase.FORWARD)
+
+    @property
+    def weight_bytes(self) -> int:
+        """Unique weight bytes across forward descriptors."""
+        return sum(d.layout.weight_bytes for d in self.descriptors
+                   if d.phase == Phase.FORWARD)
+
+    @property
+    def duplicated_bytes(self) -> int:
+        """Duplication overhead bytes across forward descriptors."""
+        return sum(d.layout.duplicated_bytes for d in self.descriptors
+                   if d.phase == Phase.FORWARD)
+
+    @property
+    def total_bytes(self) -> int:
+        """Total DRAM footprint including duplication, forward data."""
+        return self.state_bytes + self.weight_bytes + self.duplicated_bytes
+
+    @property
+    def memory_overhead(self) -> float:
+        """Duplicated bytes over the un-duplicated footprint."""
+        base = self.state_bytes + self.weight_bytes
+        return self.duplicated_bytes / base if base else 0.0

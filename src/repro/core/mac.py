@@ -1,0 +1,58 @@
+"""Multiply-accumulate unit (paper §III-B1).
+
+The hardware MAC takes 16-bit fixed-point operands, keeps a wide internal
+accumulator across the connection loop, and emits a 16-bit state when its
+neuron is complete.  The wide accumulator is modelled with float64 (a
+40-bit accumulator never overflows for the layer sizes involved, and
+float64 represents the exact sums of Q1.7.8 products); the result is
+quantised back to the storage format on read-out, exactly where the
+hardware rounds.
+"""
+
+from __future__ import annotations
+
+from repro.fixedpoint import QFormat, Q_1_7_8, from_float, to_float
+
+
+class MACUnit:
+    """One MAC: multiply two raw fixed-point items, accumulate wide.
+
+    Args:
+        fmt: operand/result fixed-point format.
+        mac_id: identifier used in packets and error messages.
+    """
+
+    def __init__(self, fmt: QFormat = Q_1_7_8, mac_id: int = 0) -> None:
+        self.fmt = fmt
+        self.mac_id = mac_id
+        self._acc = 0.0
+        self.operations = 0
+
+    def reset(self, bias: float = 0.0) -> None:
+        """Clear the accumulator; a bias pre-loads it (the natural mapping
+        of a layer bias onto the bias-free Eq. 1)."""
+        self._acc = float(bias)
+
+    def accumulate_raw(self, weight_raw: int, state_raw: int) -> None:
+        """One MAC step on raw 16-bit operands."""
+        self._acc += (to_float(weight_raw, self.fmt)
+                      * to_float(state_raw, self.fmt))
+        self.operations += 1
+
+    def max_raw(self, state_raw: int) -> None:
+        """Max-reduction step (used when emulating max pooling)."""
+        self._acc = max(self._acc, float(to_float(state_raw, self.fmt)))
+        self.operations += 1
+
+    @property
+    def accumulator(self) -> float:
+        """The wide accumulator's current real value."""
+        return self._acc
+
+    @property
+    def result_raw(self) -> int:
+        """Accumulator quantised to the storage format (the write-back)."""
+        return int(from_float(self._acc, self.fmt))
+
+    def __repr__(self) -> str:
+        return f"MACUnit(id={self.mac_id}, acc={self._acc:.6f})"

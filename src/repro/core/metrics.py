@@ -1,0 +1,171 @@
+"""Result dataclasses shared by the cycle simulator and analytic model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.units import giga_ops_per_second
+
+
+@dataclass(frozen=True)
+class LayerStats:
+    """Performance and memory accounting for one descriptor.
+
+    Attributes:
+        name: descriptor name.
+        kind: "conv" / "fc" / "pool".
+        phase: training phase name.
+        duplicate: layout strategy.
+        neurons, connections, macs, ops: work counts.
+        cycles: reference-clock cycles the descriptor took.
+        bound: the binding resource — "compute", "memory" or "noc".
+        packets: NoC packets injected.
+        lateral_fraction: fraction of packets that crossed the mesh.
+        state_bytes, weight_bytes, duplicated_bytes: DRAM footprint.
+    """
+
+    name: str
+    kind: str
+    phase: str
+    duplicate: bool
+    neurons: int
+    connections: int
+    macs: int
+    ops: int
+    cycles: float
+    bound: str
+    packets: float
+    lateral_fraction: float
+    state_bytes: int
+    weight_bytes: int
+    duplicated_bytes: int
+
+    @property
+    def total_bytes(self) -> int:
+        return self.state_bytes + self.weight_bytes + self.duplicated_bytes
+
+    def throughput_gops(self, f_clk_hz: float) -> float:
+        """Layer throughput at clock ``f_clk_hz`` in GOPs/s."""
+        return giga_ops_per_second(self.ops, self.cycles, f_clk_hz)
+
+
+@dataclass
+class RunReport:
+    """A full-network evaluation result.
+
+    Attributes:
+        network_name: source network.
+        f_clk_hz: the reference clock the cycle counts are in.
+        peak_gops: configuration's arithmetic peak, for utilisation.
+        layers: per-descriptor stats in execution order.
+        source: "cycle" or "analytic".
+    """
+
+    network_name: str
+    f_clk_hz: float
+    peak_gops: float
+    layers: list[LayerStats] = field(default_factory=list)
+    source: str = "analytic"
+
+    @property
+    def total_ops(self) -> int:
+        return sum(layer.ops for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_cycles(self) -> float:
+        return sum(layer.cycles for layer in self.layers)
+
+    @property
+    def throughput_gops(self) -> float:
+        """Whole-run throughput in GOPs/s."""
+        if not self.layers:
+            raise ConfigurationError("report has no layers")
+        return giga_ops_per_second(self.total_ops, self.total_cycles,
+                                   self.f_clk_hz)
+
+    @property
+    def utilization(self) -> float:
+        """Achieved fraction of the arithmetic peak."""
+        return self.throughput_gops / self.peak_gops
+
+    @property
+    def seconds(self) -> float:
+        """Wall-clock seconds for one input (frame/epoch-sample)."""
+        return self.total_cycles / self.f_clk_hz
+
+    @property
+    def frames_per_second(self) -> float:
+        """Inputs processed per second at this clock."""
+        return 1.0 / self.seconds
+
+    @property
+    def state_bytes(self) -> int:
+        return sum(l.state_bytes for l in self.layers
+                   if l.phase == "forward")
+
+    @property
+    def weight_bytes(self) -> int:
+        return sum(l.weight_bytes for l in self.layers
+                   if l.phase == "forward")
+
+    @property
+    def duplicated_bytes(self) -> int:
+        return sum(l.duplicated_bytes for l in self.layers
+                   if l.phase == "forward")
+
+    @property
+    def total_bytes(self) -> int:
+        return self.state_bytes + self.weight_bytes + self.duplicated_bytes
+
+    @property
+    def memory_overhead(self) -> float:
+        base = self.state_bytes + self.weight_bytes
+        return self.duplicated_bytes / base if base else 0.0
+
+    @property
+    def lateral_fraction(self) -> float:
+        """Packet-weighted lateral traffic fraction across layers."""
+        packets = sum(l.packets for l in self.layers)
+        if not packets:
+            return 0.0
+        lateral = sum(l.packets * l.lateral_fraction for l in self.layers)
+        return lateral / packets
+
+    def layer(self, name: str) -> LayerStats:
+        """Find a layer's stats by descriptor name."""
+        for stats in self.layers:
+            if stats.name == name:
+                return stats
+        raise ConfigurationError(
+            f"no layer {name!r} in report; have "
+            f"{[l.name for l in self.layers]}")
+
+    def to_table(self) -> str:
+        """Render the per-layer stats as an aligned text table."""
+        header = (f"{'layer':<22}{'kind':<6}{'MOPs':>9}{'Mcycles':>10}"
+                  f"{'GOPs/s':>9}{'bound':>9}{'lat%':>7}{'MB':>9}")
+        rows = [f"{self.network_name} ({self.source}, "
+                f"{self.f_clk_hz / 1e9:.2f} GHz clock)", header,
+                "-" * len(header)]
+        for layer in self.layers:
+            rows.append(
+                f"{layer.name:<22}{layer.kind:<6}"
+                f"{layer.ops / 1e6:>9.1f}{layer.cycles / 1e6:>10.3f}"
+                f"{layer.throughput_gops(self.f_clk_hz):>9.1f}"
+                f"{layer.bound:>9}"
+                f"{100 * layer.lateral_fraction:>7.1f}"
+                f"{layer.total_bytes / 1e6:>9.2f}")
+        rows.append(
+            f"TOTAL: {self.total_ops / 1e9:.3f} GOPs in "
+            f"{self.total_cycles / 1e6:.2f} Mcycles -> "
+            f"{self.throughput_gops:.1f} GOPs/s "
+            f"({100 * self.utilization:.1f}% of peak), "
+            f"{self.frames_per_second:.2f} frames/s, "
+            f"{self.total_bytes / 1e6:.1f} MB "
+            f"(+{100 * self.memory_overhead:.1f}% duplication)")
+        return "\n".join(rows)

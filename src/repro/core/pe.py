@@ -1,0 +1,338 @@
+"""Processing element cycle model (paper §III-B, §V-B, Fig. 11).
+
+A PE owns ``n_mac`` MAC units, a temporal buffer, an OP-counter, and a
+16-sub-bank SRAM cache.  Incoming packets whose OP-ID matches the
+OP-counter land in the temporal buffer; later packets park in sub-bank
+``OP-ID mod 16``.  When the temporal buffer holds a full operand set the
+MACs fire (taking ``n_mac`` PE cycles — the MAC clock is ``f_PE/n_MAC``),
+the OP-counter advances, and parked packets for the new operation are
+fetched with the paper's 16-to-64-cycle sub-bank search, overlapped with
+the MAC computation.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.config import NeurocubeConfig
+from repro.core.mac import MACUnit
+from repro.errors import ConfigurationError, ProtocolError
+from repro.noc.interconnect import Interconnect
+from repro.noc.packet import Packet, PacketKind
+from repro.noc.routing import Port
+
+
+@dataclass(frozen=True)
+class GroupSlot:
+    """One output neuron occupying one MAC lane for a group.
+
+    Attributes:
+        neuron: opaque neuron tag (echoed in the write-back packet).
+        home_vault: vault that stores this neuron's output state.
+        bias: real-valued bias pre-loaded into the accumulator.
+    """
+
+    neuron: object
+    home_vault: int
+    bias: float = 0.0
+
+
+@dataclass(frozen=True)
+class GroupPlan:
+    """A group of up to ``n_mac`` neurons processed in lock-step.
+
+    Attributes:
+        slots: the neurons, one per MAC lane (lane i = slots[i]).
+        n_connections: operations to complete each neuron.
+        mode: "mac" for weighted sums, "max" for max-pooling emulation.
+        weights_resident: True when weights come from the PE weight
+            registers (``weights``) instead of packets.
+        shared_state: True when one state item per operation feeds every
+            lane (fully connected layers: all neurons read input ``c``).
+        weights: raw resident weights indexed by connection (shared
+            across lanes, as in a convolution kernel).
+    """
+
+    slots: tuple[GroupSlot, ...]
+    n_connections: int
+    mode: str = "mac"
+    weights_resident: bool = True
+    shared_state: bool = False
+    weights: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            raise ConfigurationError("group with no slots")
+        if self.n_connections < 1:
+            raise ConfigurationError("group needs >= 1 connection")
+        if self.mode not in ("mac", "max"):
+            raise ConfigurationError(f"unknown group mode {self.mode!r}")
+        if self.weights_resident and self.mode == "mac":
+            if self.weights is None or len(self.weights) != self.n_connections:
+                raise ConfigurationError(
+                    "resident-weight group needs one weight per connection")
+
+
+@dataclass
+class PEStats:
+    """Per-layer statistics of one PE."""
+
+    macs_fired: int = 0
+    idle_cycles: int = 0
+    busy_cycles: int = 0
+    search_stall_cycles: int = 0
+    cache_peak: int = 0
+    packets_received: int = 0
+
+
+class ProcessingElement:
+    """One PE agent attached to NoC node ``pe_id``."""
+
+    def __init__(self, pe_id: int, config: NeurocubeConfig,
+                 interconnect: Interconnect) -> None:
+        self.pe_id = pe_id
+        self.config = config
+        self.interconnect = interconnect
+        self.macs = [MACUnit(config.qformat, mac_id=i)
+                     for i in range(config.n_mac)]
+        self._groups: list[GroupPlan] = []
+        self._group_idx = 0
+        self._conn = 0
+        self._busy = 0
+        self._advance_pending = False
+        self._writebacks: deque[Packet] = deque()
+        self._cache: list[list[Packet]] = [
+            [] for _ in range(config.cache_subbanks)]
+        self._weight_slots: dict[int, int] = {}
+        self._state_slots: dict[int, int] = {}
+        self._shared_state: int | None = None
+        self.stats = PEStats()
+
+    # ------------------------------------------------------------------
+    # programming
+    # ------------------------------------------------------------------
+
+    def program(self, groups: list[GroupPlan]) -> None:
+        """Load one layer pass's group schedule."""
+        if not self.done:
+            raise ProtocolError(
+                f"PE {self.pe_id} reprogrammed while layer in progress")
+        self._groups = list(groups)
+        self._group_idx = 0
+        self._conn = 0
+        self._busy = 0
+        self._advance_pending = False
+        self._clear_operand_buffers()
+        self.stats = PEStats()
+        if self._groups:
+            self._start_group()
+
+    @property
+    def done(self) -> bool:
+        """All groups complete and all write-backs injected."""
+        return (self._group_idx >= len(self._groups)
+                and not self._writebacks
+                and all(not bank for bank in self._cache))
+
+    @property
+    def op_counter(self) -> int:
+        """The global operation counter (OP-counter of Fig. 11)."""
+        if self._group_idx >= len(self._groups):
+            return self._group_idx * (self._groups[-1].n_connections
+                                      if self._groups else 1)
+        return (self._group_idx * self._groups[self._group_idx].n_connections
+                + self._conn)
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """One PE-clock cycle."""
+        self._inject_writebacks()
+        self._receive_packets()
+        if self._group_idx >= len(self._groups):
+            return
+        if self._busy > 0:
+            self._busy -= 1
+            self.stats.busy_cycles += 1
+            if self._busy == 0 and self._advance_pending:
+                self._advance_pending = False
+                self._advance_op()
+            return
+        if self._operands_ready():
+            self._fire()
+        else:
+            self.stats.idle_cycles += 1
+
+    # -- packet intake --------------------------------------------------
+
+    def _receive_packets(self) -> None:
+        buffer = self.interconnect.routers[self.pe_id].outputs[Port.PE]
+        taken = 0
+        while taken < self.interconnect.local_rate and not buffer.empty:
+            packet = buffer.peek()
+            if not self._placeable(packet):
+                return  # backpressure: leave it in the router
+            self.interconnect.eject(self.pe_id, Port.PE, limit=1)
+            self._place(packet)
+            taken += 1
+            self.stats.packets_received += 1
+
+    def _subbank(self, op_id: int) -> list[Packet]:
+        return self._cache[op_id % self.config.cache_subbanks]
+
+    def _placeable(self, packet: Packet) -> bool:
+        if packet.op_id == self.op_counter:
+            return True
+        bank = self._subbank(packet.op_id)
+        return len(bank) < self.config.cache_entries_per_subbank
+
+    def _place(self, packet: Packet) -> None:
+        if packet.kind not in (PacketKind.WEIGHT, PacketKind.STATE):
+            raise ProtocolError(f"PE {self.pe_id} received {packet}")
+        if packet.op_id < self.op_counter:
+            raise ProtocolError(
+                f"PE {self.pe_id} received stale {packet} at op "
+                f"{self.op_counter}")
+        if packet.op_id == self.op_counter:
+            self._to_temporal_buffer(packet)
+        else:
+            bank = self._subbank(packet.op_id)
+            bank.append(packet)
+            occupancy = sum(len(b) for b in self._cache)
+            if occupancy > self.stats.cache_peak:
+                self.stats.cache_peak = occupancy
+
+    def _to_temporal_buffer(self, packet: Packet) -> None:
+        group = self._groups[self._group_idx]
+        if packet.mac_id >= len(group.slots):
+            raise ProtocolError(
+                f"PE {self.pe_id}: MAC-ID {packet.mac_id} beyond group of "
+                f"{len(group.slots)} slots")
+        if packet.kind == PacketKind.WEIGHT:
+            self._weight_slots[packet.mac_id] = packet.payload
+        elif group.shared_state:
+            self._shared_state = packet.payload
+        else:
+            self._state_slots[packet.mac_id] = packet.payload
+
+    # -- compute --------------------------------------------------------
+
+    def _operands_ready(self) -> bool:
+        group = self._groups[self._group_idx]
+        lanes = len(group.slots)
+        if group.shared_state:
+            if self._shared_state is None:
+                return False
+        elif len(self._state_slots) < lanes:
+            return False
+        if group.mode == "mac" and not group.weights_resident:
+            if len(self._weight_slots) < lanes:
+                return False
+        return True
+
+    def _fire(self) -> None:
+        """Start one MAC operation.
+
+        The arithmetic applies now; the OP-counter advances (and, at
+        group end, the write-backs are emitted) only after the MAC's
+        ``n_mac``-cycle computation elapses, matching the f_PE/n_MAC
+        MAC clock of Eq. 3.
+        """
+        group = self._groups[self._group_idx]
+        for lane, _ in enumerate(group.slots):
+            if group.mode == "max":
+                self.macs[lane].max_raw(self._lane_state(group, lane))
+            else:
+                weight = (group.weights[self._conn]
+                          if group.weights_resident
+                          else self._weight_slots[lane])
+                self.macs[lane].accumulate_raw(
+                    weight, self._lane_state(group, lane))
+            self.stats.macs_fired += 1
+        self._busy = self.config.n_mac - 1
+        self.stats.busy_cycles += 1
+        if self._busy == 0:
+            self._advance_op()
+        else:
+            self._advance_pending = True
+
+    def _lane_state(self, group: GroupPlan, lane: int) -> int:
+        if group.shared_state:
+            return self._shared_state
+        return self._state_slots[lane]
+
+    def _advance_op(self) -> None:
+        group = self._groups[self._group_idx]
+        self._clear_operand_buffers()
+        self._conn += 1
+        if self._conn >= group.n_connections:
+            self._emit_writebacks(group)
+            self._conn = 0
+            self._group_idx += 1
+            if self._group_idx < len(self._groups):
+                self._start_group()
+        else:
+            self._preload_from_cache()
+
+    def _start_group(self) -> None:
+        group = self._groups[self._group_idx]
+        for lane, slot in enumerate(group.slots):
+            if group.mode == "max":
+                # A max-reduction lane starts at the most negative
+                # representable value, not at the bias.
+                self.macs[lane].reset(
+                    bias=self.config.qformat.min_value)
+            else:
+                self.macs[lane].reset(bias=slot.bias)
+        self._preload_from_cache()
+
+    def _preload_from_cache(self) -> None:
+        """Move parked packets for the new OP-counter to the buffer.
+
+        The sub-bank search takes between ``n_mac`` and 64 cycles (§V-B)
+        but overlaps the MAC computation (itself ``n_mac`` cycles), so
+        only the excess stalls the PE.
+        """
+        bank = self._subbank(self.op_counter)
+        if not bank:
+            return
+        search = min(64, max(self.config.n_mac, len(bank)))
+        extra = max(0, search - self.config.n_mac)
+        self._busy += extra
+        self.stats.search_stall_cycles += extra
+        kept: list[Packet] = []
+        for packet in bank:
+            if packet.op_id == self.op_counter:
+                self._to_temporal_buffer(packet)
+            else:
+                kept.append(packet)
+        bank[:] = kept
+
+    def _clear_operand_buffers(self) -> None:
+        self._weight_slots = {}
+        self._state_slots = {}
+        self._shared_state = None
+
+    # -- write-back -----------------------------------------------------
+
+    def _emit_writebacks(self, group: GroupPlan) -> None:
+        for lane, slot in enumerate(group.slots):
+            self._writebacks.append(Packet(
+                src=self.pe_id, dst=slot.home_vault, mac_id=lane,
+                op_id=self._group_idx, kind=PacketKind.WRITEBACK,
+                payload=self.macs[lane].result_raw, neuron=slot.neuron,
+                inject_cycle=self.interconnect.cycle))
+
+    def _inject_writebacks(self) -> None:
+        sent = 0
+        while self._writebacks and sent < self.interconnect.local_rate:
+            if not self.interconnect.can_inject(self.pe_id, Port.PE):
+                return
+            self.interconnect.inject(self.pe_id, self._writebacks.popleft(),
+                                     Port.PE)
+            sent += 1

@@ -1,0 +1,380 @@
+"""Programmable neurosequence generator (paper §IV, Fig. 7-8).
+
+Two layers of modelling live here:
+
+* :class:`AddressGenerator` — the three-counter FSM of Fig. 8b/8d with the
+  Eq. 4/5 combinational address logic, exactly as the paper draws it.  It
+  is the programmer-visible contract: configuration registers in, a
+  deterministic address/sequence stream out.  Unit tests check it against
+  the paper's worked example (73,476 neurons, 49 connections, counter
+  stride 16).
+
+* :class:`NeurosequenceGenerator` — the cycle-level simulation agent that
+  sits between one vault controller and one NoC router: it drives read
+  requests into the vault, encapsulates returned words into packets
+  (Fig. 11a), injects them with backpressure, and handles write-backs —
+  applying the activation LUT to the returned state (Eq. 2) and storing
+  the result back to DRAM.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.memory.vault import VaultChannel
+from repro.nn.activations import ActivationLUT
+from repro.noc.interconnect import Interconnect
+from repro.noc.packet import Packet, PacketKind
+from repro.noc.routing import Port
+
+
+@dataclass(frozen=True)
+class PNGRegisters:
+    """Host-visible configuration registers for one layer (§IV-C).
+
+    Attributes:
+        n_neurons: total neurons in the layer (outer counter bound); the
+            worked example programs 73,476 for the first conv layer.
+        n_connections: connections per neuron (middle counter bound);
+            49 for a 7x7 kernel.
+        n_mac: MACs per PE (inner counter bound / neuron-counter stride).
+        image_width: ``W`` of Eq. 5 — the width of the stored
+            previous-layer image being addressed.
+        output_width: width of this layer's output grid, used to turn
+            the flat neuron counter into ``(cur_x, cur_y)``; defaults to
+            ``image_width`` (the fully connected / same-size case).
+        addr_last: base address of the previous layer's states (Eq. 5's
+            ``Addr_last``).
+        weight_base: base address of this layer's weights.
+        offsets: kernel connectivity offsets ``(n_x, n_y)`` of Eq. 4, in
+            connection order; empty for fully connected layers where the
+            connection counter indexes the input vector directly.
+    """
+
+    n_neurons: int
+    n_connections: int
+    n_mac: int
+    image_width: int
+    output_width: int | None = None
+    addr_last: int = 0
+    weight_base: int = 0
+    offsets: tuple[tuple[int, int], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.n_neurons < 1:
+            raise ConfigurationError("n_neurons must be >= 1")
+        if self.n_connections < 1:
+            raise ConfigurationError("n_connections must be >= 1")
+        if self.n_mac < 1:
+            raise ConfigurationError("n_mac must be >= 1")
+        if self.image_width < 1:
+            raise ConfigurationError("image_width must be >= 1")
+        if self.output_width is not None and self.output_width < 1:
+            raise ConfigurationError("output_width must be >= 1")
+        if self.offsets and len(self.offsets) != self.n_connections:
+            raise ConfigurationError(
+                f"{len(self.offsets)} offsets for {self.n_connections} "
+                f"connections")
+
+
+@dataclass(frozen=True)
+class AddressEvent:
+    """One FSM step: the addresses for one (neuron, connection, MAC).
+
+    Attributes:
+        neuron: flat neuron index (``cur`` counter value + MAC lane).
+        connection: connection counter value (the packet's OP-ID source).
+        mac: MAC counter value (the packet's MAC-ID).
+        state_address: Eq. 5 address of the connected neuron's state.
+        weight_address: address of the corresponding synaptic weight.
+    """
+
+    neuron: int
+    connection: int
+    mac: int
+    state_address: int
+    weight_address: int
+
+
+class AddressGenerator:
+    """The three nested loops of Fig. 8b as an explicit FSM.
+
+    The outer counter walks neurons in steps of ``n_mac`` (the paper's
+    example increments by 16), the middle counter walks connections, and
+    the inner counter walks MAC lanes.  For locally connected layers the
+    state address follows Eq. 4/5:
+
+        ``targ = cur + n;  Addr = targ_y * W + targ_x + Addr_last``
+
+    For fully connected layers (no ``offsets``) the connection counter
+    *is* the input index.
+    """
+
+    def __init__(self, registers: PNGRegisters) -> None:
+        self.registers = registers
+
+    def neuron_coords(self, neuron: int) -> tuple[int, int]:
+        """Flat neuron index to ``(cur_x, cur_y)`` output coordinates."""
+        width = (self.registers.output_width
+                 if self.registers.output_width is not None
+                 else self.registers.image_width)
+        return neuron % width, neuron // width
+
+    def state_address(self, neuron: int, connection: int) -> int:
+        """Eq. 5 state address for one (neuron, connection)."""
+        reg = self.registers
+        if reg.offsets:
+            n_x, n_y = reg.offsets[connection]
+            cur_x, cur_y = self.neuron_coords(neuron)
+            targ_x = cur_x + n_x
+            targ_y = cur_y + n_y
+            return targ_y * reg.image_width + targ_x + reg.addr_last
+        return connection + reg.addr_last
+
+    def weight_address(self, neuron: int, connection: int) -> int:
+        """Weight address: shared per connection for local layers, a
+        (neuron, connection) matrix entry for fully connected ones."""
+        reg = self.registers
+        if reg.offsets:
+            return reg.weight_base + connection
+        return reg.weight_base + neuron * reg.n_connections + connection
+
+    def events(self) -> Iterator[AddressEvent]:
+        """Iterate the full FSM schedule for one layer.
+
+        Order matches Fig. 8d: for each group of ``n_mac`` neurons, for
+        each connection, for each MAC lane.  Steps whose neuron index
+        overruns ``n_neurons`` (a ragged final group) are skipped, as the
+        hardware masks those lanes.
+        """
+        reg = self.registers
+        for group_base in range(0, reg.n_neurons, reg.n_mac):
+            for connection in range(reg.n_connections):
+                for mac in range(reg.n_mac):
+                    neuron = group_base + mac
+                    if neuron >= reg.n_neurons:
+                        continue
+                    yield AddressEvent(
+                        neuron=neuron, connection=connection, mac=mac,
+                        state_address=self.state_address(neuron, connection),
+                        weight_address=self.weight_address(neuron,
+                                                           connection))
+
+    @property
+    def total_events(self) -> int:
+        """FSM steps for a full layer (== MAC operations)."""
+        return self.registers.n_neurons * self.registers.n_connections
+
+
+@dataclass(frozen=True)
+class EmissionRecord:
+    """One packet this vault must source (the scheduler's output).
+
+    Attributes:
+        address: item address in this vault to read (-1 for items the PNG
+            synthesises without a DRAM read, e.g. a constant).
+        dst: destination PE.
+        mac_id: target MAC lane.
+        op_id: global operation index at the destination PE.
+        kind: weight or state.
+        neuron: opaque neuron tag for bookkeeping.
+    """
+
+    address: int
+    dst: int
+    mac_id: int
+    op_id: int
+    kind: PacketKind
+    neuron: object = None
+
+
+@dataclass
+class PNGStats:
+    """Per-layer statistics of one PNG."""
+
+    packets_injected: int = 0
+    writebacks_received: int = 0
+    inject_stall_cycles: int = 0
+
+
+class NeurosequenceGenerator:
+    """Cycle-level PNG agent: vault -> packets -> NoC, and write-backs.
+
+    Args:
+        vault: the vault channel this PNG drives.
+        node: the NoC node (router) this PNG injects at.
+        interconnect: the NoC.
+        max_outstanding: how many reads the PNG keeps queued at the vault
+            (the request pipeline depth).
+    """
+
+    def __init__(self, vault: VaultChannel, node: int,
+                 interconnect: Interconnect,
+                 max_outstanding: int = 16,
+                 horizon: Callable[[], float] | None = None) -> None:
+        self.vault = vault
+        self.node = node
+        self.interconnect = interconnect
+        self.max_outstanding = max_outstanding
+        # All PNGs walk one layer's FSM in lock-step (Fig. 8c: the host
+        # starts computation only "after all 16 PNGs are configured").
+        # The horizon callback bounds the op-skew between generators so a
+        # fast generator cannot run arbitrarily ahead of the PEs — which
+        # both matches the lock-step hardware and keeps the PE caches
+        # within their 64-entry sub-banks.
+        self._horizon = horizon
+        self._held: EmissionRecord | None = None
+        self._emissions: Iterator[EmissionRecord] | None = None
+        self._emissions_exhausted = True
+        self._ready: deque[Packet] = deque()
+        self._expected_writebacks = 0
+        self._lut: ActivationLUT | None = None
+        self._writeback_sink: Callable[[Packet, int], None] | None = None
+        self.stats = PNGStats()
+
+    # ------------------------------------------------------------------
+    # programming interface (the host writes these "registers")
+    # ------------------------------------------------------------------
+
+    def program(self, emissions: Iterator[EmissionRecord],
+                expected_writebacks: int,
+                lut: ActivationLUT | None = None,
+                writeback_sink: Callable[[Packet, int], None] | None = None,
+                ) -> None:
+        """Load one layer's schedule (the host's configuration write).
+
+        Args:
+            emissions: packet source schedule, in generation order.
+            expected_writebacks: write-backs to await before layer-done.
+            lut: activation look-up table applied to returned states.
+            writeback_sink: callback ``(packet, activated_raw)`` invoked
+                for every write-back (the simulator uses it to store the
+                state at the output neuron's address).
+        """
+        if not self.done:
+            raise ProtocolError(
+                f"PNG at node {self.node} reprogrammed before layer_done")
+        self._emissions = iter(emissions)
+        self._held = None
+        self._emissions_exhausted = False
+        self._expected_writebacks = expected_writebacks
+        self._lut = lut
+        self._writeback_sink = writeback_sink
+        self.stats = PNGStats()
+
+    @property
+    def done(self) -> bool:
+        """The paper's ``layer done`` signal (Fig. 8c)."""
+        return (self._emissions_exhausted
+                and self._held is None
+                and not self._ready
+                and not self.vault.busy
+                and self._expected_writebacks <= 0)
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """One reference-clock cycle of PNG work.
+
+        Stages: top up the vault request queue from the emission schedule;
+        advance the vault; packetise returned words; inject ready packets
+        (up to the local word rate) with backpressure; drain write-backs
+        from the router's MEM output.
+        """
+        self._issue_requests()
+        for read in self.vault.step():
+            self._packetise(read)
+        self._inject_ready()
+        self._drain_writebacks()
+
+    def _issue_requests(self) -> None:
+        """Pack emission records into word-granularity vault reads.
+
+        The vault returns one word — ``items_per_word`` items — per
+        service slot (Fig. 11a: "the PNG receives 32bit data and
+        encapsulates that into two packets"), so up to that many records
+        share one read.  Like the paper's model, addresses are assumed to
+        pack fully into words.
+        """
+        if self._emissions_exhausted and self._held is None:
+            return
+        capacity = self.vault.items_per_word
+        limit = self._horizon() if self._horizon is not None else None
+        while self.vault.pending < self.max_outstanding:
+            batch: list[EmissionRecord] = []
+            while len(batch) < capacity:
+                record = self._next_record()
+                if record is None:
+                    break
+                if limit is not None and record.op_id > limit:
+                    self._held = record  # wait for the PEs to catch up
+                    break
+                batch.append(record)
+            if not batch:
+                return
+            self.vault.enqueue_read(max(0, batch[0].address),
+                                    tag=tuple(batch))
+
+    def _next_record(self) -> EmissionRecord | None:
+        if self._held is not None:
+            record, self._held = self._held, None
+            return record
+        if self._emissions_exhausted:
+            return None
+        try:
+            return next(self._emissions)
+        except StopIteration:
+            self._emissions_exhausted = True
+            return None
+
+    def _read_item(self, address: int) -> int:
+        """Fetch one raw item from the backing store (0 in timing mode)."""
+        data = self.vault.data
+        if data is None or address < 0 or address >= len(data):
+            return 0
+        return int(data[address])
+
+    def _packetise(self, read) -> None:
+        for record in read.tag:
+            self._ready.append(Packet(
+                src=self.vault.vault_id, dst=record.dst,
+                mac_id=record.mac_id, op_id=record.op_id, kind=record.kind,
+                payload=self._read_item(record.address),
+                neuron=record.neuron,
+                inject_cycle=self.interconnect.cycle))
+
+    def _inject_ready(self) -> None:
+        rate = self.interconnect.local_rate
+        injected = 0
+        while self._ready and injected < rate:
+            if not self.interconnect.can_inject(self.node, Port.MEM):
+                self.stats.inject_stall_cycles += 1
+                return
+            self.interconnect.inject(self.node, self._ready.popleft(),
+                                     Port.MEM)
+            injected += 1
+            self.stats.packets_injected += 1
+
+    def _drain_writebacks(self) -> None:
+        for packet in self.interconnect.eject(
+                self.node, Port.MEM, limit=self.interconnect.local_rate):
+            if packet.kind != PacketKind.WRITEBACK:
+                raise ProtocolError(
+                    f"PNG at node {self.node} received non-writeback "
+                    f"{packet}")
+            raw = packet.payload
+            if self._lut is not None:
+                raw = int(self._lut.lookup_raw(raw))
+            if self._writeback_sink is not None:
+                self._writeback_sink(packet, raw)
+            self._expected_writebacks -= 1
+            self.stats.writebacks_received += 1
+            if self._expected_writebacks < 0:
+                raise ProtocolError(
+                    f"PNG at node {self.node} received more write-backs "
+                    f"than programmed")

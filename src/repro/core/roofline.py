@@ -1,0 +1,131 @@
+"""Roofline analysis of Neurocube workloads.
+
+The paper's opening argument is operational density: neural layers do
+few operations per byte, so off-chip bandwidth — not arithmetic — is
+the wall (§I: "low operational density (ops/byte) ... serve to stress
+memory bandwidth").  The classic roofline makes that quantitative:
+
+    attainable = min(peak_gops, intensity * sustained_bandwidth)
+
+This module computes per-descriptor operational intensity (ops per DRAM
+byte actually streamed under the chosen layout), the roofline bound,
+and the analytic model's achieved throughput — showing which layers sit
+under the slanted (bandwidth) roof and which reach the flat (compute)
+roof, and how duplication moves them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.analytic import AnalyticModel
+from repro.core.compiler import compile_inference
+from repro.core.config import NeurocubeConfig
+from repro.core.layerdesc import LayerDescriptor
+from repro.errors import ConfigurationError
+from repro.memory.vault import ITEM_BITS
+from repro.nn.network import Network
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One descriptor on the roofline.
+
+    Attributes:
+        name, kind: from the descriptor.
+        intensity: arithmetic ops per DRAM byte streamed.
+        attainable_gops: the roofline bound at this intensity.
+        achieved_gops: the calibrated analytic model's prediction.
+    """
+
+    name: str
+    kind: str
+    intensity: float
+    attainable_gops: float
+    achieved_gops: float
+
+    @property
+    def bandwidth_bound(self) -> bool:
+        """True when the point sits under the slanted roof."""
+        return self.attainable_gops < 0.999 * self._peak
+
+    _peak: float = 0.0
+
+    @property
+    def roofline_efficiency(self) -> float:
+        """Achieved over attainable — how close to the roof."""
+        return self.achieved_gops / self.attainable_gops
+
+
+@dataclass
+class RooflineReport:
+    """All descriptors of one program on the roofline."""
+
+    peak_gops: float
+    sustained_bandwidth: float
+    points: list[RooflinePoint] = field(default_factory=list)
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Intensity where the slanted roof meets the flat one,
+        ops/byte."""
+        return self.peak_gops * 1e9 / self.sustained_bandwidth
+
+    def to_table(self) -> str:
+        header = (f"{'layer':<22}{'ops/byte':>10}{'attainable':>12}"
+                  f"{'achieved':>10}{'roof%':>7}{'regime':>11}")
+        lines = [f"Roofline: peak {self.peak_gops:.0f} GOPs/s, "
+                 f"sustained {self.sustained_bandwidth / 1e9:.0f} GB/s, "
+                 f"ridge at {self.ridge_intensity:.2f} ops/byte",
+                 header, "-" * len(header)]
+        for point in self.points:
+            regime = ("bandwidth" if point.bandwidth_bound else "compute")
+            lines.append(
+                f"{point.name:<22}{point.intensity:>10.2f}"
+                f"{point.attainable_gops:>12.1f}"
+                f"{point.achieved_gops:>10.1f}"
+                f"{100 * point.roofline_efficiency:>7.1f}"
+                f"{regime:>11}")
+        return "\n".join(lines)
+
+
+class RooflineModel:
+    """Builds roofline reports from the analytic model's machinery."""
+
+    def __init__(self, config: NeurocubeConfig) -> None:
+        self.config = config
+        self._analytic = AnalyticModel(config)
+
+    @property
+    def sustained_bandwidth(self) -> float:
+        """Aggregate sustained DRAM bandwidth, bytes/s."""
+        return (self.config.channel_timing.sustained_bandwidth
+                * self.config.n_channels)
+
+    def point_for(self, desc: LayerDescriptor) -> RooflinePoint:
+        """Place one descriptor on the roofline."""
+        bytes_streamed = desc.stream_items * ITEM_BITS / 8
+        if bytes_streamed <= 0:
+            raise ConfigurationError(
+                f"{desc.name}: no DRAM traffic to compute intensity")
+        intensity = desc.ops / bytes_streamed
+        attainable = min(self.config.peak_gops,
+                         intensity * self.sustained_bandwidth / 1e9)
+        stats = self._analytic.evaluate_descriptor(desc)
+        achieved = stats.throughput_gops(self.config.f_pe_hz)
+        point = RooflinePoint(
+            name=desc.name, kind=desc.kind, intensity=intensity,
+            attainable_gops=attainable, achieved_gops=achieved)
+        object.__setattr__(point, "_peak", self.config.peak_gops)
+        return point
+
+    def evaluate_network(self, network: Network,
+                         duplicate: bool = True) -> RooflineReport:
+        """Roofline report for a compiled network."""
+        program = compile_inference(network, self.config, duplicate)
+        report = RooflineReport(
+            peak_gops=self.config.peak_gops,
+            sustained_bandwidth=self.sustained_bandwidth)
+        for desc in program.descriptors:
+            report.points.append(self.point_for(desc))
+        return report

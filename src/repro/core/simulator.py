@@ -1,0 +1,410 @@
+"""The cycle-level Neurocube system simulator (paper §VI).
+
+Assembles vaults, PNGs, the NoC and PEs per the configuration and runs
+compiled layer descriptors cycle by cycle at the reference clock
+(``f_pe = f_noc = f_dram_io``).  In functional mode it moves real
+fixed-point data end to end — vault reads, packets, MAC accumulation, LUT
+activation, write-back — so layer outputs can be checked exactly against
+the :mod:`repro.nn` reference.  In timing mode (no tensors) it moves
+zero payloads through the identical control paths.
+
+Paper-scale layers are far too large to simulate flit by flit in Python;
+the companion :mod:`repro.core.analytic` model is calibrated against this
+simulator on scaled-down layers (see :mod:`repro.core.calibration`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.compiler import compile_inference
+from repro.core.config import NeurocubeConfig
+from repro.core.layerdesc import LayerDescriptor
+from repro.core.metrics import LayerStats, RunReport
+from repro.core.pe import ProcessingElement
+from repro.core.png import NeurosequenceGenerator
+from repro.core.scheduler import PassPlan, build_conv_pass, build_fc_pass
+from repro.errors import MappingError, SimulationError
+from repro.fixedpoint import to_float
+from repro.memory.vault import VaultChannel
+from repro.nn.activations import ActivationLUT
+from repro.nn.layers import Flatten, MaxPool2D
+from repro.nn.network import Network
+from repro.noc.interconnect import Interconnect
+from repro.noc.topology import FullyConnected, Mesh2D
+
+
+@dataclass
+class PassResult:
+    """Raw outcome of one simulated pass.
+
+    Attributes:
+        cycles: reference cycles to layer-done.
+        outputs: neuron tag -> activated raw value (functional mode).
+        interconnect: the NoC instance (for its stats).
+        pe_stats: per-PE statistics (fires, stalls, cache peaks).
+        png_stats: per-PNG statistics (injections, stalls).
+    """
+
+    cycles: int
+    outputs: dict
+    interconnect: Interconnect
+    pe_stats: list
+    png_stats: list
+
+
+@dataclass
+class _RunAccumulator:
+    """Mutable per-descriptor stat accumulation across passes."""
+
+    cycles: int = 0
+    packets: int = 0
+    lateral: int = 0
+    latency: float = 0.0
+    macs_fired: int = 0
+    idle_cycles: int = 0
+    busy_cycles: int = 0
+    search_stall_cycles: int = 0
+    cache_peak: int = 0
+    inject_stall_cycles: int = 0
+
+
+@dataclass
+class LayerRun:
+    """Result of simulating one descriptor.
+
+    Attributes:
+        descriptor: what was run.
+        cycles: reference-clock cycles across all passes.
+        output: assembled output tensor (functional mode) or None.
+        packets: NoC packets delivered.
+        lateral_fraction: measured lateral (cross-node) packet fraction.
+        mean_packet_latency: mean inject-to-eject latency in cycles.
+        macs_fired: MAC operations executed across PEs and passes.
+        pe_busy_cycles: PE cycles spent computing (summed over PEs).
+        pe_idle_cycles: PE cycles stalled waiting for operands.
+        search_stall_cycles: extra cycles lost to cache sub-bank
+            searches beyond the overlapped MAC time (§V-B).
+        cache_peak: deepest total cache occupancy any PE reached.
+        inject_stall_cycles: PNG cycles blocked by NoC backpressure.
+    """
+
+    descriptor: LayerDescriptor
+    cycles: int
+    output: np.ndarray | None
+    packets: int
+    lateral_fraction: float
+    mean_packet_latency: float
+    macs_fired: int = 0
+    pe_busy_cycles: int = 0
+    pe_idle_cycles: int = 0
+    search_stall_cycles: int = 0
+    cache_peak: int = 0
+    inject_stall_cycles: int = 0
+
+    def to_stats(self) -> LayerStats:
+        """Convert to the report row format."""
+        desc = self.descriptor
+        return LayerStats(
+            name=desc.name, kind=desc.kind, phase=desc.phase.value,
+            duplicate=desc.duplicate, neurons=desc.neurons,
+            connections=desc.connections, macs=desc.macs, ops=desc.ops,
+            cycles=self.cycles, bound="measured", packets=self.packets,
+            lateral_fraction=self.lateral_fraction,
+            state_bytes=desc.layout.state_bytes,
+            weight_bytes=desc.layout.weight_bytes,
+            duplicated_bytes=desc.layout.duplicated_bytes)
+
+
+class NeurocubeSimulator:
+    """Flit-accurate simulator for one :class:`NeurocubeConfig`."""
+
+    def __init__(self, config: NeurocubeConfig) -> None:
+        self.config = config
+
+    def _topology(self):
+        if self.config.noc_topology == "fully_connected":
+            return FullyConnected(self.config.n_pe)
+        return Mesh2D.for_nodes(self.config.n_pe)
+
+    # ------------------------------------------------------------------
+    # single-pass engine
+    # ------------------------------------------------------------------
+
+    def run_pass(self, plan: PassPlan,
+                 max_cycles: int | None = None,
+                 stall_limit: int = 1_000_000) -> PassResult:
+        """Run one PNG pass to layer-done.
+
+        Args:
+            plan: the scheduled pass.
+            max_cycles: absolute cycle ceiling (defaults to a generous
+                bound derived from the plan's work).
+            stall_limit: cycles without a new write-back before the run
+                is declared deadlocked.
+        """
+        config = self.config
+        interconnect = Interconnect(
+            self._topology(), buffer_depth=config.noc_buffer_depth,
+            local_rate=config.items_per_word)
+        vaults = [VaultChannel(config.channel_timing, vault_id=v,
+                               data=plan.vault_data[v])
+                  for v in range(config.n_channels)]
+        outputs: dict = {}
+
+        def make_sink(vault_index: int):
+            def sink(packet, activated_raw: int) -> None:
+                channel, address = plan.out_addresses[packet.neuron]
+                if channel != vault_index:
+                    raise SimulationError(
+                        f"write-back for {packet.neuron} landed at vault "
+                        f"{vault_index}, home is {channel}")
+                vaults[channel].write_items(address, [activated_raw])
+                outputs[packet.neuron] = activated_raw
+            return sink
+
+        pes: list[ProcessingElement] = []
+
+        # Emission-horizon window: how many operations ahead of the
+        # slowest PE the generators may run.  Bounded by what the cache
+        # can park — one op's packets (up to 2*n_mac items) must fit in
+        # its sub-bank, or head-of-line blocking can deadlock the mesh.
+        # With the paper's 64-entry sub-banks the window is the full 16
+        # sub-banks; with undersized caches it degrades toward strict
+        # lock-step (window 0: only current-op packets in flight).
+        items_per_op = 2 * config.n_mac
+        ops_per_subbank = config.cache_entries_per_subbank // items_per_op
+        window = min(config.cache_subbanks,
+                     ops_per_subbank * config.cache_subbanks)
+
+        def horizon() -> float:
+            """Lock-step bound: no PNG emits ops more than ``window``
+            ahead of the slowest PE (the hardware equivalent is that all
+            PNGs walk the same FSM schedule)."""
+            active = [pe.op_counter for pe in pes if not pe.done]
+            if not active:
+                return float("inf")
+            return min(active) + window
+
+        pngs = []
+        for v in range(config.n_channels):
+            png = NeurosequenceGenerator(
+                vaults[v], node=config.pe_of_channel(v),
+                interconnect=interconnect, horizon=horizon)
+            png.program(iter(plan.vault_emissions[v]),
+                        plan.expected_writebacks[v], lut=plan.lut,
+                        writeback_sink=make_sink(v))
+            pngs.append(png)
+        for p in range(config.n_pe):
+            pe = ProcessingElement(p, config, interconnect)
+            pe.program(plan.pe_groups[p])
+            pes.append(pe)
+
+        if max_cycles is None:
+            # Generous ceiling: every item serialised through one channel
+            # with full search stalls would still finish well inside this.
+            work = max(1, plan.stream_items)
+            max_cycles = 200 * work + 500_000
+        cycles = 0
+        last_progress = 0
+        progress_mark = -1
+        while True:
+            if all(png.done for png in pngs) and all(pe.done for pe in pes):
+                break
+            for png in pngs:
+                png.step()
+            interconnect.step()
+            for pe in pes:
+                pe.step()
+            cycles += 1
+            done_now = len(outputs)
+            if done_now != progress_mark:
+                progress_mark = done_now
+                last_progress = cycles
+            if cycles - last_progress > stall_limit or cycles > max_cycles:
+                raise SimulationError(
+                    f"pass stalled: {done_now}/{plan.total_neurons} "
+                    f"neurons after {cycles} cycles "
+                    f"(occupancy {interconnect.occupancy})")
+        return PassResult(cycles=cycles, outputs=outputs,
+                          interconnect=interconnect,
+                          pe_stats=[pe.stats for pe in pes],
+                          png_stats=[png.stats for png in pngs])
+
+    # ------------------------------------------------------------------
+    # descriptor-level runs
+    # ------------------------------------------------------------------
+
+    def run_descriptor(self, desc: LayerDescriptor, layer=None,
+                       input_tensor: np.ndarray | None = None) -> LayerRun:
+        """Simulate all passes of one descriptor.
+
+        Args:
+            desc: the compiled descriptor (forward phase).
+            layer: the source ``repro.nn`` layer (for weights/biases and
+                the activation); None runs timing-only.
+            input_tensor: the layer input, unbatched; None -> timing-only.
+        """
+        functional = layer is not None and input_tensor is not None
+        lut = None
+        if layer is not None:
+            act = layer.activation
+            lut = act if isinstance(act, ActivationLUT) else ActivationLUT(act)
+        self._accum = _RunAccumulator()
+        if desc.kind == "fc":
+            output = self._run_one(
+                desc, self._fc_plan(desc, layer, input_tensor, lut),
+                functional)
+        elif desc.kind == "pool":
+            output = self._run_pool(desc, layer, input_tensor, lut,
+                                    functional)
+        else:
+            output = self._run_conv(desc, layer, input_tensor, lut,
+                                    functional)
+        accum = self._accum
+        return LayerRun(
+            descriptor=desc, cycles=accum.cycles, output=output,
+            packets=accum.packets,
+            lateral_fraction=(accum.lateral / accum.packets
+                              if accum.packets else 0.0),
+            mean_packet_latency=(accum.latency / accum.packets
+                                 if accum.packets else 0.0),
+            macs_fired=accum.macs_fired,
+            pe_busy_cycles=accum.busy_cycles,
+            pe_idle_cycles=accum.idle_cycles,
+            search_stall_cycles=accum.search_stall_cycles,
+            cache_peak=accum.cache_peak,
+            inject_stall_cycles=accum.inject_stall_cycles)
+
+    def _run_one(self, desc, plan, functional):
+        """Run one pass plan, fold its stats, return assembled output."""
+        result = self.run_pass(plan)
+        stats = result.interconnect.stats
+        accum = self._accum
+        accum.cycles += result.cycles
+        accum.packets += stats.delivered
+        accum.lateral += stats.lateral
+        accum.latency += stats.total_latency
+        for pe_stats in result.pe_stats:
+            accum.macs_fired += pe_stats.macs_fired
+            accum.idle_cycles += pe_stats.idle_cycles
+            accum.busy_cycles += pe_stats.busy_cycles
+            accum.search_stall_cycles += pe_stats.search_stall_cycles
+            accum.cache_peak = max(accum.cache_peak, pe_stats.cache_peak)
+        for png_stats in result.png_stats:
+            accum.inject_stall_cycles += png_stats.inject_stall_cycles
+        if functional:
+            return self._assemble(desc, plan, result.outputs)
+        return None
+
+    def _run_pool(self, desc, layer, input_tensor, lut, functional):
+        mode = "max" if isinstance(layer, MaxPool2D) else "mac"
+        maps = []
+        for pass_index in range(desc.passes):
+            per_map = (input_tensor[pass_index:pass_index + 1]
+                       if input_tensor is not None else None)
+            plan = build_conv_pass(desc, self.config, per_map, None, 0.0,
+                                   lut, mode=mode)
+            maps.append(self._run_one(desc, plan, functional))
+        return np.stack(maps, axis=0) if functional else None
+
+    def _run_conv(self, desc, layer, input_tensor, lut, functional):
+        """Run a (possibly input-map-blocked) convolution.
+
+        Sub-passes carry per-neuron partial sums: sub-pass 0 preloads the
+        layer bias, later sub-passes preload the stored partials, and
+        only the final sub-pass goes through the activation LUT.
+        """
+        out_maps = desc.passes // desc.sub_passes
+        maps = []
+        for out_map in range(out_maps):
+            partial: np.ndarray | None = None
+            for j in range(desc.sub_passes):
+                kernel = None
+                bias: float | np.ndarray = 0.0
+                block_input = input_tensor
+                if layer is not None and layer.params:
+                    in_maps = layer.input_shape[0]
+                    block = in_maps // desc.sub_passes
+                    lo, hi = j * block, (j + 1) * block
+                    kernel = layer.params["weight"][out_map, lo:hi]
+                    if input_tensor is not None:
+                        block_input = input_tensor[lo:hi]
+                    bias = (float(layer.params["bias"][out_map])
+                            if j == 0 else partial.ravel())
+                final = j == desc.sub_passes - 1
+                plan = build_conv_pass(desc, self.config, block_input,
+                                       kernel, bias,
+                                       lut if final else None, mode="mac")
+                result = self._run_one(desc, plan, functional)
+                if functional:
+                    partial = result
+            maps.append(partial)
+        return np.stack(maps, axis=0) if functional else None
+
+    def _fc_plan(self, desc, layer, input_tensor, lut):
+        weights = biases = None
+        if layer is not None and layer.params:
+            weights = layer.params["weight"]
+            biases = layer.params["bias"]
+        vector = (np.asarray(input_tensor).ravel()
+                  if input_tensor is not None else None)
+        return build_fc_pass(desc, self.config, vector, weights, biases,
+                             lut)
+
+    def _assemble(self, desc, plan: PassPlan, outputs: dict) -> np.ndarray:
+        """Collect write-backs into a flat/2D output array (real values)."""
+        missing = plan.total_neurons - len(outputs)
+        if missing:
+            raise SimulationError(
+                f"{desc.name}: {missing} neurons never wrote back")
+        flat = np.zeros(plan.total_neurons, dtype=np.int64)
+        for (_, index), raw in outputs.items():
+            flat[index] = raw
+        values = to_float(flat, self.config.qformat)
+        if desc.kind == "fc":
+            return values
+        if desc.kind == "pool":
+            out_h, out_w = (desc.in_height // desc.kernel,
+                            desc.in_width // desc.kernel)
+        else:
+            out_h = desc.in_height - desc.kernel + 1
+            out_w = desc.in_width - desc.kernel + 1
+        return values.reshape(out_h, out_w)
+
+    # ------------------------------------------------------------------
+    # whole-network runs (small networks only)
+    # ------------------------------------------------------------------
+
+    def run_network(self, network: Network, x: np.ndarray,
+                    duplicate: bool = True) -> tuple[np.ndarray, RunReport]:
+        """Simulate a full network on one input sample, layer by layer.
+
+        ``x`` is quantised on entry; each layer's simulated output feeds
+        the next, with ``Flatten`` applied as a host-side reshape.  Only
+        practical for small networks — use the analytic model for
+        paper-scale ones.
+        """
+        from repro.fixedpoint import quantize_float
+
+        program = compile_inference(network, self.config, duplicate)
+        descriptors = {d.layer_index: d for d in program.descriptors}
+        current = quantize_float(np.asarray(x, dtype=np.float64),
+                                 self.config.qformat)
+        report = RunReport(network_name=network.name,
+                           f_clk_hz=self.config.f_pe_hz,
+                           peak_gops=self.config.peak_gops, source="cycle")
+        for index, layer in enumerate(network.layers):
+            if isinstance(layer, Flatten):
+                current = current.reshape(-1)
+                continue
+            desc = descriptors.get(index)
+            if desc is None:
+                raise MappingError(
+                    f"layer {layer.name!r} missing from program")
+            run = self.run_descriptor(desc, layer, current)
+            report.layers.append(run.to_stats())
+            current = run.output
+        return current, report

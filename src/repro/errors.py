@@ -1,0 +1,45 @@
+"""Exception hierarchy for the Neurocube reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything from this package with one handler while still
+distinguishing configuration mistakes from runtime simulation faults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or programmed with inconsistent parameters.
+
+    Examples: a PE count that does not match the vault count, a Q-format
+    with zero total bits, or a layer whose kernel is larger than its input.
+    """
+
+
+class MappingError(ReproError):
+    """A neural network could not be mapped onto the Neurocube.
+
+    Raised by the compiler and the data-layout planner, e.g. when a layer's
+    working set cannot be partitioned across the requested number of vaults.
+    """
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulator reached an inconsistent state.
+
+    Examples: deadlock (no component can make progress while work remains),
+    a packet routed to a non-existent node, or a credit underflow.
+    """
+
+
+class ProtocolError(SimulationError):
+    """A component violated the Neurocube hardware protocol.
+
+    Examples: a vault pushing data while un-programmed, a PE receiving a
+    packet whose MAC-ID exceeds the configured number of MACs, or a host
+    reprogramming a PNG before ``layer_done`` was raised.
+    """

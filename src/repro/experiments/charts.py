@@ -1,0 +1,86 @@
+"""Terminal bar charts for the experiment harness.
+
+The paper's evaluation figures are grouped bar charts; the closest
+dependency-free equivalent is horizontal ASCII bars.  The experiments
+use these to render their panels so the regenerated "figures" are
+readable directly in test output, without plotting libraries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Glyphs for grouped series (the paper's black/grey bars).
+FILL_GLYPHS = ("█", "░", "▒", "▓")
+
+
+@dataclass
+class BarChart:
+    """A horizontal bar chart with one or more series per category.
+
+    Attributes:
+        title: chart heading.
+        unit: axis label appended to values.
+        width: bar field width in characters.
+        categories: category labels in display order.
+        series: mapping series name -> list of values (parallel to
+            ``categories``).
+    """
+
+    title: str
+    unit: str = ""
+    width: int = 40
+    categories: list[str] = field(default_factory=list)
+    series: dict[str, list[float]] = field(default_factory=dict)
+
+    def add_series(self, name: str, values) -> "BarChart":
+        """Add one series; every series must match the category count."""
+        values = [float(v) for v in values]
+        if self.categories and len(values) != len(self.categories):
+            raise ConfigurationError(
+                f"series {name!r} has {len(values)} values for "
+                f"{len(self.categories)} categories")
+        self.series[name] = values
+        return self
+
+    def _scale(self) -> float:
+        peak = max((max(values) for values in self.series.values()
+                    if values), default=0.0)
+        return peak if peak > 0 else 1.0
+
+    def render(self) -> str:
+        """Render the chart as aligned text lines."""
+        if not self.series:
+            raise ConfigurationError("chart has no series")
+        if not self.categories:
+            raise ConfigurationError("chart has no categories")
+        scale = self._scale()
+        label_width = max(len(c) for c in self.categories)
+        name_width = max(len(n) for n in self.series)
+        lines = [self.title]
+        for index, category in enumerate(self.categories):
+            for s_index, (name, values) in enumerate(self.series.items()):
+                value = values[index]
+                bar_len = round(self.width * value / scale)
+                bar = FILL_GLYPHS[s_index % len(FILL_GLYPHS)] * bar_len
+                label = category if s_index == 0 else ""
+                lines.append(
+                    f"{label:<{label_width}}  {name:<{name_width}} "
+                    f"|{bar:<{self.width}}| {value:,.1f} {self.unit}")
+        legend = "  ".join(
+            f"{FILL_GLYPHS[i % len(FILL_GLYPHS)]} {name}"
+            for i, name in enumerate(self.series))
+        lines.append(legend)
+        return "\n".join(lines)
+
+
+def sweep_chart(title: str, xs, ys_by_series: dict[str, list[float]],
+                unit: str = "", width: int = 40) -> str:
+    """Convenience: render a parameter sweep as a grouped bar chart."""
+    chart = BarChart(title=title, unit=unit, width=width,
+                     categories=[str(x) for x in xs])
+    for name, values in ys_by_series.items():
+        chart.add_series(name, values)
+    return chart.render()

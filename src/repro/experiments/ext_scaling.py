@@ -1,0 +1,64 @@
+"""Extension experiment: multi-cube scaling (paper §IX).
+
+Not a paper figure — the paper's conclusion names scaling across multiple
+cubes as the next step.  This experiment quantifies it with the
+:mod:`repro.core.multicube` model: speedup and parallel efficiency of the
+scene-labeling workload (at a larger 640x480 input, the use case that
+motivates more cubes) and of an LSTM, across 1-16 cubes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import MultiCubeConfig, MultiCubeModel, NeurocubeConfig
+from repro.core.multicube import MultiCubeReport
+from repro.experiments.registry import register
+from repro.nn import models
+
+CUBE_COUNTS = (1, 2, 4, 8, 16)
+
+
+@dataclass
+class ScalingResult:
+    """Scaling curves for two workload classes."""
+
+    scene: list[MultiCubeReport] = field(default_factory=list)
+    lstm: list[MultiCubeReport] = field(default_factory=list)
+
+    def efficiency_at(self, curve: str, n_cubes: int) -> float:
+        reports = getattr(self, curve)
+        return next(r.parallel_efficiency for r in reports
+                    if r.n_cubes == n_cubes)
+
+    def to_table(self) -> str:
+        lines = ["Extension — multi-cube scaling (§IX next step)"]
+        for label, reports in (("scene labeling 640x480", self.scene),
+                               ("LSTM 256->512, 8 steps", self.lstm)):
+            lines.append(f"\n{label}:")
+            header = (f"{'cubes':>6}{'GOPs/s':>10}{'speedup':>9}"
+                      f"{'efficiency':>12}{'comm%':>7}")
+            lines.append(header)
+            lines.append("-" * len(header))
+            for report in reports:
+                lines.append(
+                    f"{report.n_cubes:>6}{report.throughput_gops:>10.1f}"
+                    f"{report.speedup:>9.2f}"
+                    f"{100 * report.parallel_efficiency:>11.1f}%"
+                    f"{100 * report.comm_fraction:>7.1f}")
+        return "\n".join(lines)
+
+
+@register("ext_scaling", "Multi-cube scaling study (paper §IX future "
+                         "work)")
+def run(cube_counts=CUBE_COUNTS) -> ScalingResult:
+    """Evaluate the two scaling curves."""
+    base = MultiCubeConfig(cube=NeurocubeConfig.hmc_15nm(), n_cubes=1)
+    model = MultiCubeModel(base)
+    scene = models.scene_labeling_convnn(height=480, width=640,
+                                         qformat=None)
+    lstm = models.small_lstm(inputs=256, hidden_units=512, steps=8,
+                             qformat=None)
+    return ScalingResult(
+        scene=model.scaling_curve(scene, cube_counts),
+        lstm=model.scaling_curve(lstm, cube_counts))

@@ -1,0 +1,89 @@
+"""Fig. 1 — required memory vs input size vs on-chip memory capacity.
+
+The paper motivates off-chip (3D DRAM) capacity by plotting the memory a
+scene-labeling ConvNN needs at growing input sizes, and an MNIST MLP,
+against what 1 mm^2 of on-chip SRAM [11] or eDRAM [12] can hold.  The
+reproduction computes the network footprints (16-bit states + weights)
+from the compiler's layouts and compares against the published densities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import NeurocubeConfig, compile_inference
+from repro.experiments.registry import register
+from repro.nn import models
+
+#: On-chip memory density, bytes per mm^2.  [11] is a 14nm 84 Mb SRAM
+#: (~14.5 Mb/mm^2); [12] is a 22nm 1 Gb eDRAM (~17.5 Mb/mm^2).
+SRAM_BYTES_PER_MM2 = 14.5e6 / 8
+EDRAM_BYTES_PER_MM2 = 17.5e6 / 8
+
+#: Input sizes swept (square-ish, paper uses growing scene sizes).
+IMAGE_SIZES = ((64, 64), (128, 128), (240, 320), (480, 640), (960, 1280))
+
+
+@dataclass
+class MemoryCapacityResult:
+    """Per-size footprints vs the 1 mm^2 on-chip capacities."""
+
+    rows: list[dict] = field(default_factory=list)
+    sram_capacity_bytes: float = SRAM_BYTES_PER_MM2
+    edram_capacity_bytes: float = EDRAM_BYTES_PER_MM2
+
+    @property
+    def largest_onchip_size(self) -> tuple[int, int] | None:
+        """Largest swept input that still fits 1 mm^2 of eDRAM."""
+        best = None
+        for row in self.rows:
+            if (row["network"] == "scene_labeling"
+                    and row["total_bytes"] <= self.edram_capacity_bytes):
+                best = (row["height"], row["width"])
+        return best
+
+    def to_table(self) -> str:
+        header = (f"{'network':<16}{'input':<12}{'states MB':>11}"
+                  f"{'weights MB':>12}{'total MB':>10}{'fits eDRAM':>12}")
+        lines = ["Fig. 1 — required memory vs 1 mm^2 on-chip capacity",
+                 f"SRAM [11]: {self.sram_capacity_bytes / 1e6:.2f} MB/mm^2,"
+                 f" eDRAM [12]: "
+                 f"{self.edram_capacity_bytes / 1e6:.2f} MB/mm^2",
+                 header, "-" * len(header)]
+        for row in self.rows:
+            fits = row["total_bytes"] <= self.edram_capacity_bytes
+            lines.append(
+                f"{row['network']:<16}"
+                f"{str(row['height']) + 'x' + str(row['width']):<12}"
+                f"{row['state_bytes'] / 1e6:>11.2f}"
+                f"{row['weight_bytes'] / 1e6:>12.2f}"
+                f"{row['total_bytes'] / 1e6:>10.2f}"
+                f"{'yes' if fits else 'no':>12}")
+        return "\n".join(lines)
+
+
+@register("fig1", "Required memory for scene labeling and MNIST vs "
+                  "on-chip SRAM/eDRAM capacity")
+def run(image_sizes=IMAGE_SIZES) -> MemoryCapacityResult:
+    """Compute network memory footprints across input sizes."""
+    config = NeurocubeConfig.hmc_15nm()
+    result = MemoryCapacityResult()
+    for height, width in image_sizes:
+        net = models.scene_labeling_convnn(height=height, width=width,
+                                           qformat=None)
+        program = compile_inference(net, config, duplicate=False)
+        result.rows.append({
+            "network": "scene_labeling", "height": height, "width": width,
+            "state_bytes": program.state_bytes,
+            "weight_bytes": program.weight_bytes,
+            "total_bytes": program.state_bytes + program.weight_bytes,
+        })
+    mlp = models.mnist_mlp(qformat=None)
+    program = compile_inference(mlp, config, duplicate=False)
+    result.rows.append({
+        "network": "mnist_mlp", "height": 28, "width": 28,
+        "state_bytes": program.state_bytes,
+        "weight_bytes": program.weight_bytes,
+        "total_bytes": program.state_bytes + program.weight_bytes,
+    })
+    return result

@@ -1,0 +1,69 @@
+"""Fig. 9 — the scene-labeling ConvNN and its PNG programming parameters.
+
+Reproduces the per-layer configuration-register table the host writes:
+neuron-counter bound, connection-counter bound, MAC count, passes.  The
+§IV-C worked example is checked here: the first convolutional layer of
+the 320x240 network has 314 x 234 = 73,476 neurons per output map with
+49 connections per input map, and the neuron counter advances by 16.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import NeurocubeConfig, compile_inference
+from repro.core.layerdesc import LayerDescriptor
+from repro.experiments.registry import register
+from repro.nn import models
+
+#: §IV-C worked-example values.
+PAPER_CONV1_NEURONS = 73_476
+PAPER_CONV1_CONNECTIONS_PER_MAP = 49
+PAPER_NEURON_COUNTER_STRIDE = 16
+
+
+@dataclass
+class ProgrammingResult:
+    """The per-layer PNG register table."""
+
+    descriptors: list[LayerDescriptor] = field(default_factory=list)
+
+    @property
+    def conv1(self) -> LayerDescriptor:
+        return self.descriptors[0]
+
+    @property
+    def matches_paper_example(self) -> bool:
+        """The §IV-C register-value check."""
+        conv1 = self.conv1
+        per_map_connections = (conv1.connections * conv1.sub_passes
+                               // conv1.sub_passes // (
+                                   conv1.connections // (conv1.kernel ** 2)))
+        return (conv1.neurons_per_pass == PAPER_CONV1_NEURONS
+                and per_map_connections == PAPER_CONV1_CONNECTIONS_PER_MAP
+                and conv1.n_mac == PAPER_NEURON_COUNTER_STRIDE)
+
+    def to_table(self) -> str:
+        header = (f"{'layer':<10}{'kind':<6}{'neurons/pass':>13}"
+                  f"{'conn':>7}{'n_mac':>7}{'passes':>8}{'resident':>10}")
+        lines = ["Fig. 9 — PNG programming parameters per layer",
+                 header, "-" * len(header)]
+        for desc in self.descriptors:
+            lines.append(
+                f"{desc.name:<10}{desc.kind:<6}"
+                f"{desc.neurons_per_pass:>13,}{desc.connections:>7}"
+                f"{desc.n_mac:>7}{desc.passes:>8}"
+                f"{'yes' if desc.weights_resident else 'no':>10}")
+        lines.append(f"paper example (73,476 neurons / 49 conn / stride "
+                     f"16) matches: {self.matches_paper_example}")
+        return "\n".join(lines)
+
+
+@register("fig9", "Scene-labeling ConvNN structure and PNG programming "
+                  "parameters")
+def run() -> ProgrammingResult:
+    """Compile the 320x240 scene-labeling network and dump the registers."""
+    config = NeurocubeConfig.hmc_15nm()
+    net = models.scene_labeling_convnn(qformat=None)
+    program = compile_inference(net, config, duplicate=True)
+    return ProgrammingResult(descriptors=list(program.descriptors))

@@ -1,0 +1,89 @@
+"""Fig. 12 — inference performance of the scene-labeling ConvNN.
+
+Regenerates all four panels for both layout strategies: (a) operations
+per layer, (b) clock cycles per layer, (c) throughput in GOPs/s, and (d)
+memory requirement with the duplication overhead, plus the §VI-3
+frames-per-second figures at both technology nodes.
+
+Paper reference points: 132.4 GOPs/s with duplication, 111.4 GOPs/s
+without; 17.52 frames/s at 28nm and 292.14 frames/s at 15nm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import AnalyticModel, NeurocubeConfig, RunReport
+from repro.experiments.charts import BarChart
+from repro.experiments.registry import register
+from repro.nn import models
+
+#: Paper-reported values for the comparison record.
+PAPER_GOPS_DUPLICATE = 132.4
+PAPER_GOPS_NO_DUPLICATE = 111.4
+PAPER_FPS = {"28nm": 17.52, "15nm": 292.14}
+
+
+@dataclass
+class InferenceResult:
+    """Both layout strategies at both nodes."""
+
+    duplicate: RunReport
+    no_duplicate: RunReport
+    report_28nm: RunReport
+
+    @property
+    def throughput_ratio(self) -> float:
+        """no-duplicate / duplicate throughput (paper: 111.4/132.4)."""
+        return (self.no_duplicate.throughput_gops
+                / self.duplicate.throughput_gops)
+
+    @property
+    def node_speedup(self) -> float:
+        """15nm-over-28nm frames/s ratio (paper: 292.14/17.52 = 16.7)."""
+        return (self.duplicate.frames_per_second
+                / self.report_28nm.frames_per_second)
+
+    def throughput_chart(self) -> str:
+        """The Fig. 12(c) panel: per-layer GOPs/s, both strategies."""
+        chart = BarChart(title="Fig. 12(c) — throughput per layer",
+                         unit="GOPs/s", width=36,
+                         categories=[l.name for l in
+                                     self.duplicate.layers])
+        f_clk = self.duplicate.f_clk_hz
+        chart.add_series("duplicate", [l.throughput_gops(f_clk)
+                                       for l in self.duplicate.layers])
+        chart.add_series("no dup", [l.throughput_gops(f_clk)
+                                    for l in self.no_duplicate.layers])
+        return chart.render()
+
+    def to_table(self) -> str:
+        lines = ["Fig. 12 — scene-labeling inference",
+                 "", "(with duplication)", self.duplicate.to_table(),
+                 "", "(without duplication)", self.no_duplicate.to_table(),
+                 "", self.throughput_chart(),
+                 "",
+                 f"duplicate:     {self.duplicate.throughput_gops:8.1f} "
+                 f"GOPs/s   (paper {PAPER_GOPS_DUPLICATE})",
+                 f"no duplicate:  {self.no_duplicate.throughput_gops:8.1f} "
+                 f"GOPs/s   (paper {PAPER_GOPS_NO_DUPLICATE})",
+                 f"frames/s 15nm: {self.duplicate.frames_per_second:8.1f}"
+                 f"            (paper {PAPER_FPS['15nm']})",
+                 f"frames/s 28nm: "
+                 f"{self.report_28nm.frames_per_second:8.2f}"
+                 f"            (paper {PAPER_FPS['28nm']})"]
+        return "\n".join(lines)
+
+
+@register("fig12", "Scene-labeling inference: ops, cycles, throughput, "
+                   "memory (duplicate vs no-duplicate)")
+def run(height: int = 240, width: int = 320) -> InferenceResult:
+    """Evaluate the scene-labeling network at both nodes and layouts."""
+    net = models.scene_labeling_convnn(height=height, width=width,
+                                       qformat=None)
+    model_15 = AnalyticModel(NeurocubeConfig.hmc_15nm())
+    model_28 = AnalyticModel(NeurocubeConfig.hmc_28nm())
+    return InferenceResult(
+        duplicate=model_15.evaluate_network(net, duplicate=True),
+        no_duplicate=model_15.evaluate_network(net, duplicate=False),
+        report_28nm=model_28.evaluate_network(net, duplicate=True))

@@ -1,0 +1,81 @@
+"""Fig. 13 — training performance of the scene-labeling ConvNN (64x64).
+
+The paper trains with a reduced 64x64 input and data duplication,
+reporting 126.8 GOPs/s, a 48% duplication memory overhead, and epoch
+rates of 272.52 (28nm) and 4542.14 (15nm) frames/s.  The reproduction
+compiles one full training step (forward + backward-data +
+backward-weight + update passes per layer) and models it at both nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core import AnalyticModel, NeurocubeConfig, RunReport
+from repro.experiments.registry import register
+from repro.nn import models
+
+PAPER_GOPS_TRAINING = 126.8
+PAPER_MEMORY_OVERHEAD = 0.48
+PAPER_FPS = {"28nm": 272.52, "15nm": 4542.14}
+
+
+@dataclass
+class TrainingResult:
+    """One modelled training step at both nodes."""
+
+    report_15nm: RunReport
+    report_28nm: RunReport
+    inference_gops_15nm: float
+
+    @property
+    def training_memory_bytes(self) -> int:
+        """States + weights + duplication + gradient storage.
+
+        Training keeps a gradient the size of every state and weight
+        tensor alongside the forward data.
+        """
+        forward = self.report_15nm
+        gradients = forward.state_bytes + forward.weight_bytes
+        return forward.total_bytes + gradients
+
+    @property
+    def training_vs_inference(self) -> float:
+        """Training/inference throughput ratio (paper: 126.8/132.4)."""
+        return self.report_15nm.throughput_gops / self.inference_gops_15nm
+
+    def to_table(self) -> str:
+        report = self.report_15nm
+        lines = ["Fig. 13 — scene-labeling training (64x64, duplication)",
+                 report.to_table(), "",
+                 f"training throughput 15nm: "
+                 f"{report.throughput_gops:8.1f} GOPs/s  "
+                 f"(paper {PAPER_GOPS_TRAINING})",
+                 f"epochs-frames/s 15nm:     "
+                 f"{report.frames_per_second:8.1f}  "
+                 f"(paper {PAPER_FPS['15nm']})",
+                 f"epochs-frames/s 28nm:     "
+                 f"{self.report_28nm.frames_per_second:8.1f}  "
+                 f"(paper {PAPER_FPS['28nm']})",
+                 f"duplication overhead:     "
+                 f"{100 * report.memory_overhead:8.1f}%  "
+                 f"(paper {100 * PAPER_MEMORY_OVERHEAD:.0f}%)",
+                 f"training memory (incl. gradients): "
+                 f"{self.training_memory_bytes / 1e6:.2f} MB"]
+        return "\n".join(lines)
+
+
+@register("fig13", "Scene-labeling training at 64x64 with duplication")
+def run(height: int = 64, width: int = 64) -> TrainingResult:
+    """Model one training step at both nodes."""
+    net = models.scene_labeling_convnn(height=height, width=width,
+                                       qformat=None)
+    model_15 = AnalyticModel(NeurocubeConfig.hmc_15nm())
+    model_28 = AnalyticModel(NeurocubeConfig.hmc_28nm())
+    inference = model_15.evaluate_network(net, duplicate=True)
+    return TrainingResult(
+        report_15nm=model_15.evaluate_network(net, duplicate=True,
+                                              training=True),
+        report_28nm=model_28.evaluate_network(net, duplicate=True,
+                                              training=True),
+        inference_gops_15nm=inference.throughput_gops)

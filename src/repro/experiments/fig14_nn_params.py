@@ -1,0 +1,123 @@
+"""Fig. 14 — effect of NN parameters on throughput and memory.
+
+Two sweeps, each with and without duplication:
+
+* **(a)/(b) kernel size** on a 2D convolutional layer over the 320x240
+  image.  Without duplication, larger kernels raise the lateral NoC
+  traffic and degrade throughput; with duplication throughput is flat
+  but the halo memory overhead grows.
+* **(c)/(d) hidden-layer width** of a 3-layer fully connected network.
+  Without duplication, lateral traffic is high but constant with width,
+  so throughput is flat at a degraded level; with duplication throughput
+  is flat at the full level and the duplicated-input share of memory
+  shrinks as the weight matrix grows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core import AnalyticModel, NeurocubeConfig
+from repro.experiments.registry import register
+from repro.nn import models
+
+KERNEL_SIZES = (3, 5, 7, 9, 11)
+HIDDEN_SIZES = (256, 512, 1024, 2048, 4096)
+#: Input vector length for the FC sweep (a pooled feature map).
+FC_INPUTS = 4096
+
+
+@dataclass
+class SweepPoint:
+    """One sweep sample."""
+
+    parameter: int
+    duplicate: bool
+    throughput_gops: float
+    lateral_fraction: float
+    memory_bytes: int
+    memory_overhead: float
+
+
+@dataclass
+class NNParamsResult:
+    """Both sweeps, both strategies."""
+
+    kernel_sweep: list[SweepPoint] = field(default_factory=list)
+    hidden_sweep: list[SweepPoint] = field(default_factory=list)
+
+    def points(self, sweep: str, duplicate: bool) -> list[SweepPoint]:
+        rows = (self.kernel_sweep if sweep == "kernel"
+                else self.hidden_sweep)
+        return [p for p in rows if p.duplicate == duplicate]
+
+    def _render(self, title: str, rows: list[SweepPoint],
+                label: str) -> list[str]:
+        header = (f"{label:<8}{'dup':<6}{'GOPs/s':>9}{'lateral%':>10}"
+                  f"{'mem MB':>9}{'overhead%':>11}")
+        lines = [title, header, "-" * len(header)]
+        for p in rows:
+            lines.append(f"{p.parameter:<8}{str(p.duplicate):<6}"
+                         f"{p.throughput_gops:>9.1f}"
+                         f"{100 * p.lateral_fraction:>10.1f}"
+                         f"{p.memory_bytes / 1e6:>9.2f}"
+                         f"{100 * p.memory_overhead:>11.1f}")
+        return lines
+
+    def _chart(self, title: str, sweep: str) -> str:
+        from repro.experiments.charts import sweep_chart
+
+        xs = [p.parameter for p in self.points(sweep, True)]
+        return sweep_chart(
+            title, xs,
+            {"duplicate": [p.throughput_gops
+                           for p in self.points(sweep, True)],
+             "no dup": [p.throughput_gops
+                        for p in self.points(sweep, False)]},
+            unit="GOPs/s", width=36)
+
+    def to_table(self) -> str:
+        lines = self._render(
+            "Fig. 14(a)(b) — kernel-size sweep (2D conv, 320x240)",
+            self.kernel_sweep, "kernel")
+        lines.append("")
+        lines.append(self._chart("throughput vs kernel size", "kernel"))
+        lines.append("")
+        lines.extend(self._render(
+            "Fig. 14(c)(d) — hidden-width sweep (3-layer FC)",
+            self.hidden_sweep, "hidden"))
+        lines.append("")
+        lines.append(self._chart("throughput vs hidden width", "hidden"))
+        return "\n".join(lines)
+
+
+@register("fig14", "Effect of kernel size and hidden-layer width, with "
+                   "and without duplication")
+def run(kernel_sizes=KERNEL_SIZES,
+        hidden_sizes=HIDDEN_SIZES) -> NNParamsResult:
+    """Run both parameter sweeps through the analytic model."""
+    config = NeurocubeConfig.hmc_15nm()
+    model = AnalyticModel(config)
+    result = NNParamsResult()
+    for kernel in kernel_sizes:
+        net = models.single_conv_layer(240, 320, kernel, qformat=None)
+        for duplicate in (True, False):
+            report = model.evaluate_network(net, duplicate=duplicate)
+            result.kernel_sweep.append(SweepPoint(
+                parameter=kernel, duplicate=duplicate,
+                throughput_gops=report.throughput_gops,
+                lateral_fraction=report.lateral_fraction,
+                memory_bytes=report.total_bytes,
+                memory_overhead=report.memory_overhead))
+    for hidden in hidden_sizes:
+        net = models.fully_connected_classifier(FC_INPUTS, hidden,
+                                                qformat=None)
+        for duplicate in (True, False):
+            report = model.evaluate_network(net, duplicate=duplicate)
+            result.hidden_sweep.append(SweepPoint(
+                parameter=hidden, duplicate=duplicate,
+                throughput_gops=report.throughput_gops,
+                lateral_fraction=report.lateral_fraction,
+                memory_bytes=report.total_bytes,
+                memory_overhead=report.memory_overhead))
+    return result

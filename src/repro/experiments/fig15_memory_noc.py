@@ -1,0 +1,140 @@
+"""Fig. 15 — memory-channel concurrency and NoC topology studies.
+
+**(a) HMC-Int vs DDR3.**  DDR3's per-channel peak bandwidth (12.8 GB/s)
+beats HMC-Int's (10 GB/s), but DDR3 has only two channels: two injection
+points must feed sixteen PEs across the mesh and the NoC becomes the
+bottleneck.  The experiment also sweeps "same aggregate bandwidth, more
+slower channels" to isolate the concurrency effect the paper calls out.
+
+**(b) Mesh vs fully connected NoC.**  A fully connected NoC (Fig. 6b)
+removes the lateral-traffic penalty of the no-duplication layouts at the
+cost of 17 channels per router.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.core import AnalyticModel, NeurocubeConfig
+from repro.experiments.registry import register
+from repro.memory.specs import DDR3, HMC_INT
+from repro.nn import models
+
+
+@dataclass
+class ChannelPoint:
+    """One memory-configuration sample."""
+
+    label: str
+    channels: int
+    peak_bandwidth_total: float
+    throughput_gops: float
+    bound: str
+
+
+@dataclass
+class TopologyPoint:
+    """One NoC-topology sample."""
+
+    topology: str
+    workload: str
+    duplicate: bool
+    throughput_gops: float
+    channels_per_router: int
+
+
+@dataclass
+class MemoryNocResult:
+    """Fig. 15(a) channel study + Fig. 15(b) topology study."""
+
+    channel_points: list[ChannelPoint] = field(default_factory=list)
+    topology_points: list[TopologyPoint] = field(default_factory=list)
+
+    @property
+    def hmc(self) -> ChannelPoint:
+        return next(p for p in self.channel_points if p.label == "HMC-Int")
+
+    @property
+    def ddr3(self) -> ChannelPoint:
+        return next(p for p in self.channel_points if p.label == "DDR3")
+
+    def to_table(self) -> str:
+        lines = ["Fig. 15(a) — memory technology / channel count",
+                 f"{'config':<22}{'ch':>4}{'agg GB/s':>10}{'GOPs/s':>9}"
+                 f"{'bound':>9}"]
+        lines.append("-" * len(lines[-1]))
+        for p in self.channel_points:
+            lines.append(f"{p.label:<22}{p.channels:>4}"
+                         f"{p.peak_bandwidth_total / 1e9:>10.1f}"
+                         f"{p.throughput_gops:>9.1f}{p.bound:>9}")
+        lines.append("")
+        lines.append("Fig. 15(b) — mesh vs fully connected NoC")
+        header = (f"{'topology':<17}{'workload':<12}{'dup':<6}"
+                  f"{'GOPs/s':>9}{'chan/router':>13}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for p in self.topology_points:
+            lines.append(f"{p.topology:<17}{p.workload:<12}"
+                         f"{str(p.duplicate):<6}{p.throughput_gops:>9.1f}"
+                         f"{p.channels_per_router:>13}")
+        return "\n".join(lines)
+
+
+def _equal_bandwidth_spec(channels: int):
+    """An HMC-like technology whose aggregate bandwidth matches DDR3's
+    two channels (25.6 GB/s) split over ``channels`` slower channels."""
+    total = DDR3.peak_bandwidth * DDR3.max_channels
+    return dataclasses.replace(
+        HMC_INT, name=f"EqBW-{channels}ch", max_channels=channels,
+        peak_bandwidth=total / channels)
+
+
+@register("fig15", "HMC vs DDR3 channel concurrency; mesh vs fully "
+                   "connected NoC")
+def run() -> MemoryNocResult:
+    """Run the channel and topology studies on conv and FC workloads."""
+    result = MemoryNocResult()
+    conv = models.single_conv_layer(240, 320, 7, qformat=None)
+    fc = models.fully_connected_classifier(4096, 1024, qformat=None)
+
+    # (a) technology comparison on the conv layer, duplication on.
+    for label, config in (
+            ("HMC-Int", NeurocubeConfig.hmc_15nm()),
+            ("DDR3", NeurocubeConfig.ddr3())):
+        report = AnalyticModel(config).evaluate_network(conv,
+                                                        duplicate=True)
+        result.channel_points.append(ChannelPoint(
+            label=label, channels=config.n_channels,
+            peak_bandwidth_total=(config.memory_spec.peak_bandwidth
+                                  * config.n_channels),
+            throughput_gops=report.throughput_gops,
+            bound=report.layers[0].bound))
+
+    # (a) continued: same aggregate bandwidth, more slower channels.
+    for channels in (2, 4, 8, 16):
+        spec = _equal_bandwidth_spec(channels)
+        config = NeurocubeConfig(memory_spec=spec, n_channels=channels,
+                                 f_pe_hz=NeurocubeConfig.hmc_15nm().f_pe_hz)
+        report = AnalyticModel(config).evaluate_network(conv,
+                                                        duplicate=True)
+        result.channel_points.append(ChannelPoint(
+            label=spec.name, channels=channels,
+            peak_bandwidth_total=spec.peak_bandwidth * channels,
+            throughput_gops=report.throughput_gops,
+            bound=report.layers[0].bound))
+
+    # (b) topology study: conv and FC, both layouts, both topologies.
+    for topology in ("mesh", "fully_connected"):
+        config = NeurocubeConfig.hmc_15nm(noc_topology=topology)
+        model = AnalyticModel(config)
+        per_router = 6 if topology == "mesh" else config.n_pe - 1 + 2
+        for workload_name, net in (("conv7", conv), ("fc4096", fc)):
+            for duplicate in (True, False):
+                report = model.evaluate_network(net, duplicate=duplicate)
+                result.topology_points.append(TopologyPoint(
+                    topology=topology, workload=workload_name,
+                    duplicate=duplicate,
+                    throughput_gops=report.throughput_gops,
+                    channels_per_router=per_router))
+    return result

@@ -1,0 +1,55 @@
+"""Fig. 17 — 3D thermal simulation of the Neurocube stack.
+
+The paper simulates the Fig. 16 floorplan with a passive heat sink and
+reports, for the 15nm node, maximum temperatures of 349 K (logic die)
+and 344 K (DRAM dies) — inside the HMC 2.0 limits of 383 K and 378 K —
+while the 28nm node's 1.3 W is thermally negligible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.registry import register
+from repro.hw.thermal import (
+    MAX_DRAM_TEMP_K,
+    MAX_LOGIC_TEMP_K,
+    ThermalResult,
+    ThermalStack,
+)
+
+PAPER_LOGIC_MAX_K = 349.0
+PAPER_DRAM_MAX_K = 344.0
+
+
+@dataclass
+class ThermalExperimentResult:
+    """Both nodes' solved stacks."""
+
+    result_15nm: ThermalResult
+    result_28nm: ThermalResult
+
+    def to_table(self) -> str:
+        lines = ["Fig. 17 — steady-state thermal (passive sink)",
+                 f"{'node':<8}{'logic max K':>12}{'dram max K':>12}"
+                 f"{'within limits':>15}"]
+        lines.append("-" * len(lines[-1]))
+        for node, res in (("15nm", self.result_15nm),
+                          ("28nm", self.result_28nm)):
+            lines.append(f"{node:<8}{res.logic_max_k:>12.1f}"
+                         f"{res.dram_max_k:>12.1f}"
+                         f"{str(res.within_limits):>15}")
+        lines.append(f"paper 15nm: logic {PAPER_LOGIC_MAX_K} K, DRAM "
+                     f"{PAPER_DRAM_MAX_K} K; limits {MAX_LOGIC_TEMP_K} / "
+                     f"{MAX_DRAM_TEMP_K} K")
+        return "\n".join(lines)
+
+
+@register("fig17", "3D thermal simulation: max die temperatures vs HMC "
+                   "2.0 limits")
+def run(rows: int = 16, cols: int = 16) -> ThermalExperimentResult:
+    """Solve the stack for both nodes."""
+    stack = ThermalStack(rows=rows, cols=cols)
+    return ThermalExperimentResult(
+        result_15nm=stack.solve_neurocube("15nm"),
+        result_28nm=stack.solve_neurocube("28nm"))

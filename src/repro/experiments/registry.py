@@ -1,0 +1,51 @@
+"""Experiment registry keyed by paper artifact id (fig12, table3, ...)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment.
+
+    Attributes:
+        exp_id: paper artifact id ("fig12", "table2", ...).
+        title: what the artifact shows.
+        run: zero-argument callable returning a result object that has a
+            ``to_table()`` method.
+    """
+
+    exp_id: str
+    title: str
+    run: Callable[[], object]
+
+
+EXPERIMENTS: dict[str, Experiment] = {}
+
+
+def register(exp_id: str, title: str):
+    """Decorator registering a ``run()`` function as an experiment."""
+
+    def decorate(fn):
+        if exp_id in EXPERIMENTS:
+            raise ConfigurationError(
+                f"experiment {exp_id!r} registered twice")
+        EXPERIMENTS[exp_id] = Experiment(exp_id=exp_id, title=title,
+                                         run=fn)
+        return fn
+
+    return decorate
+
+
+def get_experiment(exp_id: str) -> Experiment:
+    """Look up an experiment by id."""
+    try:
+        return EXPERIMENTS[exp_id]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown experiment {exp_id!r}; known: "
+            f"{sorted(EXPERIMENTS)}") from None

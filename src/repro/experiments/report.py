@@ -1,0 +1,107 @@
+"""Regenerable paper-vs-measured summary report.
+
+``neurocube-experiments report`` runs the headline experiments and
+renders the summary table of EXPERIMENTS.md from live measurements, so
+the record in the repository can always be re-derived from the code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments import (
+    fig12_inference,
+    fig13_training,
+    fig17_thermal,
+    table2_hardware,
+    table3_comparison,
+)
+from repro.hw.platforms import PAPER_NEUROCUBE
+
+
+@dataclass
+class ReportRow:
+    """One paper-vs-measured comparison line."""
+
+    quantity: str
+    paper: str
+    measured: str
+
+    def render(self, widths: tuple[int, int, int]) -> str:
+        return (f"| {self.quantity:<{widths[0]}} "
+                f"| {self.paper:>{widths[1]}} "
+                f"| {self.measured:>{widths[2]}} |")
+
+
+@dataclass
+class MeasuredReport:
+    """The full regenerated summary."""
+
+    rows: list[ReportRow] = field(default_factory=list)
+
+    def to_table(self) -> str:
+        widths = (
+            max(len(r.quantity) for r in self.rows),
+            max(max(len(r.paper) for r in self.rows), 5),
+            max(max(len(r.measured) for r in self.rows), 8),
+        )
+        header = ReportRow("Quantity", "Paper", "Measured")
+        divider = (f"|{'-' * (widths[0] + 2)}|{'-' * (widths[1] + 2)}"
+                   f"|{'-' * (widths[2] + 2)}|")
+        lines = ["# Paper vs measured (regenerated)",
+                 "", header.render(widths), divider]
+        lines.extend(row.render(widths) for row in self.rows)
+        return "\n".join(lines)
+
+
+def generate() -> MeasuredReport:
+    """Run the headline experiments and build the summary."""
+    report = MeasuredReport()
+    inference = fig12_inference.run()
+    report.rows.append(ReportRow(
+        "Inference GOPs/s (duplication, 15nm)", "132.4",
+        f"{inference.duplicate.throughput_gops:.1f}"))
+    report.rows.append(ReportRow(
+        "Inference GOPs/s (no duplication)", "111.4",
+        f"{inference.no_duplicate.throughput_gops:.1f}"))
+    report.rows.append(ReportRow(
+        "Inference frames/s (15nm)", "292.14",
+        f"{inference.duplicate.frames_per_second:.1f}"))
+    report.rows.append(ReportRow(
+        "Inference frames/s (28nm)", "17.52",
+        f"{inference.report_28nm.frames_per_second:.2f}"))
+
+    training = fig13_training.run()
+    report.rows.append(ReportRow(
+        "Training GOPs/s (64x64, duplication)", "126.8",
+        f"{training.report_15nm.throughput_gops:.1f}"))
+    report.rows.append(ReportRow(
+        "Training duplication overhead", "48%",
+        f"{100 * training.report_15nm.memory_overhead:.0f}%"))
+
+    hardware = table2_hardware.run()
+    for node in ("28nm", "15nm"):
+        measured = hardware.nodes[node]
+        report.rows.append(ReportRow(
+            f"Compute power {node} (W)",
+            f"{measured.expected['compute_power_w']:.3f}",
+            f"{measured.compute_power_w:.3f}"))
+
+    comparison = table3_comparison.run()
+    for node in ("28nm", "15nm"):
+        report.rows.append(ReportRow(
+            f"Efficiency {node} (GOPs/s/W)",
+            f"{PAPER_NEUROCUBE[node]['efficiency']:.2f}",
+            f"{comparison.efficiency(node):.2f}"))
+    report.rows.append(ReportRow(
+        "Efficiency gain over best GPU", "~4x",
+        f"{comparison.gpu_efficiency_gain:.1f}x"))
+
+    thermal = fig17_thermal.run()
+    report.rows.append(ReportRow(
+        "Max logic-die temp 15nm (K)", "349",
+        f"{thermal.result_15nm.logic_max_k:.1f}"))
+    report.rows.append(ReportRow(
+        "Max DRAM temp 15nm (K)", "344",
+        f"{thermal.result_15nm.dram_max_k:.1f}"))
+    return report

@@ -1,0 +1,95 @@
+"""CLI: run paper experiments by id.
+
+Usage::
+
+    neurocube-experiments list
+    neurocube-experiments run fig12 [fig13 ...]
+    neurocube-experiments run all
+    neurocube-experiments run fig12 --json   # machine-readable output
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import enum
+import json
+import sys
+
+from repro.experiments.registry import EXPERIMENTS, get_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="neurocube-experiments",
+        description="Regenerate the Neurocube paper's tables and figures.")
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run_parser = sub.add_parser("run", help="run experiments by id")
+    run_parser.add_argument(
+        "ids", nargs="+",
+        help="experiment ids (fig1, fig12, table3, ...) or 'all'")
+    run_parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON instead of tables")
+    sub.add_parser(
+        "report",
+        help="regenerate the paper-vs-measured summary (EXPERIMENTS.md "
+             "headline table)")
+    return parser
+
+
+def serialize(value):
+    """Recursively turn a result object into JSON-compatible data.
+
+    Dataclasses become dicts, enums their values, numpy arrays a
+    shape/max summary (a temperature field does not belong in a JSON
+    report), and unknown objects their repr.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {f.name: serialize(getattr(value, f.name))
+                for f in dataclasses.fields(value)}
+    if isinstance(value, enum.Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(k): serialize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [serialize(v) for v in value]
+    if hasattr(value, "shape") and hasattr(value, "max"):
+        return {"shape": list(value.shape), "max": float(value.max()),
+                "min": float(value.min())}
+    if isinstance(value, (int, float, str, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for exp in sorted(EXPERIMENTS.values(), key=lambda e: e.exp_id):
+            print(f"{exp.exp_id:<10} {exp.title}")
+        return 0
+    if args.command == "report":
+        from repro.experiments.report import generate
+
+        print(generate().to_table())
+        return 0
+    ids = (sorted(EXPERIMENTS) if args.ids == ["all"] else args.ids)
+    as_json = getattr(args, "json", False)
+    collected = {}
+    for exp_id in ids:
+        experiment = get_experiment(exp_id)
+        result = experiment.run()
+        if as_json:
+            collected[exp_id] = serialize(result)
+        else:
+            print(f"=== {experiment.exp_id}: {experiment.title} ===")
+            print(result.to_table())
+            print()
+    if as_json:
+        print(json.dumps(collected, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,45 @@
+"""Table I — 3D stacked memory specifications.
+
+Renders the transcribed specification database and derives the quantities
+the rest of the system consumes (aggregate bandwidth, I/O clock), so any
+transcription error would surface here and in the spec tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.experiments.registry import register
+from repro.memory.specs import TABLE_I, MemorySpec
+
+
+@dataclass
+class MemorySpecsResult:
+    """The rendered Table I."""
+
+    specs: dict[str, MemorySpec] = field(default_factory=dict)
+
+    def to_table(self) -> str:
+        header = (f"{'technology':<10}{'iface':<7}{'ch':>4}{'word b':>8}"
+                  f"{'GB/s/ch':>9}{'agg GB/s':>10}{'lat ns':>8}"
+                  f"{'pJ/bit':>8}")
+        lines = ["Table I — 3D stacked memory specifications", header,
+                 "-" * len(header)]
+        for spec in self.specs.values():
+            latency = (f"{spec.access_latency * 1e9:.1f}"
+                       if spec.access_latency is not None else "n/a")
+            energy = (f"{spec.energy_per_bit * 1e12:.1f}"
+                      if spec.energy_per_bit is not None else "n/a")
+            lines.append(
+                f"{spec.name:<10}{spec.interface:<7}"
+                f"{spec.max_channels:>4}{spec.word_bits:>8}"
+                f"{spec.peak_bandwidth / 1e9:>9.1f}"
+                f"{spec.total_peak_bandwidth / 1e9:>10.1f}"
+                f"{latency:>8}{energy:>8}")
+        return "\n".join(lines)
+
+
+@register("table1", "3D stacked memory specification database")
+def run() -> MemorySpecsResult:
+    """Render the Table I database."""
+    return MemorySpecsResult(specs=dict(TABLE_I))

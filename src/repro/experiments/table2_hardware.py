@@ -1,0 +1,108 @@
+"""Table II + Fig. 16 — hardware power, area and floorplan feasibility.
+
+Aggregates the per-component database into the paper's summary rows
+(PE sum, 16-core compute, baseline logic die, DRAM dies) and runs the
+Fig. 16 check that 16 cores fit the 68 mm^2 HMC logic die.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.registry import register
+from repro.hw.area import HMC_LOGIC_DIE_MM2, AreaModel, Floorplan
+from repro.hw.components import (
+    COMPUTE_AREA_MM2,
+    COMPUTE_POWER_W,
+    DRAM_DIES_POWER_W,
+    HMC_LOGIC_POWER_W,
+    PE_SUM_AREA_MM2,
+    PE_SUM_POWER_W,
+)
+from repro.hw.power import PowerModel, SystemPower
+
+
+@dataclass
+class NodeHardware:
+    """One technology node's aggregated hardware numbers."""
+
+    technology: str
+    pe_power_w: float
+    compute_power_w: float
+    system: SystemPower
+    compute_area_mm2: float
+    floorplan: Floorplan
+
+    @property
+    def expected(self) -> dict[str, float]:
+        """Paper's Table II aggregate rows for this node."""
+        t = self.technology
+        return {"pe_power_w": PE_SUM_POWER_W[t],
+                "compute_power_w": COMPUTE_POWER_W[t],
+                "hmc_logic_w": HMC_LOGIC_POWER_W[t],
+                "dram_w": DRAM_DIES_POWER_W[t],
+                "pe_area_mm2": PE_SUM_AREA_MM2[t],
+                "compute_area_mm2": COMPUTE_AREA_MM2[t]}
+
+
+@dataclass
+class HardwareResult:
+    """Both nodes."""
+
+    nodes: dict[str, NodeHardware]
+
+    def to_table(self) -> str:
+        lines = ["Table II — hardware aggregation (measured vs paper)"]
+        header = (f"{'quantity':<22}{'28nm':>12}{'paper':>12}"
+                  f"{'15nm':>12}{'paper':>12}")
+        lines.append(header)
+        lines.append("-" * len(header))
+        n28, n15 = self.nodes["28nm"], self.nodes["15nm"]
+
+        def row(label, v28, p28, v15, p15, fmt="{:>12.4f}"):
+            lines.append(f"{label:<22}" + fmt.format(v28)
+                         + fmt.format(p28) + fmt.format(v15)
+                         + fmt.format(p15))
+
+        row("PE power (W)", n28.pe_power_w, n28.expected["pe_power_w"],
+            n15.pe_power_w, n15.expected["pe_power_w"])
+        row("compute power (W)", n28.compute_power_w,
+            n28.expected["compute_power_w"], n15.compute_power_w,
+            n15.expected["compute_power_w"])
+        row("HMC logic (W)", n28.system.hmc_logic_w,
+            n28.expected["hmc_logic_w"], n15.system.hmc_logic_w,
+            n15.expected["hmc_logic_w"])
+        row("DRAM dies (W)", n28.system.dram_w, n28.expected["dram_w"],
+            n15.system.dram_w, n15.expected["dram_w"])
+        row("compute area (mm^2)", n28.compute_area_mm2,
+            n28.expected["compute_area_mm2"], n15.compute_area_mm2,
+            n15.expected["compute_area_mm2"])
+        lines.append("")
+        lines.append("Fig. 16 — floorplan feasibility "
+                     f"(logic die {HMC_LOGIC_DIE_MM2} mm^2)")
+        for node in (n28, n15):
+            plan = node.floorplan
+            lines.append(
+                f"  {node.technology}: core "
+                f"{plan.core_side_mm * 1000:.0f}um x "
+                f"{plan.core_side_mm * 1000:.0f}um, 16 cores = "
+                f"{plan.total_area_mm2():.2f} mm^2, fits: "
+                f"{plan.fits_logic_die()}")
+        return "\n".join(lines)
+
+
+@register("table2", "Hardware power/area aggregation and floorplan "
+                    "feasibility")
+def run() -> HardwareResult:
+    """Aggregate both nodes and build the floorplans."""
+    nodes = {}
+    for technology in ("28nm", "15nm"):
+        power = PowerModel(technology)
+        area = AreaModel(technology)
+        nodes[technology] = NodeHardware(
+            technology=technology, pe_power_w=power.pe_power_w,
+            compute_power_w=power.compute_power_w,
+            system=power.system_power(),
+            compute_area_mm2=area.compute_area_mm2,
+            floorplan=area.floorplan())
+    return HardwareResult(nodes=nodes)

@@ -1,0 +1,29 @@
+"""Saturating fixed-point arithmetic (the paper's Q1.7.8 format).
+
+The Neurocube stores neuron states and synaptic weights as 16-bit fixed
+point: 1 sign bit, 7 integer bits, 8 fractional bits (paper §III-B1).  This
+package provides the :class:`QFormat` descriptor and vectorised numpy
+operations that behave like the hardware datapath: values saturate instead
+of wrapping, and multiplies truncate back to the storage format.
+"""
+
+from repro.fixedpoint.qformat import Q_1_7_8, QFormat
+from repro.fixedpoint.array import (
+    from_float,
+    to_float,
+    add,
+    multiply,
+    mac,
+    quantize_float,
+)
+
+__all__ = [
+    "QFormat",
+    "Q_1_7_8",
+    "from_float",
+    "to_float",
+    "add",
+    "multiply",
+    "mac",
+    "quantize_float",
+]

@@ -1,0 +1,76 @@
+"""Q-format descriptors for signed fixed-point numbers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class QFormat:
+    """A signed fixed-point format: ``sign_bits.integer_bits.fraction_bits``.
+
+    The paper's format is ``Q1.7.8`` — 1 sign bit, 7 integer bits and
+    8 fractional bits, 16 bits total.  Stored values are integers in
+    ``[min_raw, max_raw]``; the represented real value is ``raw / scale``.
+
+    Attributes:
+        integer_bits: number of integer (non-sign) bits.
+        fraction_bits: number of fractional bits.
+    """
+
+    integer_bits: int
+    fraction_bits: int
+
+    def __post_init__(self) -> None:
+        if self.integer_bits < 0 or self.fraction_bits < 0:
+            raise ConfigurationError(
+                f"Q-format bit counts must be non-negative, got "
+                f"integer_bits={self.integer_bits}, "
+                f"fraction_bits={self.fraction_bits}")
+        if self.integer_bits + self.fraction_bits == 0:
+            raise ConfigurationError(
+                "Q-format needs at least one magnitude bit")
+
+    @property
+    def total_bits(self) -> int:
+        """Storage width in bits, including the sign bit."""
+        return 1 + self.integer_bits + self.fraction_bits
+
+    @property
+    def scale(self) -> int:
+        """Integer units per 1.0 (``2 ** fraction_bits``)."""
+        return 1 << self.fraction_bits
+
+    @property
+    def max_raw(self) -> int:
+        """Largest representable raw integer."""
+        return (1 << (self.integer_bits + self.fraction_bits)) - 1
+
+    @property
+    def min_raw(self) -> int:
+        """Smallest (most negative) representable raw integer."""
+        return -(1 << (self.integer_bits + self.fraction_bits))
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.max_raw / self.scale
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.min_raw / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Distance between adjacent representable values."""
+        return 1.0 / self.scale
+
+    def __str__(self) -> str:
+        return f"Q1.{self.integer_bits}.{self.fraction_bits}"
+
+
+#: The paper's storage format for states and weights (§III-B1).
+Q_1_7_8 = QFormat(integer_bits=7, fraction_bits=8)

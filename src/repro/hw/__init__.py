@@ -1,0 +1,41 @@
+"""Hardware models: technology, power, area, thermal, and comparisons.
+
+Transcribes and operationalises the paper's §VII hardware analysis: the
+Table II per-component synthesis results in 28nm CMOS and 15nm FinFET,
+the HMC baseline power model ([20]'s pJ/bit figures with activity
+scaling), the Fig. 16 floorplan feasibility check, the Fig. 17 steady-
+state thermal stack, and the Table III cross-platform comparison.
+"""
+
+from repro.hw.tech import TECH_NODES, TechnologyNode
+from repro.hw.components import (
+    COMPONENTS_28NM,
+    COMPONENTS_15NM,
+    ComponentSpec,
+    components_for,
+)
+from repro.hw.power import PowerModel, SystemPower
+from repro.hw.energy import EnergyBreakdown, EnergyModel
+from repro.hw.area import AreaModel, Floorplan
+from repro.hw.thermal import ThermalStack, ThermalResult
+from repro.hw.platforms import PLATFORMS, Platform, comparison_table
+
+__all__ = [
+    "TechnologyNode",
+    "TECH_NODES",
+    "ComponentSpec",
+    "COMPONENTS_28NM",
+    "COMPONENTS_15NM",
+    "components_for",
+    "PowerModel",
+    "SystemPower",
+    "EnergyModel",
+    "EnergyBreakdown",
+    "AreaModel",
+    "Floorplan",
+    "ThermalStack",
+    "ThermalResult",
+    "Platform",
+    "PLATFORMS",
+    "comparison_table",
+]

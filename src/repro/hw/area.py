@@ -1,0 +1,100 @@
+"""Area model and floorplan feasibility (paper §VII, Fig. 16).
+
+The paper lays out one Neurocube core — a PE, a router, a vault
+controller and a TSV array — in a 513 µm x 513 µm partition at 70%
+utilisation, and shows 16 such cores fit the HMC's 68 mm^2 logic die.
+This module reproduces that arithmetic and checks feasibility for any
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.components import components_for
+
+#: HMC logic die area, mm^2 [20].
+HMC_LOGIC_DIE_MM2 = 68.0
+#: Vault controller area synthesised in 28nm, mm^2 [24].
+VAULT_CONTROLLER_MM2 = 0.0244
+#: TSVs allotted to one vault's array (1,866 total / 16 vaults ~ 116).
+TSVS_PER_VAULT = 116
+#: TSV pitch in µm [33].
+TSV_PITCH_UM = 4.0
+#: Placement utilisation ratio of the Fig. 16 layout.
+UTILIZATION = 0.70
+
+
+@dataclass(frozen=True)
+class Floorplan:
+    """One core's floorplan summary.
+
+    Attributes:
+        technology: node name.
+        pe_area_mm2: PE + router standard-cell area.
+        vault_controller_mm2: VC macro area.
+        tsv_array_mm2: TSV array area.
+        core_side_mm: the square core tile's side after utilisation.
+    """
+
+    technology: str
+    pe_area_mm2: float
+    vault_controller_mm2: float
+    tsv_array_mm2: float
+    core_side_mm: float
+
+    @property
+    def core_area_mm2(self) -> float:
+        return self.core_side_mm ** 2
+
+    def total_area_mm2(self, n_cores: int = 16) -> float:
+        return self.core_area_mm2 * n_cores
+
+    def fits_logic_die(self, n_cores: int = 16,
+                       die_mm2: float = HMC_LOGIC_DIE_MM2) -> bool:
+        """The Fig. 16 feasibility check."""
+        return self.total_area_mm2(n_cores) <= die_mm2
+
+
+class AreaModel:
+    """Aggregates Table II areas into the Fig. 16 core tile."""
+
+    def __init__(self, technology: str) -> None:
+        self.technology = technology
+        self.components = components_for(technology)
+
+    @property
+    def pe_area_mm2(self) -> float:
+        """One PE + router (Table II "PE Sum" area)."""
+        return sum(c.area_per_pe for c in self.components.values())
+
+    @property
+    def compute_area_mm2(self) -> float:
+        """16 PEs + 16 routers (Table II "Compute in Neurocube" area)."""
+        return self.pe_area_mm2 * 16
+
+    @property
+    def tsv_array_mm2(self) -> float:
+        """TSV array for one vault at the ITRS pitch."""
+        pitch_mm = TSV_PITCH_UM / 1000.0
+        return TSVS_PER_VAULT * pitch_mm * pitch_mm
+
+    def floorplan(self) -> Floorplan:
+        """One core tile at the paper's utilisation ratio."""
+        cell_area = (self.pe_area_mm2 + VAULT_CONTROLLER_MM2
+                     + self.tsv_array_mm2)
+        placed = cell_area / UTILIZATION
+        return Floorplan(
+            technology=self.technology, pe_area_mm2=self.pe_area_mm2,
+            vault_controller_mm2=VAULT_CONTROLLER_MM2,
+            tsv_array_mm2=self.tsv_array_mm2,
+            core_side_mm=placed ** 0.5)
+
+    def check(self, n_cores: int = 16) -> None:
+        """Raise when the configuration cannot fit the logic die."""
+        plan = self.floorplan()
+        if not plan.fits_logic_die(n_cores):
+            raise ConfigurationError(
+                f"{n_cores} cores need {plan.total_area_mm2(n_cores):.1f} "
+                f"mm^2, logic die is {HMC_LOGIC_DIE_MM2} mm^2")

@@ -1,0 +1,105 @@
+"""Per-component synthesis results (paper Table II).
+
+Every row of Table II becomes a :class:`ComponentSpec` with its operating
+frequency, dynamic power, area and count per PE; the power and area
+models aggregate them.  Values are transcribed verbatim from the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GHz, MHz
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """One Table II row at one technology node.
+
+    Attributes:
+        name: component name as in Table II.
+        size_bits: storage size in bits where applicable (None for logic).
+        frequency_hz: operating frequency used for the synthesis number.
+        dynamic_power_w: dynamic power of one instance, watts.
+        area_mm2: area of one instance, mm^2.
+        count_per_pe: instances per PE (16 MACs per PE; one of the rest).
+    """
+
+    name: str
+    size_bits: int | None
+    frequency_hz: float
+    dynamic_power_w: float
+    area_mm2: float
+    count_per_pe: int = 1
+
+    def __post_init__(self) -> None:
+        if self.dynamic_power_w < 0 or self.area_mm2 < 0:
+            raise ConfigurationError(
+                f"{self.name}: power and area must be non-negative")
+        if self.count_per_pe < 1:
+            raise ConfigurationError(
+                f"{self.name}: count_per_pe must be >= 1")
+
+    @property
+    def power_per_pe(self) -> float:
+        """Dynamic power of all instances in one PE, watts."""
+        return self.dynamic_power_w * self.count_per_pe
+
+    @property
+    def area_per_pe(self) -> float:
+        """Area of all instances in one PE, mm^2."""
+        return self.area_mm2 * self.count_per_pe
+
+    @property
+    def power_density(self) -> float:
+        """W/mm^2 of one instance."""
+        return (self.dynamic_power_w / self.area_mm2
+                if self.area_mm2 else 0.0)
+
+
+# Table II, 28nm CMOS column.  MAC power/area are per MAC (16 per PE).
+COMPONENTS_28NM: dict[str, ComponentSpec] = {
+    "mac": ComponentSpec("mac", 16, MHz(18.75), 3.02e-04, 0.0011,
+                         count_per_pe=16),
+    "sram_cache": ComponentSpec("sram_cache", 20480, MHz(300), 2.93e-03,
+                                0.0873),
+    "temporal_buffer": ComponentSpec("temporal_buffer", 512, MHz(300),
+                                     2.70e-05, 0.0025),
+    "pmc": ComponentSpec("pmc", None, MHz(300), 4.17e-04, 0.0081),
+    "weight_reg": ComponentSpec("weight_reg", 3600, MHz(300), 1.84e-04,
+                                0.0173),
+    "router": ComponentSpec("router", 36, MHz(300), 7.17e-03, 0.0609),
+}
+
+# Table II, 15nm FinFET column.
+COMPONENTS_15NM: dict[str, ComponentSpec] = {
+    "mac": ComponentSpec("mac", 16, MHz(320), 9.17e-03, 0.0002,
+                         count_per_pe=16),
+    "sram_cache": ComponentSpec("sram_cache", 20480, GHz(5.12), 2.90e-02,
+                                0.0448),
+    "temporal_buffer": ComponentSpec("temporal_buffer", 512, GHz(5.12),
+                                     2.05e-05, 0.0003),
+    "pmc": ComponentSpec("pmc", None, GHz(5.12), 1.39e-03, 0.0013),
+    "weight_reg": ComponentSpec("weight_reg", 3600, GHz(5.12), 1.44e-04,
+                                0.0020),
+    "router": ComponentSpec("router", 36, GHz(5.12), 3.59e-02, 0.0085),
+}
+
+#: Table II aggregate rows, used to validate the component sums.
+PE_SUM_POWER_W = {"28nm": 1.56e-02, "15nm": 2.13e-01}
+PE_SUM_AREA_MM2 = {"28nm": 0.1936, "15nm": 0.0600}
+COMPUTE_POWER_W = {"28nm": 2.49e-01, "15nm": 3.41}
+COMPUTE_AREA_MM2 = {"28nm": 3.0983, "15nm": 0.9601}
+HMC_LOGIC_POWER_W = {"28nm": 1.04, "15nm": 8.67}
+DRAM_DIES_POWER_W = {"28nm": 0.568, "15nm": 9.47}
+
+
+def components_for(technology: str) -> dict[str, ComponentSpec]:
+    """The Table II column for a technology node name."""
+    try:
+        return {"28nm": COMPONENTS_28NM, "15nm": COMPONENTS_15NM}[technology]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown technology {technology!r}; known: 28nm, 15nm"
+        ) from None

@@ -1,0 +1,80 @@
+"""Workload energy model: joules per inference/training step.
+
+Combines the §VII power model with a run report and the Table I access
+energies: compute and baseline-logic power integrate over the run's
+wall-clock time, while DRAM energy is charged per bit actually moved
+(the streamed items plus write-backs), using the 3.7 pJ/bit HMC-internal
+figure.  This extends the paper's GOPs/s/W comparison to energy per
+frame — the metric an embedded deployment would quote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.layerdesc import NeurocubeProgram
+from repro.core.metrics import RunReport
+from repro.errors import ConfigurationError
+from repro.hw.power import PowerModel
+from repro.memory.vault import ITEM_BITS
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy of one run (one frame / one training step), joules.
+
+    Attributes:
+        compute_j: PEs + routers over the run time.
+        hmc_logic_j: baseline logic die over the run time.
+        dram_j: DRAM access energy for the bits actually streamed.
+    """
+
+    compute_j: float
+    hmc_logic_j: float
+    dram_j: float
+
+    @property
+    def total_j(self) -> float:
+        return self.compute_j + self.hmc_logic_j + self.dram_j
+
+    @property
+    def dram_fraction(self) -> float:
+        return self.dram_j / self.total_j if self.total_j else 0.0
+
+    def ops_per_joule(self, total_ops: float) -> float:
+        """Arithmetic ops per joule (GOPs/J when divided by 1e9)."""
+        if self.total_j <= 0:
+            raise ConfigurationError("energy must be positive")
+        return total_ops / self.total_j
+
+
+class EnergyModel:
+    """Per-run energy from a power model and a run report."""
+
+    def __init__(self, technology: str, n_pe: int = 16,
+                 n_channels: int = 16,
+                 dram_pj_per_bit: float | None = None) -> None:
+        self.power = PowerModel(technology, n_pe=n_pe,
+                                n_channels=n_channels)
+        from repro.hw.power import HMC_DRAM_PJ_PER_BIT
+
+        self.dram_pj_per_bit = (dram_pj_per_bit
+                                if dram_pj_per_bit is not None
+                                else HMC_DRAM_PJ_PER_BIT)
+
+    def run_energy(self, report: RunReport,
+                   program: NeurocubeProgram) -> EnergyBreakdown:
+        """Energy of the run described by ``report``.
+
+        Args:
+            report: performance result (provides the wall-clock time).
+            program: the compiled program (provides the bits moved).
+        """
+        seconds = report.seconds
+        bits_moved = ITEM_BITS * (program.total_stream_items
+                                  + sum(d.neurons
+                                        for d in program.descriptors))
+        return EnergyBreakdown(
+            compute_j=self.power.compute_power_w * seconds,
+            hmc_logic_j=self.power.hmc_logic_power_w * seconds,
+            dram_j=bits_moved * self.dram_pj_per_bit * 1e-12)

@@ -1,0 +1,132 @@
+"""Cross-platform comparison (paper Table III).
+
+Transcribes the platforms the paper compares against — GPU/mobile-GPU
+software stacks and FPGA/ASIC accelerators — and computes the efficiency
+columns.  The two Neurocube rows are *not* transcribed: they are rebuilt
+from this reproduction's own simulated throughput and modelled power, and
+the benchmark checks them against the paper's published values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Platform:
+    """One Table III column.
+
+    Attributes:
+        name: short identifier.
+        reference: the paper's citation tag.
+        programmable: on-line programmability for different NNs.
+        hardware: device / process node.
+        bit_precision: arithmetic precision in bits (None if unreported).
+        throughput_gops: reported GOPs/s.
+        includes_dram: whether the throughput accounts for DRAM access
+            (the paper's key caveat about ASIC numbers).
+        compute_power_w: reported compute power, watts.
+        application: reported workload.
+        input_neurons: input-layer size (None if unreported).
+    """
+
+    name: str
+    reference: str
+    programmable: bool
+    hardware: str
+    bit_precision: int | None
+    throughput_gops: float
+    includes_dram: bool
+    compute_power_w: float
+    application: str
+    input_neurons: int | None
+
+    @property
+    def efficiency_gops_per_watt(self) -> float:
+        """The Table III efficiency column."""
+        if self.compute_power_w <= 0:
+            raise ConfigurationError(
+                f"{self.name}: power must be positive")
+        return self.throughput_gops / self.compute_power_w
+
+
+PLATFORMS: dict[str, Platform] = {
+    "tegra_k1": Platform(
+        name="tegra_k1", reference="[2] '15", programmable=True,
+        hardware="Tegra K1", bit_precision=None, throughput_gops=76.0,
+        includes_dram=True, compute_power_w=11.0,
+        application="Scene Labeling (inference)", input_neurons=76800),
+    "gtx_780": Platform(
+        name="gtx_780", reference="[2] '15", programmable=True,
+        hardware="GTX 780", bit_precision=None, throughput_gops=1781.0,
+        includes_dram=True, compute_power_w=206.8,
+        application="Scene Labeling (inference)", input_neurons=76800),
+    "neuflow": Platform(
+        name="neuflow", reference="[4] '11", programmable=False,
+        hardware="Virtex 6", bit_precision=16, throughput_gops=147.0,
+        includes_dram=False, compute_power_w=10.0,
+        application="N/A", input_neurons=None),
+    "neuflow_asic": Platform(
+        name="neuflow_asic", reference="[4] '11", programmable=False,
+        hardware="45nm", bit_precision=16, throughput_gops=1164.0,
+        includes_dram=False, compute_power_w=5.0,
+        application="N/A", input_neurons=None),
+    "nn_x": Platform(
+        name="nn_x", reference="[5] '14", programmable=False,
+        hardware="Xilinx ZC706", bit_precision=16, throughput_gops=227.0,
+        includes_dram=True, compute_power_w=8.0,
+        application="N/A", input_neurons=None),
+    "dadiannao": Platform(
+        name="dadiannao", reference="[7] '14", programmable=False,
+        hardware="28nm", bit_precision=16, throughput_gops=5580.0,
+        includes_dram=False, compute_power_w=15.97,
+        application="MNIST (both)", input_neurons=784),
+    "origami": Platform(
+        name="origami", reference="[8] '15", programmable=False,
+        hardware="65nm", bit_precision=12, throughput_gops=203.0,
+        includes_dram=False, compute_power_w=1.2,
+        application="Scene Labeling (inference)", input_neurons=76800),
+    "conti_benini": Platform(
+        name="conti_benini", reference="[6] '15", programmable=False,
+        hardware="28nm", bit_precision=16, throughput_gops=2.78,
+        includes_dram=False, compute_power_w=0.001,
+        application="N/A", input_neurons=None),
+}
+
+#: The paper's reported Neurocube rows, kept for paper-vs-measured checks
+#: (EXPERIMENTS.md) rather than for the comparison table itself.
+PAPER_NEUROCUBE = {
+    "28nm": {"throughput_gops": 8.0, "compute_power_w": 0.25,
+             "total_power_w": 1.86, "efficiency": 31.92},
+    "15nm": {"throughput_gops": 132.4, "compute_power_w": 3.41,
+             "total_power_w": 21.50, "efficiency": 38.82},
+}
+
+
+def comparison_table(neurocube_rows: dict[str, dict]) -> str:
+    """Render Table III with this reproduction's own Neurocube rows.
+
+    Args:
+        neurocube_rows: mapping node name -> dict with keys
+            ``throughput_gops`` and ``compute_power_w``.
+    """
+    header = (f"{'platform':<16}{'hw':<14}{'prog':<6}{'GOPs/s':>10}"
+              f"{'power W':>10}{'GOPs/s/W':>11}{'DRAM?':>7}")
+    rows = [header, "-" * len(header)]
+    for node, values in neurocube_rows.items():
+        throughput = values["throughput_gops"]
+        power = values["compute_power_w"]
+        rows.append(f"{'neurocube_' + node:<16}{node:<14}{'yes':<6}"
+                    f"{throughput:>10.1f}{power:>10.2f}"
+                    f"{throughput / power:>11.2f}{'yes':>7}")
+    for platform in PLATFORMS.values():
+        rows.append(
+            f"{platform.name:<16}{platform.hardware:<14}"
+            f"{'yes' if platform.programmable else 'no':<6}"
+            f"{platform.throughput_gops:>10.1f}"
+            f"{platform.compute_power_w:>10.2f}"
+            f"{platform.efficiency_gops_per_watt:>11.2f}"
+            f"{'yes' if platform.includes_dram else 'no':>7}")
+    return "\n".join(rows)

@@ -1,0 +1,128 @@
+"""System power model (paper §VII, Table II).
+
+Three contributions:
+
+* **Compute** — the Neurocube overlay on the logic die: 16 PEs + 16
+  routers, summed from the Table II component database.
+* **HMC baseline logic die** — [20]'s 6.78 pJ/bit across 16 vaults of
+  32 bits at the 5 GHz vault clock (17.3 W), scaled by the PE-clock
+  activity factor (0.06 at 28nm) and the node's logic-energy scale
+  (0.5 at 15nm per ITRS [33]).
+* **DRAM dies** — [20]'s 3.7 pJ/bit under the same activity scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.components import components_for
+from repro.hw.tech import TECH_NODES, TechnologyNode
+from repro.units import pJ
+
+#: [20]: HMC DRAM access energy.
+HMC_DRAM_PJ_PER_BIT = 3.7
+#: [20]: HMC logic-die energy (vault controllers, links, interface).
+HMC_LOGIC_PJ_PER_BIT = 6.78
+#: Vault word width in bits.
+VAULT_WORD_BITS = 32
+
+
+@dataclass(frozen=True)
+class SystemPower:
+    """Power breakdown of one Neurocube system, watts.
+
+    Attributes:
+        compute_w: Neurocube overlay (PEs + routers).
+        hmc_logic_w: baseline logic die (vault controllers, SERDES links,
+            ECC, interface).
+        dram_w: all stacked DRAM dies.
+    """
+
+    compute_w: float
+    hmc_logic_w: float
+    dram_w: float
+
+    @property
+    def total_w(self) -> float:
+        return self.compute_w + self.hmc_logic_w + self.dram_w
+
+    def efficiency(self, throughput_gops: float,
+                   scope: str = "compute") -> float:
+        """GOPs/s/W.
+
+        Args:
+            throughput_gops: measured throughput.
+            scope: "compute" divides by the overlay power (the Table III
+                efficiency convention); "total" includes the HMC baseline
+                and DRAM.
+        """
+        if scope == "compute":
+            divisor = self.compute_w
+        elif scope == "total":
+            divisor = self.total_w
+        else:
+            raise ConfigurationError(
+                f"scope must be 'compute' or 'total', got {scope!r}")
+        if divisor <= 0:
+            raise ConfigurationError("power must be positive")
+        return throughput_gops / divisor
+
+
+class PowerModel:
+    """Aggregates Table II components and the HMC baseline.
+
+    Args:
+        technology: "28nm" or "15nm".
+        n_pe: PE (and router) count.
+        n_channels: vault count for the baseline logic/DRAM power.
+    """
+
+    def __init__(self, technology: str, n_pe: int = 16,
+                 n_channels: int = 16) -> None:
+        if technology not in TECH_NODES:
+            raise ConfigurationError(
+                f"unknown technology {technology!r}")
+        self.technology: TechnologyNode = TECH_NODES[technology]
+        self.components = components_for(technology)
+        self.n_pe = n_pe
+        self.n_channels = n_channels
+
+    @property
+    def pe_power_w(self) -> float:
+        """One PE + its router (the Table II "PE Sum" row)."""
+        return sum(c.power_per_pe for c in self.components.values())
+
+    @property
+    def compute_power_w(self) -> float:
+        """All PEs + routers (Table II "Compute in Neurocube" row)."""
+        return self.pe_power_w * self.n_pe
+
+    def _baseline_bits_per_second(self) -> float:
+        return (VAULT_WORD_BITS * self.n_channels
+                * self.technology.f_vault_hz)
+
+    @property
+    def hmc_logic_power_w(self) -> float:
+        """Baseline logic die power with activity + node scaling."""
+        raw = pJ(HMC_LOGIC_PJ_PER_BIT) * self._baseline_bits_per_second()
+        return (raw * self.technology.activity_factor
+                * self.technology.logic_energy_scale)
+
+    @property
+    def dram_power_w(self) -> float:
+        """All DRAM dies, activity scaled (the DRAM itself is unchanged
+        between nodes, so no node energy scale applies)."""
+        raw = pJ(HMC_DRAM_PJ_PER_BIT) * self._baseline_bits_per_second()
+        return raw * self.technology.activity_factor
+
+    def system_power(self) -> SystemPower:
+        """Full breakdown."""
+        return SystemPower(compute_w=self.compute_power_w,
+                           hmc_logic_w=self.hmc_logic_power_w,
+                           dram_w=self.dram_power_w)
+
+    def power_density_w_mm2(self) -> dict[str, float]:
+        """Per-component power density, for the thermal model's map."""
+        return {name: spec.power_density
+                for name, spec in self.components.items()}

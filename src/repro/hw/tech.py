@@ -1,0 +1,61 @@
+"""Technology nodes (paper §VII).
+
+The paper synthesises the PE in 28nm CMOS (Synopsys generic library) and
+15nm FinFET (Nangate FreePDK15).  At 28nm the SRAM limits the PE clock to
+300 MHz; the 15nm redesign reaches 5 GHz.  The HMC baseline (logic die
+and DRAM) power scales with activity: a 300 MHz PE exercises the 5 GHz
+vault interface at a 0.06 duty factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GHz, MHz
+
+
+@dataclass(frozen=True)
+class TechnologyNode:
+    """One synthesis target.
+
+    Attributes:
+        name: "28nm" or "15nm".
+        f_pe_hz: achievable PE/NoC clock.
+        f_vault_hz: the HMC vault interface clock (fixed by the memory).
+        logic_energy_scale: energy scale factor of the HMC baseline
+            logic relative to its published 28nm-class figures (ITRS
+            interconnect scaling, [33]).
+    """
+
+    name: str
+    f_pe_hz: float
+    f_vault_hz: float = GHz(5.0)
+    logic_energy_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.f_pe_hz <= 0 or self.f_vault_hz <= 0:
+            raise ConfigurationError("clocks must be positive")
+
+    @property
+    def activity_factor(self) -> float:
+        """Duty factor the PE clock imposes on the 5 GHz vault interface.
+
+        §VII: "the maximum clock frequency for the PE in the 28nm node is
+        only 300MHz, leading to a reduced activity of 0.06
+        (=300MHz/5GHz)".
+        """
+        return min(1.0, self.f_pe_hz / self.f_vault_hz)
+
+
+TECH_28NM = TechnologyNode(name="28nm", f_pe_hz=MHz(300.0))
+#: The 0.5 logic-energy scale reproduces Table II's 8.67 W baseline logic
+#: die at 15nm from [20]'s 6.78 pJ/bit figure (17.3 W unscaled), per the
+#: ITRS scaling factors the paper cites [33].
+TECH_15NM = TechnologyNode(name="15nm", f_pe_hz=GHz(5.0),
+                           logic_energy_scale=0.5)
+
+TECH_NODES: dict[str, TechnologyNode] = {
+    "28nm": TECH_28NM,
+    "15nm": TECH_15NM,
+}

@@ -1,0 +1,202 @@
+"""Steady-state 3D thermal model of the Neurocube stack (paper Fig. 17).
+
+The paper runs 3D-ICE / Energy Introspector on the Fig. 16 floorplan with
+a passive heat sink and reports maximum steady-state temperatures: 349 K
+on the logic die and 344 K on the DRAM dies at the 15nm node, against
+HMC 2.0 limits of 383 K (logic) and 378 K (DRAM).  Those are
+steady-state compact-model quantities, which this finite-volume RC solver
+reproduces: each die is a grid of cells with lateral silicon conduction,
+vertical inter-die conduction, and a sink boundary above the top DRAM
+die.
+
+Material/geometry defaults are standard compact-model values (silicon
+conductivity, bonded-interface conductance); the sink resistance is the
+one free parameter and is set so the 15nm operating point lands at the
+paper's reported temperatures (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.sparse import lil_matrix
+from scipy.sparse.linalg import spsolve
+
+from repro.errors import ConfigurationError
+from repro.hw.area import HMC_LOGIC_DIE_MM2
+from repro.hw.power import PowerModel
+
+#: HMC 2.0 maximum operating temperatures (§VII).
+MAX_LOGIC_TEMP_K = 383.0
+MAX_DRAM_TEMP_K = 378.0
+
+
+@dataclass
+class ThermalResult:
+    """Solved temperature field.
+
+    Attributes:
+        temperatures: ``(n_layers, rows, cols)`` kelvin; layer 0 is the
+            logic die, the last layer is the DRAM die nearest the sink.
+        layer_names: names per layer.
+    """
+
+    temperatures: np.ndarray
+    layer_names: list[str]
+
+    @property
+    def logic_max_k(self) -> float:
+        return float(self.temperatures[0].max())
+
+    @property
+    def dram_max_k(self) -> float:
+        return float(self.temperatures[1:].max())
+
+    @property
+    def within_limits(self) -> bool:
+        """The paper's HMC 2.0 feasibility check."""
+        return (self.logic_max_k <= MAX_LOGIC_TEMP_K
+                and self.dram_max_k <= MAX_DRAM_TEMP_K)
+
+
+class ThermalStack:
+    """Finite-volume steady-state solver for a logic + N-DRAM die stack.
+
+    Args:
+        rows, cols: grid cells per die.
+        die_side_mm: square die side (default matches the 68 mm^2 HMC
+            logic die).
+        n_dram: DRAM dies above the logic die.
+        ambient_k: sink ambient temperature.
+        die_thickness_m: silicon thickness per die.
+        k_silicon: silicon thermal conductivity, W/(m K).
+        interface_conductance: die-to-die vertical conductance per unit
+            area, W/(m^2 K) (bond layer).
+        sink_conductance: top-die-to-ambient conductance per unit area,
+            W/(m^2 K); the passive-heat-sink knob.
+    """
+
+    def __init__(self, rows: int = 16, cols: int = 16,
+                 die_side_mm: float = HMC_LOGIC_DIE_MM2 ** 0.5,
+                 n_dram: int = 4, ambient_k: float = 300.0,
+                 die_thickness_m: float = 100e-6,
+                 k_silicon: float = 110.0,
+                 interface_conductance: float = 5.0e4,
+                 sink_conductance: float = 8.6e3) -> None:
+        if rows < 2 or cols < 2:
+            raise ConfigurationError("grid must be at least 2x2")
+        if n_dram < 1:
+            raise ConfigurationError("need at least one DRAM die")
+        self.rows = rows
+        self.cols = cols
+        self.n_layers = 1 + n_dram
+        self.n_dram = n_dram
+        self.ambient_k = ambient_k
+        self.die_side_m = die_side_mm * 1e-3
+        self.cell_x = self.die_side_m / cols
+        self.cell_y = self.die_side_m / rows
+        self.cell_area = self.cell_x * self.cell_y
+        self.die_thickness_m = die_thickness_m
+        self.k_silicon = k_silicon
+        self.interface_conductance = interface_conductance
+        self.sink_conductance = sink_conductance
+
+    # ------------------------------------------------------------------
+
+    def _index(self, layer: int, row: int, col: int) -> int:
+        return (layer * self.rows + row) * self.cols + col
+
+    def solve(self, power_maps: np.ndarray) -> ThermalResult:
+        """Solve for the temperature field.
+
+        Args:
+            power_maps: ``(n_layers, rows, cols)`` watts injected per
+                cell; layer 0 is the logic die.
+        """
+        power_maps = np.asarray(power_maps, dtype=np.float64)
+        expected = (self.n_layers, self.rows, self.cols)
+        if power_maps.shape != expected:
+            raise ConfigurationError(
+                f"power map shape {power_maps.shape} != {expected}")
+        n = self.n_layers * self.rows * self.cols
+        matrix = lil_matrix((n, n))
+        rhs = np.zeros(n)
+
+        g_lat_x = (self.k_silicon * self.cell_y * self.die_thickness_m
+                   / self.cell_x)
+        g_lat_y = (self.k_silicon * self.cell_x * self.die_thickness_m
+                   / self.cell_y)
+        g_vert = self.interface_conductance * self.cell_area
+        g_sink = self.sink_conductance * self.cell_area
+        top = self.n_layers - 1
+
+        def couple(a: int, b: int, g: float) -> None:
+            matrix[a, a] += g
+            matrix[b, b] += g
+            matrix[a, b] -= g
+            matrix[b, a] -= g
+
+        for layer in range(self.n_layers):
+            for row in range(self.rows):
+                for col in range(self.cols):
+                    here = self._index(layer, row, col)
+                    rhs[here] += power_maps[layer, row, col]
+                    if col + 1 < self.cols:
+                        couple(here, self._index(layer, row, col + 1),
+                               g_lat_x)
+                    if row + 1 < self.rows:
+                        couple(here, self._index(layer, row + 1, col),
+                               g_lat_y)
+                    if layer + 1 < self.n_layers:
+                        couple(here, self._index(layer + 1, row, col),
+                               g_vert)
+                    if layer == top:
+                        matrix[here, here] += g_sink
+                        rhs[here] += g_sink * self.ambient_k
+        temps = spsolve(matrix.tocsr(), rhs)
+        field = temps.reshape(self.n_layers, self.rows, self.cols)
+        names = ["logic"] + [f"dram{i + 1}" for i in range(self.n_dram)]
+        return ThermalResult(temperatures=field, layer_names=names)
+
+    # ------------------------------------------------------------------
+    # Neurocube-specific power maps
+    # ------------------------------------------------------------------
+
+    def neurocube_power_maps(self, technology: str,
+                             n_pe: int = 16) -> np.ndarray:
+        """Build the stack's power maps from the §VII power model.
+
+        The compute power concentrates in a near-square grid of PE tiles
+        on the logic die (the Fig. 16 floorplan); the baseline logic
+        power spreads uniformly over the logic die; DRAM power splits
+        evenly across the DRAM dies.
+        """
+        from repro.memory.layout import grid_dimensions
+
+        model = PowerModel(technology, n_pe=n_pe)
+        maps = np.zeros((self.n_layers, self.rows, self.cols))
+        # Baseline logic: uniform.
+        maps[0] += model.hmc_logic_power_w / (self.rows * self.cols)
+        # PE tiles: a pe_rows x pe_cols grid of hotspots.
+        pe_rows, pe_cols = grid_dimensions(n_pe)
+        row_edges = np.linspace(0, self.rows, pe_rows + 1).astype(int)
+        col_edges = np.linspace(0, self.cols, pe_cols + 1).astype(int)
+        pe_power = model.pe_power_w
+        for r in range(pe_rows):
+            for c in range(pe_cols):
+                rows = slice(row_edges[r], row_edges[r + 1])
+                cols = slice(col_edges[c], col_edges[c + 1])
+                cells = ((row_edges[r + 1] - row_edges[r])
+                         * (col_edges[c + 1] - col_edges[c]))
+                maps[0, rows, cols] += pe_power / cells
+        # DRAM dies: uniform split.
+        per_die = model.dram_power_w / self.n_dram
+        for layer in range(1, self.n_layers):
+            maps[layer] += per_die / (self.rows * self.cols)
+        return maps
+
+    def solve_neurocube(self, technology: str,
+                        n_pe: int = 16) -> ThermalResult:
+        """The Fig. 17 experiment for one technology node."""
+        return self.solve(self.neurocube_power_maps(technology, n_pe))

@@ -1,0 +1,53 @@
+"""3D high-density memory substrate.
+
+Models the memory technologies of Table I at the level the paper's
+evaluation exercises them: per-channel streaming bandwidth with burst-mode
+timing (burst of 8 words, then a ``tCCD`` gap), access latency
+(``tCL + tRCD``), channel concurrency (16 vaults for HMC-Int vs 2 channels
+for DDR3), and per-bit access energy.  Also provides the Fig. 10 data
+layout planner that partitions layer inputs and weights across vaults with
+or without duplication.
+"""
+
+from repro.memory.specs import (
+    DDR3,
+    HBM,
+    HMC_EXT,
+    HMC_INT,
+    WIDE_IO_2,
+    TABLE_I,
+    MemorySpec,
+)
+from repro.memory.timing import ChannelTiming
+from repro.memory.vault import CompletedRead, VaultChannel
+from repro.memory.system import MemorySystem
+from repro.memory.layout import (
+    ConvLayout,
+    FullLayout,
+    LayoutPlan,
+    Rect,
+    conv_layout,
+    fc_layout,
+    partition_grid,
+)
+
+__all__ = [
+    "MemorySpec",
+    "TABLE_I",
+    "DDR3",
+    "WIDE_IO_2",
+    "HBM",
+    "HMC_EXT",
+    "HMC_INT",
+    "ChannelTiming",
+    "VaultChannel",
+    "CompletedRead",
+    "MemorySystem",
+    "Rect",
+    "partition_grid",
+    "ConvLayout",
+    "FullLayout",
+    "LayoutPlan",
+    "conv_layout",
+    "fc_layout",
+]

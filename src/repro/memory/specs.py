@@ -1,0 +1,99 @@
+"""Memory technology specifications (paper Table I).
+
+Each row of Table I becomes a :class:`MemorySpec`.  The cycle simulator
+derives its channel timing from these values; the power model uses the
+per-bit access energies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.units import GBps, GHz, ns, pJ
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """One memory technology (a column of Table I).
+
+    Attributes:
+        name: technology name as used in the paper.
+        interface: "2D", "2.5D" or "3D".
+        max_channels: maximum independent channels (vaults for HMC).
+        word_bits: channel word size in bits.
+        peak_bandwidth: peak bandwidth per channel, bytes/second.
+        access_latency: ``tCL + tRCD`` in seconds (None where the paper
+            reports N/A).
+        operating_voltage: supply voltage in volts.
+        energy_per_bit: access energy in joules/bit (None where N/A).
+    """
+
+    name: str
+    interface: str
+    max_channels: int
+    word_bits: int
+    peak_bandwidth: float
+    access_latency: float | None
+    operating_voltage: float
+    energy_per_bit: float | None
+
+    def __post_init__(self) -> None:
+        if self.max_channels < 1:
+            raise ConfigurationError(
+                f"{self.name}: max_channels must be >= 1")
+        if self.word_bits < 1 or self.word_bits % 8:
+            raise ConfigurationError(
+                f"{self.name}: word_bits must be a positive multiple of 8")
+        if self.peak_bandwidth <= 0:
+            raise ConfigurationError(
+                f"{self.name}: peak bandwidth must be positive")
+
+    @property
+    def word_bytes(self) -> int:
+        """Channel word size in bytes."""
+        return self.word_bits // 8
+
+    @property
+    def io_clock_hz(self) -> float:
+        """Word rate sustaining the peak bandwidth (words/second)."""
+        return self.peak_bandwidth / self.word_bytes
+
+    @property
+    def total_peak_bandwidth(self) -> float:
+        """Aggregate peak bandwidth with all channels active, bytes/s."""
+        return self.peak_bandwidth * self.max_channels
+
+
+DDR3 = MemorySpec(
+    name="DDR3", interface="2D", max_channels=2, word_bits=64,
+    peak_bandwidth=GBps(12.8), access_latency=ns(25.0),
+    operating_voltage=1.5, energy_per_bit=pJ(70.0))
+
+WIDE_IO_2 = MemorySpec(
+    name="WideIO2", interface="3D", max_channels=8, word_bits=128,
+    peak_bandwidth=GBps(6.4), access_latency=None,
+    operating_voltage=1.1, energy_per_bit=None)
+
+HBM = MemorySpec(
+    name="HBM", interface="2.5D", max_channels=8, word_bits=128,
+    peak_bandwidth=GBps(16.0), access_latency=None,
+    operating_voltage=1.2, energy_per_bit=None)
+
+HMC_EXT = MemorySpec(
+    name="HMC-Ext", interface="3D", max_channels=8, word_bits=32,
+    peak_bandwidth=GBps(40.0), access_latency=ns(27.5),
+    operating_voltage=1.2, energy_per_bit=pJ(10.0))
+
+HMC_INT = MemorySpec(
+    name="HMC-Int", interface="3D", max_channels=16, word_bits=32,
+    peak_bandwidth=GBps(10.0), access_latency=ns(27.5),
+    operating_voltage=1.2, energy_per_bit=pJ(3.7))
+
+#: All Table I rows by name.
+TABLE_I: dict[str, MemorySpec] = {
+    spec.name: spec for spec in (DDR3, WIDE_IO_2, HBM, HMC_EXT, HMC_INT)
+}
+
+#: Vault I/O clock used by the paper's simulator (§VI): 2.5 GHz x 2 (DDR).
+HMC_VAULT_IO_CLOCK_HZ = GHz(5.0)

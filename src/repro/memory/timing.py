@@ -1,0 +1,139 @@
+"""Channel timing derived from a memory specification.
+
+The paper's simulator (§VI) models a vault as a burst-mode streamer: a
+32-bit word is pushed every I/O clock at 5 GHz, and "after pushing 8 words,
+the HMC needs to wait tCCD before sending the next 8 words".  The gap
+length is the knob that sets sustained/peak efficiency; it is exposed here
+so the calibration pass can fit it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memory.specs import MemorySpec
+from repro.units import cycles_for_time
+
+#: Default inter-burst gap in I/O-clock cycles.  Eight idle cycles per
+#: 8-word burst gives a 0.5 duty factor, which reconciles the paper's two
+#: statements about the vault interface: words are "pushed at 5 GHz"
+#: (§VI), i.e. a 20 GB/s burst rate for 32-bit words, while Table I lists
+#: 10 GB/s peak per HMC-Int channel — exactly the 0.5-duty sustained
+#: rate.  See EXPERIMENTS.md for the calibration record.
+DEFAULT_TCCD_GAP_CYCLES = 8
+
+#: Default burst length in words (paper §VI: "burst length is assumed as 8").
+DEFAULT_BURST_LENGTH = 8
+
+
+@dataclass(frozen=True)
+class ChannelTiming:
+    """Cycle-level timing of one memory channel (vault).
+
+    All cycle quantities are in channel I/O clock cycles, which is the
+    simulator's reference clock (§VI).
+
+    Attributes:
+        io_clock_hz: the stepping (reference) clock the channel is
+            simulated at — ``f_dram_io`` in the paper.
+        word_bits: bits delivered per issued word.
+        words_per_cycle: word issue rate relative to the stepping clock,
+            in (0, 1].  1.0 for HMC vaults (one word per 5 GHz cycle);
+            fractional for channels whose native word rate is below the
+            reference clock (DDR3 at a 5 GHz reference issues a 64-bit
+            word only every ~3 cycles).
+        burst_length: words per burst.
+        tccd_gap_cycles: idle cycles between bursts.
+        access_latency_cycles: cycles from request issue to data return
+            (``tCL + tRCD``).
+    """
+
+    io_clock_hz: float
+    word_bits: int
+    words_per_cycle: float = 1.0
+    burst_length: int = DEFAULT_BURST_LENGTH
+    tccd_gap_cycles: int = DEFAULT_TCCD_GAP_CYCLES
+    access_latency_cycles: int = 0
+
+    def __post_init__(self) -> None:
+        if self.io_clock_hz <= 0:
+            raise ConfigurationError("io_clock_hz must be positive")
+        if not 0.0 < self.words_per_cycle <= 1.0:
+            raise ConfigurationError(
+                f"words_per_cycle must be in (0, 1], got "
+                f"{self.words_per_cycle}")
+        if self.burst_length < 1:
+            raise ConfigurationError("burst_length must be >= 1")
+        if self.tccd_gap_cycles < 0:
+            raise ConfigurationError("tccd_gap_cycles must be >= 0")
+        if self.access_latency_cycles < 0:
+            raise ConfigurationError("access_latency_cycles must be >= 0")
+
+    @classmethod
+    def from_spec(cls, spec: MemorySpec, io_clock_hz: float | None = None,
+                  reference_clock_hz: float | None = None,
+                  burst_length: int = DEFAULT_BURST_LENGTH,
+                  tccd_gap_cycles: int = DEFAULT_TCCD_GAP_CYCLES,
+                  ) -> "ChannelTiming":
+        """Build channel timing from a Table I specification.
+
+        Args:
+            spec: the memory technology.
+            io_clock_hz: the channel's native word-issue clock; defaults
+                to the rate implied by the spec's peak bandwidth and word
+                size.
+            reference_clock_hz: the simulation stepping clock; defaults
+                to the native clock.  A channel slower than the reference
+                issues words at the fractional rate
+                ``native / reference``.
+            burst_length, tccd_gap_cycles: burst shape knobs.
+        """
+        native = io_clock_hz if io_clock_hz is not None else spec.io_clock_hz
+        reference = (reference_clock_hz if reference_clock_hz is not None
+                     else native)
+        latency = (cycles_for_time(spec.access_latency, reference)
+                   if spec.access_latency is not None else 0)
+        return cls(io_clock_hz=reference, word_bits=spec.word_bits,
+                   words_per_cycle=min(1.0, native / reference),
+                   burst_length=burst_length,
+                   tccd_gap_cycles=tccd_gap_cycles,
+                   access_latency_cycles=latency)
+
+    @property
+    def burst_duty(self) -> float:
+        """Fraction of issue slots a saturated channel spends delivering."""
+        period = self.burst_length + self.tccd_gap_cycles
+        return self.burst_length / period
+
+    @property
+    def sustained_words_per_cycle(self) -> float:
+        """Long-run delivery rate in words per reference cycle."""
+        return self.burst_duty * self.words_per_cycle
+
+    @property
+    def sustained_bandwidth(self) -> float:
+        """Long-run bandwidth in bytes/second."""
+        return (self.sustained_words_per_cycle * self.word_bits / 8
+                * self.io_clock_hz)
+
+    def cycles_to_stream_words(self, n_words: int) -> int:
+        """Reference cycles for a saturated channel to deliver ``n_words``.
+
+        Counts full bursts plus the trailing partial burst; inter-burst
+        gaps are charged between bursts, not after the final one.  The
+        count is scaled by the fractional issue rate for sub-reference
+        channels.
+        """
+        if n_words < 0:
+            raise ConfigurationError("n_words must be >= 0")
+        if n_words == 0:
+            return 0
+        full_bursts, remainder = divmod(n_words, self.burst_length)
+        if remainder == 0:
+            full_bursts -= 1
+            remainder = self.burst_length
+        slots = (full_bursts * (self.burst_length + self.tccd_gap_cycles)
+                 + remainder)
+        exact = slots / self.words_per_cycle
+        return int(exact) if exact == int(exact) else int(exact) + 1

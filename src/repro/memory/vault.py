@@ -1,0 +1,174 @@
+"""Cycle-level model of one HMC vault (or generic DRAM channel).
+
+A vault accepts read requests (item addresses), issues them at burst-mode
+rate, and completes them ``access_latency_cycles`` later.  When constructed
+with a backing array it also returns real data, which lets the system
+simulator compute numerically exact layer outputs through the full
+PNG -> NoC -> PE path.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.memory.timing import ChannelTiming
+
+#: Each data item is one 16-bit state or weight (paper §III-B1).
+ITEM_BITS = 16
+
+
+@dataclass(frozen=True)
+class CompletedRead:
+    """A word returned by the vault.
+
+    Attributes:
+        address: item address of the word's first item.
+        items: raw fixed-point values, ``items_per_word`` of them.
+        tag: opaque request tag (the PNG stores packet metadata here).
+        issued_cycle: cycle the request left the queue.
+        completed_cycle: cycle the data became visible.
+    """
+
+    address: int
+    items: tuple[int, ...]
+    tag: object
+    issued_cycle: int
+    completed_cycle: int
+
+
+class VaultChannel:
+    """One vault: request queue + burst-mode issue + fixed-latency return.
+
+    Args:
+        timing: channel timing parameters.
+        vault_id: identifier used in packets and error messages.
+        data: optional backing store of raw 16-bit items (int array).
+            Reads beyond its end, or with no store at all, return zeros —
+            timing-only mode.
+    """
+
+    def __init__(self, timing: ChannelTiming, vault_id: int = 0,
+                 data: np.ndarray | None = None) -> None:
+        if timing.word_bits % ITEM_BITS:
+            raise ConfigurationError(
+                f"word size {timing.word_bits} not a multiple of the "
+                f"{ITEM_BITS}-bit item size")
+        self.timing = timing
+        self.vault_id = vault_id
+        self.data = None if data is None else np.asarray(data, dtype=np.int64)
+        self.items_per_word = timing.word_bits // ITEM_BITS
+        self.cycle = 0
+        self._queue: deque[tuple[int, object]] = deque()
+        self._in_flight: deque[CompletedRead] = deque()
+        self._burst_pos = 0
+        self._gap_remaining = 0
+        self._issue_credit = 0.0
+        # statistics
+        self.words_served = 0
+        self.busy_cycles = 0
+        self.stall_cycles = 0
+
+    # ------------------------------------------------------------------
+
+    def enqueue_read(self, address: int, tag: object = None) -> None:
+        """Queue a word read starting at item ``address``."""
+        if address < 0:
+            raise ConfigurationError(f"negative address {address}")
+        self._queue.append((address, tag))
+
+    def enqueue_reads(self, addresses, tags=None) -> None:
+        """Queue many word reads; ``tags`` parallels ``addresses``."""
+        if tags is None:
+            for address in addresses:
+                self.enqueue_read(address)
+        else:
+            for address, tag in zip(addresses, tags, strict=True):
+                self.enqueue_read(address, tag)
+
+    @property
+    def pending(self) -> int:
+        """Requests queued but not yet issued."""
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        """True while any request is queued or in flight."""
+        return bool(self._queue) or bool(self._in_flight)
+
+    def _read_items(self, address: int) -> tuple[int, ...]:
+        if self.data is None:
+            return (0,) * self.items_per_word
+        end = address + self.items_per_word
+        if address >= len(self.data):
+            return (0,) * self.items_per_word
+        chunk = self.data[address:end]
+        if len(chunk) < self.items_per_word:
+            chunk = np.concatenate(
+                [chunk, np.zeros(self.items_per_word - len(chunk),
+                                 dtype=np.int64)])
+        return tuple(int(v) for v in chunk)
+
+    def step(self) -> list[CompletedRead]:
+        """Advance one I/O clock cycle; return reads completing this cycle.
+
+        At most one word issues per cycle; after ``burst_length``
+        consecutive issues the channel idles for ``tccd_gap_cycles``.
+        """
+        self.cycle += 1
+        # Issue stage.  The credit accumulator paces channels whose native
+        # word rate is below the stepping clock (words_per_cycle < 1).
+        self._issue_credit = min(
+            2.0, self._issue_credit + self.timing.words_per_cycle)
+        if self._gap_remaining > 0:
+            self._gap_remaining -= 1
+            if self._queue:
+                self.stall_cycles += 1
+        elif self._queue and self._issue_credit >= 1.0:
+            self._issue_credit -= 1.0
+            address, tag = self._queue.popleft()
+            completed = self.cycle + self.timing.access_latency_cycles
+            self._in_flight.append(CompletedRead(
+                address=address, items=self._read_items(address), tag=tag,
+                issued_cycle=self.cycle, completed_cycle=completed))
+            self.busy_cycles += 1
+            self.words_served += 1
+            self._burst_pos += 1
+            if self._burst_pos >= self.timing.burst_length:
+                self._burst_pos = 0
+                self._gap_remaining = self.timing.tccd_gap_cycles
+        else:
+            self._burst_pos = 0
+        # Completion stage (requests complete in issue order).
+        done: list[CompletedRead] = []
+        while self._in_flight and self._in_flight[0].completed_cycle <= self.cycle:
+            done.append(self._in_flight.popleft())
+        return done
+
+    def drain(self, max_cycles: int = 10_000_000) -> list[CompletedRead]:
+        """Step until idle; convenience for tests.  Raises on runaway."""
+        out: list[CompletedRead] = []
+        for _ in range(max_cycles):
+            if not self.busy:
+                return out
+            out.extend(self.step())
+        raise SimulationError(
+            f"vault {self.vault_id} did not drain within {max_cycles} cycles")
+
+    def write_items(self, address: int, items) -> None:
+        """Store raw items into the backing array (write-back path).
+
+        A vault in timing-only mode ignores writes.
+        """
+        if self.data is None:
+            return
+        items = np.asarray(items, dtype=np.int64)
+        end = address + len(items)
+        if end > len(self.data):
+            raise SimulationError(
+                f"vault {self.vault_id}: write [{address}, {end}) beyond "
+                f"store of {len(self.data)} items")
+        self.data[address:end] = items

@@ -1,0 +1,69 @@
+"""Neural-network substrate for the Neurocube reproduction.
+
+This package is the functional model of the networks the paper maps onto the
+Neurocube: convolutional, pooling, dense and recurrent layers with full
+forward/backward passes, losses, SGD training, a model zoo (the
+scene-labeling ConvNN of Fig. 9, an MNIST-class MLP, a small RNN) and
+synthetic datasets standing in for the paper's proprietary inputs.
+
+Arrays are ``float64`` with optional Q1.7.8 quantisation
+(:mod:`repro.fixedpoint`) to emulate the hardware datapath.  Image tensors
+are ``(channels, height, width)``; batched tensors add a leading axis.
+"""
+
+from repro.nn.network import Network
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    Layer,
+    LSTM,
+    MaxPool2D,
+    AvgPool2D,
+    PixelwiseDense,
+    Recurrent,
+)
+from repro.nn.activations import (
+    Activation,
+    Identity,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    ActivationLUT,
+)
+from repro.nn.loss import CrossEntropyLoss, Loss, MSELoss
+from repro.nn.optim import SGD, Optimizer
+from repro.nn.trainer import Trainer, TrainingResult
+from repro.nn.serialization import load_network, read_header, save_network
+from repro.nn import models, data
+
+__all__ = [
+    "Network",
+    "Layer",
+    "Conv2D",
+    "Dense",
+    "PixelwiseDense",
+    "Flatten",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Recurrent",
+    "LSTM",
+    "Activation",
+    "Identity",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "ActivationLUT",
+    "Loss",
+    "MSELoss",
+    "CrossEntropyLoss",
+    "Optimizer",
+    "SGD",
+    "Trainer",
+    "TrainingResult",
+    "save_network",
+    "load_network",
+    "read_header",
+    "models",
+    "data",
+]

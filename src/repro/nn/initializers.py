@@ -1,0 +1,33 @@
+"""Weight initialisers for the NN substrate.
+
+All initialisers take an explicit :class:`numpy.random.Generator` so results
+are reproducible without touching global state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def glorot_uniform(shape: tuple[int, ...], fan_in: int, fan_out: int,
+                   rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation.
+
+    Keeps activation variance roughly constant across layers, which matters
+    here because Q1.7.8 saturates at +-128 — runaway activations would make
+    the fixed-point emulation meaningless.
+    """
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_uniform(shape: tuple[int, ...], fan_in: int,
+               rng: np.random.Generator) -> np.ndarray:
+    """He uniform initialisation, appropriate ahead of ReLU activations."""
+    limit = np.sqrt(6.0 / fan_in)
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def zeros(shape: tuple[int, ...]) -> np.ndarray:
+    """All-zero initialisation (biases)."""
+    return np.zeros(shape, dtype=np.float64)

@@ -1,0 +1,20 @@
+"""Layer implementations for the NN substrate."""
+
+from repro.nn.layers.base import Layer
+from repro.nn.layers.conv import Conv2D
+from repro.nn.layers.pool import AvgPool2D, MaxPool2D
+from repro.nn.layers.dense import Dense, Flatten, PixelwiseDense
+from repro.nn.layers.recurrent import Recurrent
+from repro.nn.layers.lstm import LSTM
+
+__all__ = [
+    "Layer",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Dense",
+    "PixelwiseDense",
+    "Flatten",
+    "Recurrent",
+    "LSTM",
+]

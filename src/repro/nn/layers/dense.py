@@ -1,0 +1,157 @@
+"""Fully connected layers and the flatten adapter.
+
+``Dense`` is the paper's fully connected layer (all-to-all connectivity,
+Fig. 3b).  ``PixelwiseDense`` applies the same weight matrix to the channel
+vector at every pixel — the standard form of the classifier layers in
+scene-labeling networks, and still "fully connected" from the Neurocube
+compiler's point of view (every output neuron at a pixel connects to every
+input channel at that pixel).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn import initializers
+from repro.nn.activations import Activation
+from repro.nn.layers.base import Layer
+
+
+class Flatten(Layer):
+    """Reshape ``(C, H, W)`` (or any shape) into a flat vector."""
+
+    connectivity = "pool"
+
+    def compute_output_shape(
+            self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        return (int(np.prod(input_shape)),)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        if training:
+            self._x = x
+        return np.asarray(x, dtype=np.float64).reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        return grad_out.reshape(grad_out.shape[0], *self.input_shape)
+
+    @property
+    def connections_per_neuron(self) -> int:
+        return 1
+
+    @property
+    def macs(self) -> int:
+        return 0
+
+    @property
+    def weight_count(self) -> int:
+        return 0
+
+
+class Dense(Layer):
+    """Fully connected layer: every output neuron sees every input neuron."""
+
+    connectivity = "full"
+
+    def __init__(self, units: int, activation: Activation | None = None,
+                 **kwargs) -> None:
+        if units < 1:
+            raise ConfigurationError(f"units must be >= 1, got {units}")
+        super().__init__(activation=activation, **kwargs)
+        self.units = units
+
+    def compute_output_shape(
+            self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 1:
+            raise ConfigurationError(
+                f"Dense expects a flat input, got {input_shape}; "
+                f"insert a Flatten layer first")
+        return (self.units,)
+
+    def allocate(self, rng: np.random.Generator) -> None:
+        fan_in = self.input_shape[0]
+        self.params = {
+            "weight": initializers.glorot_uniform(
+                (self.units, fan_in), fan_in, self.units, rng),
+            "bias": initializers.zeros((self.units,)),
+        }
+        self.quantize_params()
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        x = np.asarray(x, dtype=np.float64)
+        if training:
+            self._x = x
+        y = x @ self.params["weight"].T + self.params["bias"]
+        return self._activate(y, training)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_y = self._activation_grad(grad_out)
+        self.grads["weight"] = grad_y.T @ self._x
+        self.grads["bias"] = grad_y.sum(axis=0)
+        return grad_y @ self.params["weight"]
+
+    @property
+    def connections_per_neuron(self) -> int:
+        self._require_built()
+        return self.input_shape[0]
+
+
+class PixelwiseDense(Layer):
+    """Per-pixel fully connected layer over the channel dimension.
+
+    Maps ``(C_in, H, W)`` to ``(units, H, W)`` by applying one shared
+    ``units x C_in`` weight matrix at every pixel.  Mathematically a 1x1
+    convolution; kept as its own class because the Neurocube compiler maps
+    it with fully connected (vector) semantics per pixel, as the paper's
+    scene-labeling classifier layers require.
+    """
+
+    connectivity = "full"
+
+    def __init__(self, units: int, activation: Activation | None = None,
+                 **kwargs) -> None:
+        if units < 1:
+            raise ConfigurationError(f"units must be >= 1, got {units}")
+        super().__init__(activation=activation, **kwargs)
+        self.units = units
+
+    def compute_output_shape(
+            self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 3:
+            raise ConfigurationError(
+                f"PixelwiseDense expects (C, H, W) input, got {input_shape}")
+        return (self.units, input_shape[1], input_shape[2])
+
+    def allocate(self, rng: np.random.Generator) -> None:
+        fan_in = self.input_shape[0]
+        self.params = {
+            "weight": initializers.glorot_uniform(
+                (self.units, fan_in), fan_in, self.units, rng),
+            "bias": initializers.zeros((self.units,)),
+        }
+        self.quantize_params()
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        x = np.asarray(x, dtype=np.float64)
+        if training:
+            self._x = x
+        y = np.einsum("oc,bchw->bohw", self.params["weight"], x,
+                      optimize=True)
+        y += self.params["bias"][None, :, None, None]
+        return self._activate(y, training)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        grad_y = self._activation_grad(grad_out)
+        self.grads["weight"] = np.einsum(
+            "bohw,bchw->oc", grad_y, self._x, optimize=True)
+        self.grads["bias"] = grad_y.sum(axis=(0, 2, 3))
+        return np.einsum("oc,bohw->bchw", self.params["weight"], grad_y,
+                         optimize=True)
+
+    @property
+    def connections_per_neuron(self) -> int:
+        self._require_built()
+        return self.input_shape[0]

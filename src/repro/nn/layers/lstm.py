@@ -1,0 +1,166 @@
+"""LSTM layer (the paper's §VI extension target).
+
+The paper notes that "LSTM [28], a variant of RNN with multiple hidden
+layers each with a different activation function, can be realized by
+updating the LUT for each layer during programming".  This layer provides
+the functional model; the compiler lowers it into per-gate fully
+connected passes, each programmed with its own activation LUT (three
+sigmoid gates and a tanh candidate), plus an element-wise state-update
+pass — exactly the paper's recipe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn import initializers
+from repro.nn.activations import Sigmoid, Tanh
+from repro.nn.layers.base import Layer
+
+#: Gate order used throughout: input, forget, output, candidate.
+GATES = ("i", "f", "o", "g")
+
+
+class LSTM(Layer):
+    """A standard LSTM over sequences shaped ``(B, T, N_in)``.
+
+    Per timestep::
+
+        i = sigmoid(W_i x + U_i h + b_i)
+        f = sigmoid(W_f x + U_f h + b_f)
+        o = sigmoid(W_o x + U_o h + b_o)
+        g = tanh   (W_g x + U_g h + b_g)
+        c = f * c_prev + i * g
+        h = o * tanh(c)
+
+    Returns the hidden-state sequence ``(B, T, units)``.  Backward is
+    full BPTT.  Forget-gate biases initialise to 1.0 (the standard
+    gradient-flow trick).
+    """
+
+    connectivity = "full"
+
+    def __init__(self, units: int, **kwargs) -> None:
+        if units < 1:
+            raise ConfigurationError(f"units must be >= 1, got {units}")
+        super().__init__(**kwargs)
+        self.units = units
+        self._sigmoid = Sigmoid()
+        self._tanh = Tanh()
+
+    def compute_output_shape(
+            self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 2:
+            raise ConfigurationError(
+                f"LSTM expects (T, N_in) input, got {input_shape}")
+        return (input_shape[0], self.units)
+
+    def allocate(self, rng: np.random.Generator) -> None:
+        _, n_in = self.input_shape
+        self.params = {}
+        for gate in GATES:
+            self.params[f"w_{gate}"] = initializers.glorot_uniform(
+                (self.units, n_in), n_in, self.units, rng)
+            self.params[f"u_{gate}"] = initializers.glorot_uniform(
+                (self.units, self.units), self.units, self.units, rng)
+            self.params[f"b_{gate}"] = initializers.zeros((self.units,))
+        self.params["b_f"] = np.ones((self.units,))
+        self.quantize_params()
+
+    # ------------------------------------------------------------------
+
+    def _gate_pre(self, gate: str, x_t: np.ndarray,
+                  h_prev: np.ndarray) -> np.ndarray:
+        return (x_t @ self.params[f"w_{gate}"].T
+                + h_prev @ self.params[f"u_{gate}"].T
+                + self.params[f"b_{gate}"])
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        x = np.asarray(x, dtype=np.float64)
+        batch, steps, _ = x.shape
+        h = np.zeros((batch, self.units))
+        c = np.zeros((batch, self.units))
+        outputs = np.zeros((batch, steps, self.units))
+        cache = []
+        for t in range(steps):
+            gates = {gate: self._gate_pre(gate, x[:, t], h)
+                     for gate in GATES}
+            i = self._sigmoid.forward(gates["i"])
+            f = self._sigmoid.forward(gates["f"])
+            o = self._sigmoid.forward(gates["o"])
+            g = self._tanh.forward(gates["g"])
+            c_prev = c
+            c = f * c_prev + i * g
+            tanh_c = np.tanh(c)
+            h_prev = h
+            h = o * tanh_c
+            outputs[:, t] = h
+            if training:
+                cache.append(dict(i=i, f=f, o=o, g=g, c=c,
+                                  c_prev=c_prev, tanh_c=tanh_c,
+                                  h_prev=h_prev, x_t=x[:, t]))
+        if training:
+            self._x = x
+            self._cache = cache
+        return outputs
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ConfigurationError(
+                f"backward() on {self.name!r} without forward(training=True)")
+        x = self._x
+        batch, steps, n_in = x.shape
+        grads = {key: np.zeros_like(value)
+                 for key, value in self.params.items()}
+        grad_in = np.zeros_like(x)
+        dh_carry = np.zeros((batch, self.units))
+        dc_carry = np.zeros((batch, self.units))
+        for t in reversed(range(steps)):
+            step = self._cache[t]
+            dh = grad_out[:, t] + dh_carry
+            do = dh * step["tanh_c"]
+            dc = dh * step["o"] * (1.0 - step["tanh_c"] ** 2) + dc_carry
+            di = dc * step["g"]
+            dg = dc * step["i"]
+            df = dc * step["c_prev"]
+            dc_carry = dc * step["f"]
+            pre = {
+                "i": di * step["i"] * (1.0 - step["i"]),
+                "f": df * step["f"] * (1.0 - step["f"]),
+                "o": do * step["o"] * (1.0 - step["o"]),
+                "g": dg * (1.0 - step["g"] ** 2),
+            }
+            dh_carry = np.zeros((batch, self.units))
+            for gate in GATES:
+                grads[f"w_{gate}"] += pre[gate].T @ step["x_t"]
+                grads[f"u_{gate}"] += pre[gate].T @ step["h_prev"]
+                grads[f"b_{gate}"] += pre[gate].sum(axis=0)
+                grad_in[:, t] += pre[gate] @ self.params[f"w_{gate}"]
+                dh_carry += pre[gate] @ self.params[f"u_{gate}"]
+        self.grads = grads
+        return grad_in
+
+    # ------------------------------------------------------------------
+    # Neurocube mapping metadata
+    # ------------------------------------------------------------------
+
+    @property
+    def connections_per_neuron(self) -> int:
+        """Per gate: all inputs plus all recurrent hidden units."""
+        self._require_built()
+        return self.input_shape[1] + self.units
+
+    @property
+    def macs(self) -> int:
+        """Across the unrolled sequence: four gates of weighted sums
+        plus the element-wise cell update (3 MAC-equivalents/unit)."""
+        steps = self.input_shape[0]
+        gate_macs = 4 * steps * self.units * self.connections_per_neuron
+        elementwise = 3 * steps * self.units
+        return gate_macs + elementwise
+
+    @property
+    def weight_count(self) -> int:
+        return sum(int(np.prod(p.shape)) for p in self.params.values())

@@ -1,0 +1,104 @@
+"""Simple recurrent (Elman) layer.
+
+The paper notes (§VI) that an RNN "is equivalent to a deep MLP after
+unfolding in time" and is programmed on the Neurocube like a sequence of
+fully connected layers.  This layer provides the functional model; the
+compiler unrolls it into per-timestep fully connected descriptors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn import initializers
+from repro.nn.activations import Activation, Tanh
+from repro.nn.layers.base import Layer
+
+
+class Recurrent(Layer):
+    """Elman RNN: ``h_t = act(W_x x_t + W_h h_{t-1} + b)``.
+
+    Operates on sequences shaped ``(B, T, N_in)`` and returns hidden states
+    ``(B, T, units)``.  Backward is truncated-free full BPTT over the
+    sequence presented to ``forward``.
+    """
+
+    connectivity = "full"
+
+    def __init__(self, units: int, activation: Activation | None = None,
+                 **kwargs) -> None:
+        if units < 1:
+            raise ConfigurationError(f"units must be >= 1, got {units}")
+        super().__init__(activation=activation or Tanh(), **kwargs)
+        self.units = units
+
+    def compute_output_shape(
+            self, input_shape: tuple[int, ...]) -> tuple[int, ...]:
+        if len(input_shape) != 2:
+            raise ConfigurationError(
+                f"Recurrent expects (T, N_in) input, got {input_shape}")
+        return (input_shape[0], self.units)
+
+    def allocate(self, rng: np.random.Generator) -> None:
+        _, n_in = self.input_shape
+        self.params = {
+            "w_in": initializers.glorot_uniform(
+                (self.units, n_in), n_in, self.units, rng),
+            "w_rec": initializers.glorot_uniform(
+                (self.units, self.units), self.units, self.units, rng),
+            "bias": initializers.zeros((self.units,)),
+        }
+        self.quantize_params()
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        self._require_built()
+        x = np.asarray(x, dtype=np.float64)
+        batch, steps, _ = x.shape
+        hidden = np.zeros((batch, steps + 1, self.units))
+        pre = np.zeros((batch, steps, self.units))
+        for t in range(steps):
+            pre[:, t] = (x[:, t] @ self.params["w_in"].T
+                         + hidden[:, t] @ self.params["w_rec"].T
+                         + self.params["bias"])
+            hidden[:, t + 1] = self.activation.forward(pre[:, t])
+        if training:
+            self._x = x
+            self._pre = pre
+            self._hidden = hidden
+        return hidden[:, 1:].copy()
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise ConfigurationError(
+                f"backward() on {self.name!r} without forward(training=True)")
+        x, pre, hidden = self._x, self._pre, self._hidden
+        batch, steps, n_in = x.shape
+        grad_in = np.zeros_like(x)
+        grad_w_in = np.zeros_like(self.params["w_in"])
+        grad_w_rec = np.zeros_like(self.params["w_rec"])
+        grad_bias = np.zeros_like(self.params["bias"])
+        carry = np.zeros((batch, self.units))
+        for t in reversed(range(steps)):
+            total = grad_out[:, t] + carry
+            grad_pre = total * self.activation.derivative(pre[:, t])
+            grad_w_in += grad_pre.T @ x[:, t]
+            grad_w_rec += grad_pre.T @ hidden[:, t]
+            grad_bias += grad_pre.sum(axis=0)
+            grad_in[:, t] = grad_pre @ self.params["w_in"]
+            carry = grad_pre @ self.params["w_rec"]
+        self.grads = {"w_in": grad_w_in, "w_rec": grad_w_rec,
+                      "bias": grad_bias}
+        return grad_in
+
+    @property
+    def connections_per_neuron(self) -> int:
+        """Per timestep: all inputs plus all recurrent hidden units."""
+        self._require_built()
+        return self.input_shape[1] + self.units
+
+    @property
+    def macs(self) -> int:
+        """MACs across the whole unrolled sequence."""
+        steps = self.input_shape[0]
+        return steps * self.units * self.connections_per_neuron

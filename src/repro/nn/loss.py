@@ -1,0 +1,66 @@
+"""Loss functions with analytic gradients."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+class Loss:
+    """Base class: ``value`` returns a scalar, ``gradient`` d(loss)/d(pred)."""
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        raise NotImplementedError
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    @staticmethod
+    def _check(pred: np.ndarray, target: np.ndarray) -> None:
+        if pred.shape != target.shape:
+            raise ConfigurationError(
+                f"prediction shape {pred.shape} != target shape "
+                f"{target.shape}")
+
+
+class MSELoss(Loss):
+    """Mean squared error over all elements."""
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        self._check(pred, target)
+        diff = np.asarray(pred) - np.asarray(target)
+        return float(np.mean(diff * diff))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        self._check(pred, target)
+        diff = np.asarray(pred) - np.asarray(target)
+        return 2.0 * diff / diff.size
+
+
+class CrossEntropyLoss(Loss):
+    """Softmax cross-entropy over the class axis.
+
+    For flat predictions ``(B, K)`` the class axis is 1.  For dense
+    (per-pixel) predictions ``(B, K, H, W)`` — the scene-labeling case —
+    the class axis is also 1 and the loss averages over batch and pixels.
+    Targets are one-hot with the same shape as predictions.
+    """
+
+    def _softmax(self, pred: np.ndarray) -> np.ndarray:
+        shifted = pred - pred.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def value(self, pred: np.ndarray, target: np.ndarray) -> float:
+        self._check(pred, target)
+        probs = self._softmax(np.asarray(pred, dtype=np.float64))
+        log_probs = np.log(np.clip(probs, 1e-12, None))
+        per_site = -(np.asarray(target) * log_probs).sum(axis=1)
+        return float(np.mean(per_site))
+
+    def gradient(self, pred: np.ndarray, target: np.ndarray) -> np.ndarray:
+        self._check(pred, target)
+        probs = self._softmax(np.asarray(pred, dtype=np.float64))
+        sites = probs.size // probs.shape[1]
+        return (probs - np.asarray(target)) / sites

@@ -1,0 +1,117 @@
+"""Sequential network container."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.layers.base import Layer
+
+
+class Network:
+    """A feed-forward stack of layers with forward and backward passes.
+
+    This is the object the Neurocube compiler consumes: its layers carry
+    both the arithmetic (for functional verification) and the mapping
+    metadata (neuron counts, connectivity) for PNG programming.
+
+    Args:
+        layers: the layers in execution order.
+        input_shape: per-sample input shape, e.g. ``(3, 240, 320)``.
+        name: network name used in reports.
+        seed: RNG seed for parameter initialisation.
+    """
+
+    def __init__(self, layers: Iterable[Layer], input_shape: tuple[int, ...],
+                 name: str = "network", seed: int = 0) -> None:
+        self.layers = list(layers)
+        if not self.layers:
+            raise ConfigurationError("a Network needs at least one layer")
+        self.input_shape = tuple(input_shape)
+        self.name = name
+        rng = np.random.default_rng(seed)
+        shape = self.input_shape
+        seen: set[str] = set()
+        for index, layer in enumerate(self.layers):
+            if layer.name in seen:
+                layer.name = f"{layer.name}_{index}"
+            seen.add(layer.name)
+            shape = layer.build(shape, rng)
+        self.output_shape = shape
+
+    def __iter__(self) -> Iterator[Layer]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        """Run the network on batched input ``(B, *input_shape)``."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape[1:] != self.input_shape:
+            raise ConfigurationError(
+                f"input shape {x.shape[1:]} does not match the network's "
+                f"input shape {self.input_shape} (did you forget the batch "
+                f"axis?)")
+        for layer in self.layers:
+            x = layer.forward(x, training=training)
+        return x
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Inference-mode forward pass."""
+        return self.forward(x, training=False)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        """Backpropagate a loss gradient; fills each layer's ``grads``."""
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    # ------------------------------------------------------------------
+    # aggregate metadata
+    # ------------------------------------------------------------------
+
+    @property
+    def total_ops(self) -> int:
+        """Arithmetic ops for one forward pass of one sample."""
+        return sum(layer.ops for layer in self.layers)
+
+    @property
+    def total_macs(self) -> int:
+        """MACs for one forward pass of one sample."""
+        return sum(layer.macs for layer in self.layers)
+
+    @property
+    def total_weights(self) -> int:
+        """Total parameter count."""
+        return sum(layer.weight_count for layer in self.layers)
+
+    def parameters(self) -> Iterator[tuple[Layer, str, np.ndarray]]:
+        """Yield ``(layer, key, array)`` for every parameter tensor."""
+        for layer in self.layers:
+            for key, value in layer.params.items():
+                yield layer, key, value
+
+    def summary(self) -> str:
+        """Human-readable per-layer table (shapes, connections, ops)."""
+        rows = [f"{self.name}: input {self.input_shape}"]
+        header = (f"{'layer':<16}{'output shape':<18}{'conn/neuron':>12}"
+                  f"{'neurons':>10}{'MACs':>14}{'weights':>12}")
+        rows.append(header)
+        rows.append("-" * len(header))
+        for layer in self.layers:
+            rows.append(
+                f"{layer.name:<16}{str(layer.output_shape):<18}"
+                f"{layer.connections_per_neuron:>12}"
+                f"{layer.neuron_count:>10}{layer.macs:>14,}"
+                f"{layer.weight_count:>12,}")
+        rows.append(f"total MACs {self.total_macs:,}  "
+                    f"ops {self.total_ops:,}  weights {self.total_weights:,}")
+        return "\n".join(rows)
+
+    def __repr__(self) -> str:
+        return (f"Network(name={self.name!r}, layers={len(self.layers)}, "
+                f"{self.input_shape}->{self.output_shape})")

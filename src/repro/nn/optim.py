@@ -1,0 +1,54 @@
+"""Gradient-descent optimisers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.network import Network
+
+
+class Optimizer:
+    """Base optimiser: applies layer gradients to layer parameters."""
+
+    def step(self, network: Network) -> None:
+        """Apply one update using the gradients stored in each layer."""
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum.
+
+    After each update, layers with a Q-format re-round their parameters so
+    weights stay representable in the hardware's Q1.7.8 storage.
+    """
+
+    def __init__(self, lr: float = 0.01, momentum: float = 0.0) -> None:
+        if lr <= 0:
+            raise ConfigurationError(f"learning rate must be > 0, got {lr}")
+        if not 0.0 <= momentum < 1.0:
+            raise ConfigurationError(
+                f"momentum must be in [0, 1), got {momentum}")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[tuple[int, str], np.ndarray] = {}
+
+    def step(self, network: Network) -> None:
+        for layer in network.layers:
+            for key, param in layer.params.items():
+                if key not in layer.grads:
+                    raise ConfigurationError(
+                        f"layer {layer.name!r} has no gradient for "
+                        f"{key!r}; run backward() before step()")
+                grad = layer.grads[key]
+                if self.momentum > 0.0:
+                    slot = (id(layer), key)
+                    velocity = self._velocity.get(slot)
+                    if velocity is None:
+                        velocity = np.zeros_like(param)
+                    velocity = self.momentum * velocity - self.lr * grad
+                    self._velocity[slot] = velocity
+                    layer.params[key] = param + velocity
+                else:
+                    layer.params[key] = param - self.lr * grad
+            layer.quantize_params()

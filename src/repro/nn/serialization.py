@@ -1,0 +1,103 @@
+"""Saving and loading network parameters.
+
+Parameters are stored as a single ``.npz`` archive keyed by
+``<layer_name>/<param_name>``, with a small JSON header recording the
+network name and per-layer shapes for load-time validation.  Loading is
+strict: the target network must have exactly the same layers, parameter
+names and shapes — a mismatch is a :class:`ConfigurationError`, never a
+silent partial load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.network import Network
+
+#: Reserved key for the JSON header inside the archive.
+HEADER_KEY = "__header__"
+
+
+def _header(network: Network) -> dict:
+    return {
+        "network_name": network.name,
+        "input_shape": list(network.input_shape),
+        "layers": {
+            layer.name: {key: list(value.shape)
+                         for key, value in layer.params.items()}
+            for layer in network.layers
+        },
+    }
+
+
+def save_network(network: Network, path: str | Path) -> Path:
+    """Write all parameters of ``network`` to ``path`` (.npz).
+
+    Returns the written path (with the ``.npz`` suffix numpy enforces).
+    """
+    path = Path(path)
+    arrays: dict[str, np.ndarray] = {
+        HEADER_KEY: np.frombuffer(
+            json.dumps(_header(network)).encode("utf-8"), dtype=np.uint8)
+    }
+    for layer in network.layers:
+        for key, value in layer.params.items():
+            arrays[f"{layer.name}/{key}"] = value
+    np.savez(path, **arrays)
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz")
+
+
+def read_header(path: str | Path) -> dict:
+    """Read only the JSON header of a saved archive."""
+    with np.load(Path(path)) as archive:
+        if HEADER_KEY not in archive:
+            raise ConfigurationError(
+                f"{path} is not a repro network archive (no header)")
+        return json.loads(bytes(archive[HEADER_KEY]).decode("utf-8"))
+
+
+def load_network(network: Network, path: str | Path) -> Network:
+    """Load parameters from ``path`` into ``network`` (in place).
+
+    The network must structurally match the archive: same layer names,
+    same parameter keys, same shapes.  Returns the network.
+    """
+    path = Path(path)
+    with np.load(path) as archive:
+        if HEADER_KEY not in archive:
+            raise ConfigurationError(
+                f"{path} is not a repro network archive (no header)")
+        header = json.loads(bytes(archive[HEADER_KEY]).decode("utf-8"))
+        saved_layers = header["layers"]
+        live_layers = {layer.name: layer for layer in network.layers}
+        if set(saved_layers) != set(live_layers):
+            raise ConfigurationError(
+                f"layer mismatch: archive has {sorted(saved_layers)}, "
+                f"network has {sorted(live_layers)}")
+        # Validate everything first so a mismatch never leaves the
+        # network partially loaded.
+        for name, shapes in saved_layers.items():
+            layer = live_layers[name]
+            if set(shapes) != set(layer.params):
+                raise ConfigurationError(
+                    f"layer {name!r}: archive params {sorted(shapes)} "
+                    f"!= network params {sorted(layer.params)}")
+            for key in shapes:
+                stored_shape = list(archive[f"{name}/{key}"].shape)
+                live_shape = list(layer.params[key].shape)
+                if stored_shape != live_shape:
+                    raise ConfigurationError(
+                        f"{name}/{key}: archive shape {stored_shape} "
+                        f"!= network shape {live_shape}")
+        for name, shapes in saved_layers.items():
+            layer = live_layers[name]
+            for key in shapes:
+                layer.params[key] = np.array(archive[f"{name}/{key}"],
+                                             dtype=np.float64)
+            layer.quantize_params()
+    return network

@@ -1,0 +1,102 @@
+"""Mini-batch training loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.loss import Loss
+from repro.nn.network import Network
+from repro.nn.optim import Optimizer
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a training run.
+
+    Attributes:
+        epoch_losses: mean training loss per epoch.
+        final_loss: the last epoch's mean loss.
+        samples_seen: total samples processed.
+    """
+
+    epoch_losses: list[float] = field(default_factory=list)
+    samples_seen: int = 0
+
+    @property
+    def final_loss(self) -> float:
+        if not self.epoch_losses:
+            raise ConfigurationError("no epochs were run")
+        return self.epoch_losses[-1]
+
+    @property
+    def improved(self) -> bool:
+        """True when the final loss is below the first epoch's loss."""
+        return (len(self.epoch_losses) >= 2
+                and self.epoch_losses[-1] < self.epoch_losses[0])
+
+
+class Trainer:
+    """Runs mini-batch SGD epochs over an in-memory dataset.
+
+    Args:
+        network: the model to train.
+        loss: loss function.
+        optimizer: update rule.
+        batch_size: mini-batch size; the last partial batch is used too.
+        shuffle: reshuffle sample order every epoch.
+        seed: RNG seed for shuffling.
+    """
+
+    def __init__(self, network: Network, loss: Loss, optimizer: Optimizer,
+                 batch_size: int = 8, shuffle: bool = True,
+                 seed: int = 0) -> None:
+        if batch_size < 1:
+            raise ConfigurationError(
+                f"batch_size must be >= 1, got {batch_size}")
+        self.network = network
+        self.loss = loss
+        self.optimizer = optimizer
+        self.batch_size = batch_size
+        self.shuffle = shuffle
+        self._rng = np.random.default_rng(seed)
+
+    def train_batch(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One forward/backward/update step; returns the batch loss."""
+        pred = self.network.forward(x, training=True)
+        loss_value = self.loss.value(pred, y)
+        self.network.backward(self.loss.gradient(pred, y))
+        self.optimizer.step(self.network)
+        return loss_value
+
+    def fit(self, x: np.ndarray, y: np.ndarray,
+            epochs: int = 1) -> TrainingResult:
+        """Train for ``epochs`` passes over ``(x, y)``."""
+        if len(x) != len(y):
+            raise ConfigurationError(
+                f"{len(x)} inputs vs {len(y)} targets")
+        if len(x) == 0:
+            raise ConfigurationError("empty training set")
+        result = TrainingResult()
+        indices = np.arange(len(x))
+        for _ in range(epochs):
+            if self.shuffle:
+                self._rng.shuffle(indices)
+            batch_losses = []
+            for start in range(0, len(indices), self.batch_size):
+                batch = indices[start:start + self.batch_size]
+                batch_losses.append(self.train_batch(x[batch], y[batch]))
+                result.samples_seen += len(batch)
+            result.epoch_losses.append(float(np.mean(batch_losses)))
+        return result
+
+    def evaluate(self, x: np.ndarray, y: np.ndarray) -> float:
+        """Mean loss over a dataset without updating parameters."""
+        losses = []
+        for start in range(0, len(x), self.batch_size):
+            pred = self.network.predict(x[start:start + self.batch_size])
+            losses.append(
+                self.loss.value(pred, y[start:start + self.batch_size]))
+        return float(np.mean(losses))

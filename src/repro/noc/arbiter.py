@@ -1,0 +1,70 @@
+"""Rotating daisy-chain priority arbitration (paper §III-C).
+
+"Input buffers use a rotating daisy chain priority scheme for arbitrating
+between inputs requesting the same outputs.  Priorities are updated every
+clock cycle."
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.errors import ConfigurationError
+
+
+class RotatingPriorityArbiter:
+    """Grants one of N requesters; the priority head rotates each cycle.
+
+    On a cycle where the head requester is idle, the grant daisy-chains to
+    the next requesting input in rotation order.  Rotation happens every
+    cycle regardless of grants, matching the paper's description, which
+    guarantees starvation freedom.
+    """
+
+    def __init__(self, n_inputs: int) -> None:
+        if n_inputs < 1:
+            raise ConfigurationError(
+                f"arbiter needs >= 1 input, got {n_inputs}")
+        self.n_inputs = n_inputs
+        self._head = 0
+        self.grants = 0
+
+    def rotate(self) -> None:
+        """Advance the priority head; call once per clock cycle."""
+        self._head = (self._head + 1) % self.n_inputs
+
+    @property
+    def head(self) -> int:
+        """The input currently holding top priority."""
+        return self._head
+
+    def grant(self, requests: Iterable[int] | Sequence[bool]) -> int | None:
+        """Pick the winning input for this cycle, or None if no requests.
+
+        Args:
+            requests: either an iterable of requesting input indices, or a
+                boolean mask of length ``n_inputs``.
+        """
+        mask = self._as_mask(requests)
+        for offset in range(self.n_inputs):
+            candidate = (self._head + offset) % self.n_inputs
+            if mask[candidate]:
+                self.grants += 1
+                return candidate
+        return None
+
+    def _as_mask(self, requests) -> list[bool]:
+        requests = list(requests)
+        if requests and all(isinstance(r, bool) for r in requests):
+            if len(requests) != self.n_inputs:
+                raise ConfigurationError(
+                    f"mask length {len(requests)} != n_inputs "
+                    f"{self.n_inputs}")
+            return requests
+        mask = [False] * self.n_inputs
+        for index in requests:
+            if not 0 <= index < self.n_inputs:
+                raise ConfigurationError(
+                    f"request index {index} out of range 0..{self.n_inputs - 1}")
+            mask[index] = True
+        return mask

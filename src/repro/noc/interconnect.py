@@ -1,0 +1,156 @@
+"""The assembled NoC: routers + links + injection/ejection interfaces.
+
+One :class:`Interconnect` owns a router per node, wires their directional
+ports per the topology, and steps the whole fabric one cycle at a time:
+link stage first (output buffer -> downstream input buffer, one packet per
+link per cycle, credit checked), then switch stage inside every router.
+A packet therefore spends at least two cycles per router it crosses,
+modelling the switch+link pipeline.
+
+Injection: the vault-side PNG pushes packets into its router's MEM input
+buffer; a PE pushes write-backs into the PE input buffer.  Ejection is the
+mirror image from the output buffers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.noc.buffer import DEFAULT_DEPTH
+from repro.noc.packet import Packet
+from repro.noc.router import Router
+from repro.noc.routing import Port, PortKey
+from repro.noc.topology import Topology
+
+
+@dataclass
+class NocStats:
+    """Aggregate interconnect statistics.
+
+    Attributes:
+        injected: packets accepted into the fabric.
+        delivered: packets ejected at their destination.
+        lateral: delivered packets whose source node differed from the
+            destination node (they crossed at least one link).
+        link_traversals: total link-stage moves.
+        total_latency: sum over delivered packets of (eject - inject)
+            cycles, for mean-latency reporting.
+        rejected_injections: injection attempts bounced for lack of space.
+    """
+
+    injected: int = 0
+    delivered: int = 0
+    lateral: int = 0
+    link_traversals: int = 0
+    total_latency: int = 0
+    rejected_injections: int = 0
+    _cycle: int = field(default=0, repr=False)
+
+    @property
+    def lateral_fraction(self) -> float:
+        """Fraction of delivered packets that crossed the mesh."""
+        return self.lateral / self.delivered if self.delivered else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        """Mean inject-to-eject latency in cycles."""
+        return (self.total_latency / self.delivered
+                if self.delivered else 0.0)
+
+
+class Interconnect:
+    """A steppable NoC instance over an arbitrary :class:`Topology`."""
+
+    def __init__(self, topology: Topology,
+                 buffer_depth: int = DEFAULT_DEPTH,
+                 local_rate: int = 2) -> None:
+        self.topology = topology
+        self.cycle = 0
+        self.local_rate = local_rate
+        self.stats = NocStats()
+        self.routers = [
+            Router(node, topology.link_ports(node),
+                   self._route_fn(node), buffer_depth,
+                   local_rate=local_rate)
+            for node in range(topology.n_nodes)
+        ]
+        # Precompute link hookups: (node, out port) -> (node, in port).
+        self._links: list[tuple[Router, PortKey, Router, PortKey]] = []
+        for router in self.routers:
+            for port in topology.link_ports(router.node_id):
+                target, in_port = topology.link_target(router.node_id, port)
+                self._links.append(
+                    (router, port, self.routers[target], in_port))
+
+    def _route_fn(self, node: int):
+        return lambda packet: self.topology.next_port(node, packet)
+
+    # ------------------------------------------------------------------
+    # edge interfaces
+    # ------------------------------------------------------------------
+
+    def can_inject(self, node: int, port: Port = Port.MEM) -> bool:
+        """Credit check for an injection at ``node``'s local ``port``."""
+        return self.routers[node].inputs[port].has_space
+
+    def inject(self, node: int, packet: Packet,
+               port: Port = Port.MEM) -> bool:
+        """Push a packet into the fabric; False when the buffer is full."""
+        if port not in (Port.MEM, Port.PE):
+            raise ConfigurationError(
+                f"injection must use a local port, got {port}")
+        buffer = self.routers[node].inputs[port]
+        if not buffer.has_space:
+            self.stats.rejected_injections += 1
+            return False
+        buffer.push(packet)
+        self.stats.injected += 1
+        return True
+
+    def eject(self, node: int, port: Port = Port.PE,
+              limit: int | None = None) -> list[Packet]:
+        """Drain up to ``limit`` packets delivered at ``node``'s ``port``."""
+        if port not in (Port.MEM, Port.PE):
+            raise ConfigurationError(
+                f"ejection must use a local port, got {port}")
+        buffer = self.routers[node].outputs[port]
+        out: list[Packet] = []
+        while not buffer.empty and (limit is None or len(out) < limit):
+            packet = buffer.pop()
+            out.append(packet)
+            self.stats.delivered += 1
+            if packet.src != node:
+                self.stats.lateral += 1
+            self.stats.total_latency += self.cycle - packet.inject_cycle
+        return out
+
+    # ------------------------------------------------------------------
+    # simulation
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Advance the fabric one cycle: link stage, then switch stage."""
+        self.cycle += 1
+        for src_router, out_port, dst_router, in_port in self._links:
+            output = src_router.outputs[out_port]
+            target = dst_router.inputs[in_port]
+            if not output.empty and target.has_space:
+                target.push(output.pop())
+                self.stats.link_traversals += 1
+        for router in self.routers:
+            router.switch()
+
+    @property
+    def busy(self) -> bool:
+        """True while any packet is resident in any router."""
+        return any(router.busy for router in self.routers)
+
+    @property
+    def occupancy(self) -> int:
+        """Total packets currently inside the fabric."""
+        return sum(router.occupancy for router in self.routers)
+
+    def __repr__(self) -> str:
+        return (f"Interconnect({self.topology!r}, cycle={self.cycle}, "
+                f"occupancy={self.occupancy})")

@@ -1,0 +1,86 @@
+"""NoC packet format (paper §V-B, Fig. 11a).
+
+Each packet carries one 16-bit data item plus routing and sequencing
+metadata: 4-bit source vault, 4-bit destination PE, 4-bit MAC-ID and
+8-bit OP-ID — 36 bits, matching the router datapath width in Table II.
+A 32-bit DRAM word is therefore encapsulated into two packets.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Router datapath / flit width in bits (Table II "Router" row).
+FLIT_BITS = 36
+
+_sequence = itertools.count()
+
+
+class PacketKind(enum.Enum):
+    """What a packet's payload means to the receiving PE or PNG."""
+
+    #: a synaptic weight headed for a MAC's temporal-buffer weight slot.
+    WEIGHT = "weight"
+    #: a neuron state (input pixel) headed for a MAC's state slot.
+    STATE = "state"
+    #: a computed output state returning from a PE to its home PNG.
+    WRITEBACK = "writeback"
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One 36-bit NoC packet.
+
+    Attributes:
+        src: source vault id (4 bits in hardware).
+        dst: destination PE id.
+        mac_id: target MAC within the PE (4 bits).
+        op_id: sequence number of the operation this item feeds, modulo
+            256 (8 bits in hardware; stored un-wrapped here with
+            :meth:`op_id_field` giving the wire value).
+        kind: weight / state / writeback.
+        payload: raw 16-bit fixed-point value.
+        neuron: opaque tag identifying the output neuron (functional mode
+            bookkeeping; not a hardware field).
+        inject_cycle: cycle the packet entered the NoC (for latency stats).
+        serial: global creation order, used only for deterministic
+            tie-breaking in tests.
+    """
+
+    src: int
+    dst: int
+    mac_id: int
+    op_id: int
+    kind: PacketKind
+    payload: int = 0
+    neuron: object = None
+    inject_cycle: int = 0
+    serial: int = field(default_factory=lambda: next(_sequence))
+
+    def __post_init__(self) -> None:
+        if self.src < 0 or self.dst < 0:
+            raise ConfigurationError(
+                f"packet ids must be non-negative: src={self.src}, "
+                f"dst={self.dst}")
+        if self.mac_id < 0:
+            raise ConfigurationError(f"negative mac_id {self.mac_id}")
+        if self.op_id < 0:
+            raise ConfigurationError(f"negative op_id {self.op_id}")
+
+    @property
+    def op_id_field(self) -> int:
+        """The 8-bit wire encoding of the OP-ID (§V-B: modulo 256)."""
+        return self.op_id % 256
+
+    @property
+    def flits(self) -> int:
+        """Packet length in flits; the 36-bit format is single-flit."""
+        return 1
+
+    def __repr__(self) -> str:
+        return (f"Packet({self.kind.value} {self.src}->{self.dst} "
+                f"mac={self.mac_id} op={self.op_id})")

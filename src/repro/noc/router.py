@@ -1,0 +1,128 @@
+"""Cycle-level wormhole router (paper §III-C, Fig. 6c).
+
+Each router has an input and an output :class:`CreditedBuffer` per port.
+The switch stage moves at most one packet per output port per cycle from
+the input buffers, arbitrated by a rotating daisy-chain priority scheme;
+credit-based flow control means a move only happens when the target
+buffer has space.  Link traversal between routers is handled by
+:class:`repro.noc.interconnect.Interconnect`, giving the canonical
+two-stage (switch + link) pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.noc.arbiter import RotatingPriorityArbiter
+from repro.noc.buffer import DEFAULT_DEPTH, CreditedBuffer
+from repro.noc.packet import Packet
+from repro.noc.routing import LOCAL_PORTS, PortKey
+
+
+class Router:
+    """One NoC router.
+
+    Args:
+        node_id: this router's node number (== PE id == vault id).
+        link_ports: directional ports wired to other routers.
+        route: function ``(packet) -> PortKey`` giving the output port a
+            packet must take *from this router*.
+        buffer_depth: per-channel packet buffer depth (16 in the paper).
+        local_rate: packets per cycle the local (PE/MEM) channels can
+            move through the switch.  Mesh links are one 36-bit flit per
+            cycle, but the vault pushes a whole 32-bit word — two packets
+            — per cycle into the PNG (Fig. 11a), so the local channels are
+            provisioned at the word rate.
+    """
+
+    def __init__(self, node_id: int, link_ports: list[PortKey],
+                 route: Callable[[Packet], PortKey],
+                 buffer_depth: int = DEFAULT_DEPTH,
+                 local_rate: int = 2) -> None:
+        if local_rate < 1:
+            raise ConfigurationError(
+                f"local_rate must be >= 1, got {local_rate}")
+        self.node_id = node_id
+        self.ports: list[PortKey] = list(link_ports) + list(LOCAL_PORTS)
+        if len(set(self.ports)) != len(self.ports):
+            raise ConfigurationError(
+                f"router {node_id}: duplicate ports {self.ports}")
+        self.local_rate = local_rate
+        self._port_rate = {
+            port: (local_rate if port in LOCAL_PORTS else 1)
+            for port in self.ports}
+        self.route = route
+        self.inputs: dict[PortKey, CreditedBuffer] = {
+            port: CreditedBuffer(buffer_depth, f"r{node_id}.in.{port}")
+            for port in self.ports}
+        self.outputs: dict[PortKey, CreditedBuffer] = {
+            port: CreditedBuffer(buffer_depth, f"r{node_id}.out.{port}")
+            for port in self.ports}
+        self._arbiters: dict[PortKey, RotatingPriorityArbiter] = {
+            port: RotatingPriorityArbiter(len(self.ports))
+            for port in self.ports}
+        self.switched_packets = 0
+
+    def switch(self) -> int:
+        """One switch-stage cycle: input buffers -> output buffers.
+
+        Returns the number of packets moved.  For every output port, the
+        requesting input heads are arbitrated and the winner's head packet
+        moves iff the output buffer has a credit.  Link ports move at most
+        one packet per cycle; local ports up to ``local_rate``, realised
+        as repeated arbitration rounds.
+        """
+        moved = 0
+        supplied = {port: 0 for port in self.ports}
+        accepted = {port: 0 for port in self.ports}
+        for _ in range(max(self._port_rate.values())):
+            # Gather, per output port, the inputs whose head wants it.
+            wants: dict[PortKey, list[int]] = {}
+            for index, port in enumerate(self.ports):
+                buffer = self.inputs[port]
+                if supplied[port] >= self._port_rate[port] or buffer.empty:
+                    continue
+                out_port = self.route(buffer.peek())
+                if out_port not in self.outputs:
+                    raise SimulationError(
+                        f"router {self.node_id}: route returned unknown "
+                        f"port {out_port} for {buffer.peek()}")
+                wants.setdefault(out_port, []).append(index)
+            any_move = False
+            for out_port, requesters in wants.items():
+                output = self.outputs[out_port]
+                if accepted[out_port] >= self._port_rate[out_port]:
+                    continue
+                if not output.has_space:
+                    continue
+                winner = self._arbiters[out_port].grant(requesters)
+                if winner is None:
+                    continue
+                in_port = self.ports[winner]
+                output.push(self.inputs[in_port].pop())
+                supplied[in_port] += 1
+                accepted[out_port] += 1
+                moved += 1
+                any_move = True
+            if not any_move:
+                break
+        for arbiter in self._arbiters.values():
+            arbiter.rotate()
+        self.switched_packets += moved
+        return moved
+
+    @property
+    def busy(self) -> bool:
+        """True while any buffer holds a packet."""
+        return (any(not b.empty for b in self.inputs.values())
+                or any(not b.empty for b in self.outputs.values()))
+
+    @property
+    def occupancy(self) -> int:
+        """Total packets resident in this router."""
+        return (sum(b.occupancy for b in self.inputs.values())
+                + sum(b.occupancy for b in self.outputs.values()))
+
+    def __repr__(self) -> str:
+        return f"Router(node={self.node_id}, occupancy={self.occupancy})"

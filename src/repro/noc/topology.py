@@ -1,0 +1,169 @@
+"""NoC topologies: 2D mesh (Fig. 6a) and fully connected (Fig. 6b)."""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+from repro.noc.packet import Packet
+from repro.noc.routing import (
+    OPPOSITE,
+    Port,
+    PortKey,
+    local_delivery_port,
+    xy_route,
+)
+
+
+class Topology:
+    """Abstract wiring plan: ports per node, link targets, route tables."""
+
+    n_nodes: int
+
+    def link_ports(self, node: int) -> list[PortKey]:
+        """Directional (non-local) ports present at ``node``."""
+        raise NotImplementedError
+
+    def link_target(self, node: int, port: PortKey) -> tuple[int, PortKey]:
+        """The ``(node, input port)`` a packet leaving ``(node, port)`` hits."""
+        raise NotImplementedError
+
+    def next_port(self, node: int, packet: Packet) -> PortKey:
+        """Output port a packet takes from ``node`` (the routing table)."""
+        raise NotImplementedError
+
+    def min_hops(self, src: int, dst: int) -> int:
+        """Router-to-router link traversals on the routing path."""
+        raise NotImplementedError
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise ConfigurationError(
+                f"node {node} out of range 0..{self.n_nodes - 1}")
+
+
+class Mesh2D(Topology):
+    """A ``rows x cols`` 2D mesh with deterministic X-Y routing.
+
+    The paper's configuration is 4x4 (16 vaults/PEs).  Border routers
+    simply lack the off-edge ports.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ConfigurationError(
+                f"mesh dimensions must be >= 1, got {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.n_nodes = rows * cols
+
+    @classmethod
+    def for_nodes(cls, n_nodes: int) -> "Mesh2D":
+        """Near-square mesh for ``n_nodes`` (must factorise)."""
+        from repro.memory.layout import grid_dimensions
+
+        rows, cols = grid_dimensions(n_nodes)
+        return cls(rows, cols)
+
+    def coords(self, node: int) -> tuple[int, int]:
+        """Node id to ``(row, col)``."""
+        self._check_node(node)
+        return divmod(node, self.cols)
+
+    def node_at(self, row: int, col: int) -> int:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise ConfigurationError(
+                f"({row}, {col}) outside {self.rows}x{self.cols} mesh")
+        return row * self.cols + col
+
+    def link_ports(self, node: int) -> list[PortKey]:
+        row, col = self.coords(node)
+        ports: list[PortKey] = []
+        if row > 0:
+            ports.append(Port.NORTH)
+        if row < self.rows - 1:
+            ports.append(Port.SOUTH)
+        if col < self.cols - 1:
+            ports.append(Port.EAST)
+        if col > 0:
+            ports.append(Port.WEST)
+        return ports
+
+    def link_target(self, node: int, port: PortKey) -> tuple[int, PortKey]:
+        row, col = self.coords(node)
+        delta = {Port.NORTH: (-1, 0), Port.SOUTH: (1, 0),
+                 Port.EAST: (0, 1), Port.WEST: (0, -1)}
+        if port not in delta:
+            raise ConfigurationError(f"{port} is not a mesh link port")
+        d_row, d_col = delta[port]
+        return self.node_at(row + d_row, col + d_col), OPPOSITE[port]
+
+    def next_port(self, node: int, packet: Packet) -> PortKey:
+        row, col = self.coords(node)
+        dst_row, dst_col = self.coords(packet.dst)
+        step = xy_route(row, col, dst_row, dst_col)
+        if step is None:
+            return local_delivery_port(packet.kind)
+        return step
+
+    def min_hops(self, src: int, dst: int) -> int:
+        src_row, src_col = self.coords(src)
+        dst_row, dst_col = self.coords(dst)
+        return abs(src_row - dst_row) + abs(src_col - dst_col)
+
+    @property
+    def diameter(self) -> int:
+        """Longest minimal path in hops."""
+        return (self.rows - 1) + (self.cols - 1)
+
+    @property
+    def bisection_links(self) -> int:
+        """Links crossing the narrower bisection cut."""
+        if self.cols >= self.rows:
+            return self.rows
+        return self.cols
+
+    def __repr__(self) -> str:
+        return f"Mesh2D({self.rows}x{self.cols})"
+
+
+class FullyConnected(Topology):
+    """Every router directly linked to every other (Fig. 6b).
+
+    A node's peer ports are keyed ``("peer", other)``.  The paper notes a
+    16-node instance needs 17 input/output channels per router — the cost
+    that motivates sticking with the mesh.
+    """
+
+    def __init__(self, n_nodes: int) -> None:
+        if n_nodes < 1:
+            raise ConfigurationError(
+                f"n_nodes must be >= 1, got {n_nodes}")
+        self.n_nodes = n_nodes
+
+    def link_ports(self, node: int) -> list[PortKey]:
+        self._check_node(node)
+        return [("peer", other) for other in range(self.n_nodes)
+                if other != node]
+
+    def link_target(self, node: int, port: PortKey) -> tuple[int, PortKey]:
+        if not (isinstance(port, tuple) and port[0] == "peer"):
+            raise ConfigurationError(f"{port} is not a peer port")
+        return port[1], ("peer", node)
+
+    def next_port(self, node: int, packet: Packet) -> PortKey:
+        self._check_node(node)
+        if packet.dst == node:
+            return local_delivery_port(packet.kind)
+        return ("peer", packet.dst)
+
+    def min_hops(self, src: int, dst: int) -> int:
+        self._check_node(src)
+        self._check_node(dst)
+        return 0 if src == dst else 1
+
+    @property
+    def channels_per_router(self) -> int:
+        """Input (or output) channels per router, incl. PE and MEM."""
+        return (self.n_nodes - 1) + 2
+
+    def __repr__(self) -> str:
+        return f"FullyConnected({self.n_nodes})"

@@ -1,0 +1,93 @@
+"""Physical-unit helpers used across the library.
+
+The library stores frequencies in hertz, times in seconds, energies in
+joules, and powers in watts.  These helpers exist so that specification
+tables read like the paper (``GHz(5)``, ``ns(27.5)``, ``pJ_per_bit(3.7)``)
+rather than as bare exponents.
+"""
+
+from __future__ import annotations
+
+KILO = 1e3
+MEGA = 1e6
+GIGA = 1e9
+
+MILLI = 1e-3
+MICRO = 1e-6
+NANO = 1e-9
+PICO = 1e-12
+
+
+def MHz(value: float) -> float:
+    """Megahertz to hertz."""
+    return value * MEGA
+
+
+def GHz(value: float) -> float:
+    """Gigahertz to hertz."""
+    return value * GIGA
+
+
+def ns(value: float) -> float:
+    """Nanoseconds to seconds."""
+    return value * NANO
+
+
+def GBps(value: float) -> float:
+    """Gigabytes per second to bytes per second."""
+    return value * GIGA
+
+
+def MB(value: float) -> float:
+    """Megabytes to bytes."""
+    return value * MEGA
+
+
+def KB(value: float) -> float:
+    """Kilobytes to bytes."""
+    return value * KILO
+
+
+def pJ(value: float) -> float:
+    """Picojoules to joules."""
+    return value * PICO
+
+
+def mW(value: float) -> float:
+    """Milliwatts to watts."""
+    return value * MILLI
+
+
+def mm2(value: float) -> float:
+    """Square millimetres (kept as-is; the library's area unit is mm^2)."""
+    return value
+
+
+def cycles_for_time(duration_s: float, frequency_hz: float) -> int:
+    """Number of whole clock cycles covering ``duration_s`` at ``frequency_hz``.
+
+    Rounds up: a latency of 27.5 ns at 5 GHz costs 138 cycles, because the
+    hardware cannot release data mid-cycle.
+    """
+    if duration_s < 0:
+        raise ValueError(f"duration must be non-negative, got {duration_s}")
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    exact = duration_s * frequency_hz
+    whole = int(exact)
+    return whole if exact == whole else whole + 1
+
+
+def seconds_for_cycles(cycles: float, frequency_hz: float) -> float:
+    """Wall-clock seconds taken by ``cycles`` ticks at ``frequency_hz``."""
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return cycles / frequency_hz
+
+
+def giga_ops_per_second(total_ops: float, total_cycles: float,
+                        frequency_hz: float) -> float:
+    """Throughput in GOPs/s given an op count and a cycle count."""
+    if total_cycles <= 0:
+        raise ValueError(f"cycle count must be positive, got {total_cycles}")
+    return total_ops / seconds_for_cycles(total_cycles, frequency_hz) / GIGA

@@ -1,0 +1,26 @@
+"""Shared fixtures for the Neurocube reproduction test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NeurocubeConfig
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic RNG for test data."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def config() -> NeurocubeConfig:
+    """The paper's 15nm HMC configuration."""
+    return NeurocubeConfig.hmc_15nm()
+
+
+@pytest.fixture
+def config_28nm() -> NeurocubeConfig:
+    """The paper's 28nm HMC configuration."""
+    return NeurocubeConfig.hmc_28nm()

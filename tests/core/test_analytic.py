@@ -1,0 +1,138 @@
+"""Tests for the analytic performance model."""
+
+import pytest
+
+from repro.core import AnalyticModel, NeurocubeConfig, compile_inference
+from repro.core.analytic import CalibrationFactors
+from repro.nn import models
+
+
+@pytest.fixture
+def model(config):
+    return AnalyticModel(config)
+
+
+@pytest.fixture
+def scene_net():
+    return models.scene_labeling_convnn(qformat=None)
+
+
+class TestBounds:
+    def test_conv_compute_bound(self, model, config):
+        net = models.single_conv_layer(240, 320, 7, qformat=None)
+        desc = compile_inference(net, config).descriptors[0]
+        breakdown = model.pass_breakdown(desc)
+        assert breakdown["bound"] == "compute"
+        assert breakdown["total"] >= breakdown["compute"]
+
+    def test_fc_supply_bound_with_duplication(self, model, config):
+        net = models.fully_connected_classifier(4096, 1024, qformat=None)
+        desc = compile_inference(net, config, True).descriptors[0]
+        breakdown = model.pass_breakdown(desc)
+        assert breakdown["supply"] > breakdown["compute"]
+
+    def test_fc_broadcast_bound_without_duplication(self, model, config):
+        net = models.fully_connected_classifier(4096, 1024, qformat=None)
+        desc = compile_inference(net, config, False).descriptors[0]
+        breakdown = model.pass_breakdown(desc)
+        assert breakdown["broadcast"] > breakdown["supply"]
+        assert breakdown["bound"] == "noc"
+
+    def test_broadcast_absent_on_fully_connected_noc(self, config):
+        fc_config = config.with_(noc_topology="fully_connected")
+        model = AnalyticModel(fc_config)
+        net = models.fully_connected_classifier(4096, 1024, qformat=None)
+        desc = compile_inference(net, fc_config, False).descriptors[0]
+        assert model.pass_breakdown(desc)["broadcast"] == 0.0
+
+    def test_ddr3_memory_bound(self):
+        config = NeurocubeConfig.ddr3()
+        model = AnalyticModel(config)
+        net = models.single_conv_layer(240, 320, 7, qformat=None)
+        desc = compile_inference(net, config).descriptors[0]
+        assert model.pass_breakdown(desc)["bound"] == "memory"
+
+
+class TestHeadlineShape:
+    """The paper's qualitative results must hold in the model."""
+
+    def test_duplication_beats_no_duplication(self, model, scene_net):
+        dup = model.evaluate_network(scene_net, duplicate=True)
+        nodup = model.evaluate_network(scene_net, duplicate=False)
+        assert dup.throughput_gops > nodup.throughput_gops
+        # Paper contrast: 111.4/132.4 = 0.84; require the same class.
+        ratio = nodup.throughput_gops / dup.throughput_gops
+        assert 0.6 < ratio < 0.95
+
+    def test_duplicate_throughput_near_paper(self, model, scene_net):
+        """132.4 GOPs/s reported; require within 15%."""
+        report = model.evaluate_network(scene_net, duplicate=True)
+        assert report.throughput_gops == pytest.approx(132.4, rel=0.15)
+
+    def test_conv_layers_flat_with_duplication(self, model, scene_net):
+        report = model.evaluate_network(scene_net, duplicate=True)
+        conv_gops = [l.throughput_gops(model.config.f_pe_hz)
+                     for l in report.layers if l.kind == "conv"]
+        assert max(conv_gops) / min(conv_gops) < 1.25
+
+    def test_duplication_costs_memory(self, model, scene_net):
+        dup = model.evaluate_network(scene_net, duplicate=True)
+        nodup = model.evaluate_network(scene_net, duplicate=False)
+        assert dup.total_bytes > nodup.total_bytes
+        assert dup.memory_overhead > 0.05
+
+    def test_node_scaling(self, scene_net):
+        """28nm at 300 MHz is ~16.7x slower than 15nm at 5 GHz."""
+        fps15 = AnalyticModel(NeurocubeConfig.hmc_15nm()).evaluate_network(
+            scene_net, True).frames_per_second
+        fps28 = AnalyticModel(NeurocubeConfig.hmc_28nm()).evaluate_network(
+            scene_net, True).frames_per_second
+        assert fps15 / fps28 == pytest.approx(5e9 / 300e6, rel=0.05)
+
+    def test_training_close_to_inference_throughput(self, model):
+        net = models.scene_labeling_convnn(height=128, width=128,
+                                           qformat=None)
+        inference = model.evaluate_network(net, True)
+        training = model.evaluate_network(net, True, training=True)
+        assert training.throughput_gops < inference.throughput_gops
+        assert training.throughput_gops > 0.4 * inference.throughput_gops
+
+    def test_kernel_size_hurts_only_without_duplication(self, model,
+                                                        config):
+        def throughput(kernel, duplicate):
+            net = models.single_conv_layer(240, 320, kernel,
+                                           qformat=None)
+            return model.evaluate_network(
+                net, duplicate=duplicate).throughput_gops
+
+        dup_drop = throughput(3, True) - throughput(11, True)
+        nodup_drop = throughput(3, False) - throughput(11, False)
+        assert nodup_drop > dup_drop
+
+    def test_hmc_beats_ddr3(self):
+        net = models.single_conv_layer(240, 320, 7, qformat=None)
+        hmc = AnalyticModel(
+            NeurocubeConfig.hmc_15nm()).evaluate_network(net, True)
+        ddr3 = AnalyticModel(
+            NeurocubeConfig.ddr3()).evaluate_network(net, True)
+        assert hmc.throughput_gops > 5 * ddr3.throughput_gops
+
+    def test_fully_connected_noc_helps_fc_layers(self, config):
+        net = models.fully_connected_classifier(4096, 1024, qformat=None)
+        mesh = AnalyticModel(config).evaluate_network(net, False)
+        full = AnalyticModel(config.with_(
+            noc_topology="fully_connected")).evaluate_network(net, False)
+        assert full.throughput_gops > 2 * mesh.throughput_gops
+
+
+class TestFactors:
+    def test_custom_factors_change_result(self, config, scene_net):
+        loose = AnalyticModel(config, CalibrationFactors(conv_derate=1.0))
+        tight = AnalyticModel(config, CalibrationFactors(conv_derate=0.5))
+        assert (loose.evaluate_network(scene_net, True).throughput_gops
+                > tight.evaluate_network(scene_net, True).throughput_gops)
+
+    def test_report_is_analytic(self, model, scene_net):
+        report = model.evaluate_network(scene_net, True)
+        assert report.source == "analytic"
+        assert report.peak_gops == pytest.approx(160.0)

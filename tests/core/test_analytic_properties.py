@@ -1,0 +1,134 @@
+"""Property-based tests of the analytic model.
+
+Hypothesis draws layer shapes and configuration knobs and checks the
+monotonicity/sanity properties that must hold for any input — the
+guard-rails that keep sweep experiments trustworthy.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import AnalyticModel, NeurocubeConfig, compile_inference
+from repro.nn import models
+
+fast = settings(max_examples=25, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def conv_shape(draw):
+    height = draw(st.integers(20, 200))
+    width = draw(st.integers(20, 200))
+    kernel = draw(st.sampled_from([3, 5, 7]))
+    return height, width, kernel
+
+
+@st.composite
+def fc_shape(draw):
+    inputs = draw(st.integers(16, 4096))
+    hidden = draw(st.integers(16, 2048))
+    return inputs, hidden
+
+
+class TestThroughputBounds:
+    @given(shape=conv_shape(), duplicate=st.booleans())
+    @fast
+    def test_never_exceeds_peak(self, shape, duplicate):
+        height, width, kernel, = shape
+        config = NeurocubeConfig.hmc_15nm()
+        net = models.single_conv_layer(height, width, kernel,
+                                       qformat=None)
+        report = AnalyticModel(config).evaluate_network(net, duplicate)
+        assert 0.0 < report.throughput_gops <= config.peak_gops
+
+    @given(shape=fc_shape(), duplicate=st.booleans())
+    @fast
+    def test_fc_never_exceeds_peak(self, shape, duplicate):
+        inputs, hidden = shape
+        config = NeurocubeConfig.hmc_15nm()
+        net = models.fully_connected_classifier(inputs, hidden,
+                                                qformat=None)
+        report = AnalyticModel(config).evaluate_network(net, duplicate)
+        assert 0.0 < report.throughput_gops <= config.peak_gops
+
+
+class TestMonotonicity:
+    @given(shape=conv_shape())
+    @fast
+    def test_duplication_never_slower(self, shape):
+        height, width, kernel = shape
+        config = NeurocubeConfig.hmc_15nm()
+        model = AnalyticModel(config)
+        net = models.single_conv_layer(height, width, kernel,
+                                       qformat=None)
+        dup = model.evaluate_network(net, True).total_cycles
+        nodup = model.evaluate_network(net, False).total_cycles
+        assert dup <= nodup * 1.001
+
+    @given(shape=fc_shape())
+    @fast
+    def test_fc_duplication_never_slower(self, shape):
+        inputs, hidden = shape
+        config = NeurocubeConfig.hmc_15nm()
+        model = AnalyticModel(config)
+        net = models.fully_connected_classifier(inputs, hidden,
+                                                qformat=None)
+        dup = model.evaluate_network(net, True).total_cycles
+        nodup = model.evaluate_network(net, False).total_cycles
+        assert dup <= nodup * 1.001
+
+    @given(shape=conv_shape(),
+           gaps=st.tuples(st.integers(0, 8), st.integers(9, 24)))
+    @fast
+    def test_longer_tccd_gap_never_faster(self, shape, gaps):
+        height, width, kernel = shape
+        net = models.single_conv_layer(height, width, kernel,
+                                       qformat=None)
+        cycles = []
+        for gap in gaps:
+            config = NeurocubeConfig.hmc_15nm(tccd_gap_cycles=gap)
+            cycles.append(AnalyticModel(config).evaluate_network(
+                net, True).total_cycles)
+        assert cycles[0] <= cycles[1] * 1.001
+
+    @given(shape=conv_shape())
+    @fast
+    def test_more_vaults_never_slower(self, shape):
+        height, width, kernel = shape
+        net = models.single_conv_layer(height, width, kernel,
+                                       qformat=None)
+        cycles = []
+        for channels in (4, 16):
+            config = NeurocubeConfig.hmc_15nm(n_channels=channels,
+                                              n_pe=channels)
+            cycles.append(AnalyticModel(config).evaluate_network(
+                net, True).total_cycles)
+        assert cycles[1] <= cycles[0] * 1.001
+
+
+class TestConsistency:
+    @given(shape=conv_shape(), duplicate=st.booleans())
+    @fast
+    def test_ops_preserved_through_model(self, shape, duplicate):
+        height, width, kernel = shape
+        config = NeurocubeConfig.hmc_15nm()
+        net = models.single_conv_layer(height, width, kernel,
+                                       qformat=None)
+        program = compile_inference(net, config, duplicate)
+        report = AnalyticModel(config).evaluate_program(program)
+        assert report.total_ops == net.total_ops
+
+    @given(shape=fc_shape())
+    @fast
+    def test_memory_accounting_consistent(self, shape):
+        inputs, hidden = shape
+        config = NeurocubeConfig.hmc_15nm()
+        net = models.fully_connected_classifier(inputs, hidden,
+                                                qformat=None)
+        model = AnalyticModel(config)
+        dup = model.evaluate_network(net, True)
+        nodup = model.evaluate_network(net, False)
+        assert dup.total_bytes >= nodup.total_bytes
+        assert nodup.duplicated_bytes == 0
+        assert dup.memory_overhead >= 0.0

@@ -1,0 +1,170 @@
+"""Tests for the network-to-PNG compiler."""
+
+import pytest
+
+from repro.core import NeurocubeConfig, compile_inference, compile_training
+from repro.core.compiler import conv_map_block, descriptor_for_layer
+from repro.core.layerdesc import Phase
+from repro.errors import MappingError
+from repro.nn import models
+from repro.nn.layers import Flatten
+from repro.nn.network import Network
+from repro.nn.layers import Dense, PixelwiseDense, Recurrent
+
+
+@pytest.fixture
+def scene_net():
+    return models.scene_labeling_convnn(qformat=None)
+
+
+class TestConvMapBlocking:
+    def test_small_kernel_fits_whole(self):
+        assert conv_map_block(3, 7, 225) == (3, 1)
+
+    def test_eight_maps_split_in_two(self):
+        """8 maps x 49 weights = 392 > 225 -> 2 sub-passes of 4 maps."""
+        assert conv_map_block(8, 7, 225) == (4, 2)
+
+    def test_oversized_single_map_streams(self):
+        block, subs = conv_map_block(2, 16, 225)
+        assert (block, subs) == (2, 1)
+
+    def test_block_divides_maps(self):
+        for in_maps in (3, 5, 6, 12, 16):
+            block, subs = conv_map_block(in_maps, 7, 225)
+            assert block * subs == in_maps
+
+
+class TestInferenceCompilation:
+    def test_flatten_skipped(self, scene_net, config):
+        program = compile_inference(scene_net, config)
+        names = [d.name for d in program]
+        assert "flatten" not in names
+        assert len(program) == 7
+
+    def test_macs_preserved(self, scene_net, config):
+        """Lowering must not change the arithmetic work."""
+        program = compile_inference(scene_net, config)
+        weighted = {d.name: d.macs for d in program
+                    if d.kind in ("conv", "fc")}
+        for layer in scene_net.layers:
+            if layer.name in weighted:
+                assert weighted[layer.name] == layer.macs, layer.name
+
+    def test_conv_weights_resident_after_blocking(self, scene_net,
+                                                  config):
+        program = compile_inference(scene_net, config)
+        for desc in program:
+            if desc.kind == "conv":
+                assert desc.weights_resident
+                assert desc.connections <= config.weight_memory_items
+
+    def test_fc_weights_stream(self, scene_net, config):
+        program = compile_inference(scene_net, config)
+        fc1 = next(d for d in program if d.name == "fc1")
+        assert not fc1.weights_resident
+        assert fc1.items_per_connection == 2
+
+    def test_duplicate_flag_propagates(self, scene_net, config):
+        dup = compile_inference(scene_net, config, duplicate=True)
+        nodup = compile_inference(scene_net, config, duplicate=False)
+        assert all(d.layout.duplicate for d in dup)
+        assert not any(d.layout.duplicate for d in nodup)
+        assert dup.duplicated_bytes > 0
+        assert nodup.duplicated_bytes == 0
+
+    def test_pool_has_no_weights(self, scene_net, config):
+        program = compile_inference(scene_net, config)
+        pool = next(d for d in program if d.kind == "pool")
+        assert not pool.is_weighted
+        assert pool.layout.weight_bytes == 0
+
+    def test_pixelwise_dense_lowered_as_conv(self, config):
+        net = Network([PixelwiseDense(4, name="pw")],
+                      input_shape=(8, 6, 6))
+        program = compile_inference(net, config)
+        desc = program.descriptors[0]
+        assert desc.kind == "conv"
+        assert desc.passes == 4
+        assert desc.connections == 8
+
+    def test_recurrent_lowered_per_step(self, config):
+        net = models.small_rnn(inputs=8, hidden_units=12, steps=5,
+                               qformat=None)
+        program = compile_inference(net, config)
+        desc = program.descriptors[0]
+        assert desc.kind == "fc"
+        assert desc.passes == 5
+        assert desc.connections == 20
+
+    def test_unknown_layer_rejected(self, config):
+        class Strange(Flatten):
+            pass
+
+        class NotALayer:
+            pass
+
+        assert descriptor_for_layer(Strange(), 0, config, True) is None
+        with pytest.raises(MappingError):
+            descriptor_for_layer(NotALayer(), 0, config, True)
+
+    def test_empty_program_rejected(self, config):
+        net = Network([Flatten()], input_shape=(2, 2, 2))
+        with pytest.raises(MappingError):
+            compile_inference(net, config)
+
+
+class TestTrainingCompilation:
+    def test_phases_present(self, config):
+        net = models.mnist_mlp(hidden_units=16, qformat=None)
+        program = compile_training(net, config)
+        phases = {d.phase for d in program}
+        assert phases == {Phase.FORWARD, Phase.BACKWARD_DATA,
+                          Phase.BACKWARD_WEIGHT, Phase.WEIGHT_UPDATE}
+
+    def test_first_layer_skips_backward_data(self, config):
+        net = models.mnist_mlp(hidden_units=16, qformat=None)
+        program = compile_training(net, config)
+        first = program.descriptors[0]
+        bwd_data = [d for d in program
+                    if d.phase == Phase.BACKWARD_DATA]
+        assert all(d.layer_index != first.layer_index for d in bwd_data)
+
+    def test_backward_mirrors_forward_work(self, config):
+        net = models.mnist_mlp(hidden_units=16, qformat=None)
+        program = compile_training(net, config)
+        forward = {d.layer_index: d.macs for d in program
+                   if d.phase == Phase.FORWARD}
+        for desc in program:
+            if desc.phase in (Phase.BACKWARD_DATA, Phase.BACKWARD_WEIGHT):
+                assert desc.macs == forward[desc.layer_index]
+
+    def test_update_touches_each_weight_once(self, config):
+        net = models.mnist_mlp(hidden_units=16, qformat=None)
+        program = compile_training(net, config)
+        updates = {d.layer_index: d.macs for d in program
+                   if d.phase == Phase.WEIGHT_UPDATE}
+        for index, macs in updates.items():
+            # Synaptic weights exactly; biases update on the host side.
+            layer = net.layers[index]
+            assert macs == layer.weight_count - layer.units
+
+    def test_update_has_no_lateral_traffic(self, config):
+        net = models.mnist_mlp(hidden_units=16, qformat=None)
+        program = compile_training(net, config)
+        for desc in program:
+            if desc.phase == Phase.WEIGHT_UPDATE:
+                assert desc.layout.remote_state_fraction == 0.0
+
+    def test_training_ops_exceed_inference(self, config):
+        net = models.mnist_mlp(hidden_units=16, qformat=None)
+        inference = compile_inference(net, config)
+        training = compile_training(net, config)
+        assert training.total_ops > 2 * inference.total_ops
+
+    def test_backward_order_reversed(self, config):
+        net = models.lenet_like(qformat=None)
+        program = compile_training(net, config)
+        bwd = [d.layer_index for d in program
+               if d.phase == Phase.BACKWARD_WEIGHT]
+        assert bwd == sorted(bwd, reverse=True)

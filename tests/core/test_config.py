@@ -1,0 +1,83 @@
+"""Tests for NeurocubeConfig."""
+
+import pytest
+
+from repro.core import NeurocubeConfig
+from repro.errors import ConfigurationError
+from repro.memory.specs import DDR3, HMC_INT
+
+
+class TestPaperConfigurations:
+    def test_15nm_point(self):
+        config = NeurocubeConfig.hmc_15nm()
+        assert config.n_channels == 16
+        assert config.n_pe == 16
+        assert config.n_mac == 16
+        assert config.f_pe_hz == 5e9
+        assert config.technology == "15nm"
+
+    def test_28nm_point(self):
+        config = NeurocubeConfig.hmc_28nm()
+        assert config.f_pe_hz == 300e6
+
+    def test_mac_clock_eq3(self):
+        """Eq. 3: f_MAC = f_PE / n_MAC."""
+        config = NeurocubeConfig.hmc_15nm()
+        assert config.f_mac_hz == pytest.approx(5e9 / 16)
+        assert config.f_noc_hz == config.f_pe_hz
+        assert config.f_dram_io_hz == config.f_pe_hz
+
+    def test_peak_gops(self):
+        """256 MACs x 312.5 MHz x 2 ops = 160 GOPs/s at 15nm."""
+        assert NeurocubeConfig.hmc_15nm().peak_gops == pytest.approx(160.0)
+        assert NeurocubeConfig.hmc_28nm().peak_gops == pytest.approx(9.6)
+
+    def test_ddr3_point(self):
+        config = NeurocubeConfig.ddr3()
+        assert config.memory_spec is DDR3
+        assert config.n_channels == 2
+        assert config.n_pe == 16
+
+    def test_channel_timing_sustained_matches_table(self):
+        config = NeurocubeConfig.hmc_15nm()
+        assert config.channel_timing.sustained_bandwidth == pytest.approx(
+            10e9)
+
+    def test_ddr3_channel_slower_than_reference(self):
+        config = NeurocubeConfig.ddr3()
+        assert config.channel_timing.words_per_cycle < 1.0
+
+    def test_items_per_word(self):
+        assert NeurocubeConfig.hmc_15nm().items_per_word == 2
+        assert NeurocubeConfig.ddr3().items_per_word == 4
+
+    def test_weight_memory_items(self):
+        """Table II: 3,600-bit weight register = 225 16-bit weights."""
+        assert NeurocubeConfig.hmc_15nm().weight_memory_items == 225
+
+
+class TestValidation:
+    def test_too_many_channels(self):
+        with pytest.raises(ConfigurationError):
+            NeurocubeConfig(memory_spec=HMC_INT, n_channels=17)
+
+    def test_more_channels_than_pes(self):
+        with pytest.raises(ConfigurationError):
+            NeurocubeConfig(n_channels=16, n_pe=8)
+
+    def test_unknown_topology(self):
+        with pytest.raises(ConfigurationError):
+            NeurocubeConfig(noc_topology="torus")
+
+    def test_channel_pe_maps(self):
+        config = NeurocubeConfig.ddr3()
+        assert config.pe_of_channel(1) == 1
+        assert config.channel_of_pe(5) == 1
+        assert config.channel_of_pe(4) == 0
+        with pytest.raises(ConfigurationError):
+            config.pe_of_channel(2)
+
+    def test_with_override(self):
+        config = NeurocubeConfig.hmc_15nm().with_(n_mac=8)
+        assert config.n_mac == 8
+        assert config.f_mac_hz == pytest.approx(5e9 / 8)

@@ -1,0 +1,144 @@
+"""Tests for layer descriptors and the report dataclasses."""
+
+import pytest
+
+from repro.core import NeurocubeConfig, compile_inference
+from repro.core.layerdesc import LayerDescriptor, Phase
+from repro.core.metrics import LayerStats, RunReport
+from repro.errors import ConfigurationError
+from repro.memory.layout import conv_layout, fc_layout
+from repro.nn import models
+
+
+def conv_desc(duplicate=True, **overrides) -> LayerDescriptor:
+    fields = dict(
+        name="c", kind="conv", phase=Phase.FORWARD, layer_index=0,
+        passes=4, sub_passes=2, neurons_per_pass=36, connections=18,
+        n_mac=16, in_height=8, in_width=8, kernel=3,
+        layout=conv_layout(8, 8, 3, 2, 2, 4, duplicate),
+        weights_resident=True, is_weighted=True, activation="tanh")
+    fields.update(overrides)
+    return LayerDescriptor(**fields)
+
+
+class TestLayerDescriptor:
+    def test_aggregates(self):
+        desc = conv_desc()
+        assert desc.neurons == 4 * 36
+        assert desc.macs == 4 * 36 * 18
+        assert desc.ops == 2 * desc.macs
+
+    def test_resident_weights_stream_one_item(self):
+        assert conv_desc().items_per_connection == 1
+        assert conv_desc().stream_items == conv_desc().macs
+
+    def test_streamed_weights_double_items(self):
+        desc = conv_desc(weights_resident=False)
+        assert desc.items_per_connection == 2
+
+    def test_pool_streams_one_item(self):
+        desc = conv_desc(kind="pool", is_weighted=False)
+        assert desc.items_per_connection == 1
+
+    def test_lateral_packets_follow_layout(self):
+        desc = conv_desc(duplicate=False)
+        expected = desc.macs * desc.layout.remote_state_fraction
+        assert desc.lateral_packets == pytest.approx(expected)
+        assert conv_desc(duplicate=True).lateral_packets == 0.0
+
+    def test_sub_passes_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            conv_desc(passes=5, sub_passes=2)
+
+    def test_kind_validated(self):
+        with pytest.raises(ConfigurationError):
+            conv_desc(kind="mystery")
+
+
+class TestNeurocubeProgram:
+    def test_memory_counts_forward_only(self, config):
+        from repro.core import compile_training
+
+        net = models.mnist_mlp(hidden_units=16, qformat=None)
+        inference = compile_inference(net, config)
+        training = compile_training(net, config)
+        assert training.state_bytes == inference.state_bytes
+        assert training.weight_bytes == inference.weight_bytes
+
+    def test_total_ops(self, config):
+        net = models.mnist_mlp(hidden_units=16, qformat=None)
+        program = compile_inference(net, config)
+        assert program.total_ops == sum(d.ops for d in program)
+
+
+def stats(name="l", cycles=1000.0, ops=2000, phase="forward",
+          **overrides) -> LayerStats:
+    fields = dict(name=name, kind="conv", phase=phase, duplicate=True,
+                  neurons=10, connections=10, macs=ops // 2, ops=ops,
+                  cycles=cycles, bound="compute", packets=100,
+                  lateral_fraction=0.25, state_bytes=1000,
+                  weight_bytes=500, duplicated_bytes=100)
+    fields.update(overrides)
+    return LayerStats(**fields)
+
+
+class TestRunReport:
+    def test_throughput(self):
+        report = RunReport(network_name="n", f_clk_hz=1e9,
+                           peak_gops=100.0)
+        report.layers.append(stats(cycles=1000.0, ops=2000))
+        # 2000 ops in 1 us = 2 GOPs/s.
+        assert report.throughput_gops == pytest.approx(2.0)
+        assert report.utilization == pytest.approx(0.02)
+
+    def test_frames_per_second(self):
+        report = RunReport(network_name="n", f_clk_hz=1e9,
+                           peak_gops=100.0)
+        report.layers.append(stats(cycles=1e6))
+        assert report.frames_per_second == pytest.approx(1000.0)
+
+    def test_memory_counts_forward_phase_only(self):
+        report = RunReport(network_name="n", f_clk_hz=1e9,
+                           peak_gops=100.0)
+        report.layers.append(stats(phase="forward"))
+        report.layers.append(stats(phase="backward_data"))
+        assert report.state_bytes == 1000
+        assert report.total_bytes == 1600
+
+    def test_lateral_fraction_packet_weighted(self):
+        report = RunReport(network_name="n", f_clk_hz=1e9,
+                           peak_gops=100.0)
+        report.layers.append(stats(packets=100, lateral_fraction=0.0))
+        report.layers.append(stats(packets=300, lateral_fraction=1.0))
+        assert report.lateral_fraction == pytest.approx(0.75)
+
+    def test_layer_lookup(self):
+        report = RunReport(network_name="n", f_clk_hz=1e9,
+                           peak_gops=100.0)
+        report.layers.append(stats(name="conv1"))
+        assert report.layer("conv1").name == "conv1"
+        with pytest.raises(ConfigurationError):
+            report.layer("missing")
+
+    def test_empty_report_rejected(self):
+        report = RunReport(network_name="n", f_clk_hz=1e9,
+                           peak_gops=100.0)
+        with pytest.raises(ConfigurationError):
+            _ = report.throughput_gops
+
+    def test_to_table_renders(self):
+        report = RunReport(network_name="net", f_clk_hz=1e9,
+                           peak_gops=100.0)
+        report.layers.append(stats(name="conv1"))
+        text = report.to_table()
+        assert "conv1" in text and "TOTAL" in text
+
+
+class TestLayerStats:
+    def test_fc_layout_descriptor_lateral(self, config):
+        net = models.fully_connected_classifier(64, 32, qformat=None)
+        program = compile_inference(net, config, duplicate=False)
+        desc = program.descriptors[0]
+        layout = fc_layout(64, 32, 16, duplicate=False)
+        assert desc.layout.remote_state_fraction == (
+            layout.remote_state_fraction)

@@ -1,0 +1,66 @@
+"""Tests for the roofline analysis."""
+
+import pytest
+
+from repro.core import NeurocubeConfig
+from repro.core.roofline import RooflineModel
+from repro.nn import models
+
+
+@pytest.fixture
+def model(config):
+    return RooflineModel(config)
+
+
+class TestRoofline:
+    def test_sustained_bandwidth_is_table1_aggregate(self, model):
+        """16 vaults x 10 GB/s sustained."""
+        assert model.sustained_bandwidth == pytest.approx(160e9)
+
+    def test_ridge_point(self, model):
+        """160 GOPs/s over 160 GB/s -> ridge at 1 op/byte."""
+        net = models.scene_labeling_convnn(qformat=None)
+        report = model.evaluate_network(net)
+        assert report.ridge_intensity == pytest.approx(1.0)
+
+    def test_conv_intensity_one_op_per_byte(self, model):
+        """A resident-weight conv streams one 2-byte state per 2-op MAC:
+        exactly 1 op/byte — the knife edge again, now in roofline
+        terms."""
+        net = models.single_conv_layer(64, 64, 5, qformat=None)
+        report = model.evaluate_network(net)
+        assert report.points[0].intensity == pytest.approx(1.0)
+
+    def test_fc_intensity_half_op_per_byte(self, model):
+        """Streaming weights halves the intensity: FC layers sit firmly
+        under the bandwidth roof (the paper's §I argument)."""
+        net = models.fully_connected_classifier(2048, 1024, qformat=None)
+        report = model.evaluate_network(net)
+        fc = report.points[0]
+        assert fc.intensity == pytest.approx(0.5)
+        assert fc.bandwidth_bound
+        assert fc.attainable_gops == pytest.approx(80.0)
+
+    def test_achieved_below_attainable(self, model):
+        net = models.scene_labeling_convnn(qformat=None)
+        report = model.evaluate_network(net)
+        for point in report.points:
+            assert point.achieved_gops <= point.attainable_gops * 1.05
+
+    def test_achieved_tracks_roof_for_big_layers(self, model):
+        """Large layers (overhead amortised) must come close to their
+        roofline bound — the analytic model and the roofline agree."""
+        net = models.single_conv_layer(240, 320, 7, qformat=None)
+        report = model.evaluate_network(net)
+        assert report.points[0].roofline_efficiency > 0.8
+
+    def test_pool_layers_low_intensity(self, model):
+        net = models.scene_labeling_convnn(qformat=None)
+        report = model.evaluate_network(net)
+        by_name = {p.name: p for p in report.points}
+        assert by_name["pool1"].intensity <= 2.0
+
+    def test_table_renders(self, model):
+        net = models.scene_labeling_convnn(qformat=None)
+        text = model.evaluate_network(net).to_table()
+        assert "ridge" in text and "bandwidth" in text

@@ -1,0 +1,203 @@
+"""Functional-parity tests: the cycle simulator vs the NN reference.
+
+These are the strongest correctness tests in the repository: real
+Q1.7.8 data flows vault -> PNG -> NoC -> PE -> MAC -> LUT -> write-back,
+and the result must equal the functional layer bit for bit (sub-passed
+convolutions tolerate one LSB from partial-sum storage).
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import NeurocubeConfig, NeurocubeSimulator, compile_inference
+from repro.fixedpoint import quantize_float
+from repro.nn.activations import ActivationLUT, Identity, Sigmoid, Tanh
+
+
+@pytest.fixture
+def simulator(config):
+    return NeurocubeSimulator(config)
+
+
+def lut(base):
+    return ActivationLUT(base)
+
+
+def quantized_input(rng, shape, config, scale=1.0):
+    return quantize_float(rng.uniform(-scale, scale, shape),
+                          config.qformat)
+
+
+def run_layer(simulator, config, net, x, duplicate=True):
+    program = compile_inference(net, config, duplicate=duplicate)
+    return simulator.run_descriptor(program.descriptors[0],
+                                    net.layers[0], x)
+
+
+class TestConvParity:
+    def test_exact_single_map(self, simulator, config, rng):
+        net = nn.Network([nn.Conv2D(1, 3, activation=lut(Tanh()),
+                                    qformat=config.qformat)],
+                         input_shape=(1, 10, 10), seed=1)
+        x = quantized_input(rng, (1, 1, 10, 10), config)
+        run = run_layer(simulator, config, net, x[0])
+        assert np.array_equal(run.output, net.forward(x)[0])
+
+    def test_exact_multi_map(self, simulator, config, rng):
+        net = nn.Network([nn.Conv2D(3, 3, activation=lut(Sigmoid()),
+                                    qformat=config.qformat)],
+                         input_shape=(2, 9, 9), seed=2)
+        x = quantized_input(rng, (1, 2, 9, 9), config)
+        run = run_layer(simulator, config, net, x[0])
+        assert np.array_equal(run.output, net.forward(x)[0])
+
+    def test_exact_without_duplication(self, simulator, config, rng):
+        net = nn.Network([nn.Conv2D(2, 5, activation=lut(Tanh()),
+                                    qformat=config.qformat)],
+                         input_shape=(1, 12, 12), seed=3)
+        x = quantized_input(rng, (1, 1, 12, 12), config)
+        run = run_layer(simulator, config, net, x[0], duplicate=False)
+        assert np.array_equal(run.output, net.forward(x)[0])
+        assert run.lateral_fraction > 0.0
+
+    def test_subpassed_conv_within_one_lsb(self, simulator, config, rng):
+        """8 maps x 7x7 overflows the weight register -> 2 sub-passes;
+        partials are stored as Q1.7.8, costing at most one LSB."""
+        net = nn.Network([nn.Conv2D(1, 7, activation=lut(Tanh()),
+                                    qformat=config.qformat)],
+                         input_shape=(8, 14, 14), seed=4)
+        x = quantized_input(rng, (1, 8, 14, 14), config, scale=0.3)
+        program = compile_inference(net, config)
+        desc = program.descriptors[0]
+        assert desc.sub_passes == 2
+        run = simulator.run_descriptor(desc, net.layers[0], x[0])
+        error = np.abs(run.output - net.forward(x)[0]).max()
+        assert error <= config.qformat.resolution
+
+
+class TestPoolParity:
+    def test_max_pool_exact(self, simulator, config, rng):
+        net = nn.Network([nn.MaxPool2D(2, qformat=config.qformat)],
+                         input_shape=(3, 8, 8), seed=5)
+        x = quantized_input(rng, (1, 3, 8, 8), config)
+        run = run_layer(simulator, config, net, x[0])
+        assert np.array_equal(run.output, net.forward(x)[0])
+
+    def test_avg_pool_exact(self, simulator, config, rng):
+        net = nn.Network([nn.AvgPool2D(2, qformat=config.qformat)],
+                         input_shape=(2, 8, 8), seed=6)
+        x = quantized_input(rng, (1, 2, 8, 8), config)
+        run = run_layer(simulator, config, net, x[0])
+        assert np.array_equal(run.output, net.forward(x)[0])
+
+    def test_max_pool_all_negative_exact(self, simulator, config):
+        net = nn.Network([nn.MaxPool2D(2, qformat=config.qformat)],
+                         input_shape=(1, 4, 4), seed=7)
+        x = -np.abs(quantized_input(np.random.default_rng(3),
+                                    (1, 1, 4, 4), config)) - 0.25
+        x = quantize_float(x, config.qformat)
+        run = run_layer(simulator, config, net, x[0])
+        assert np.array_equal(run.output, net.forward(x)[0])
+
+
+class TestFcParity:
+    @pytest.mark.parametrize("duplicate", [True, False])
+    def test_exact(self, simulator, config, rng, duplicate):
+        net = nn.Network([nn.Dense(20, activation=lut(Sigmoid()),
+                                   qformat=config.qformat)],
+                         input_shape=(33,), seed=8)
+        x = quantized_input(rng, (1, 33), config)
+        run = run_layer(simulator, config, net, x[0],
+                        duplicate=duplicate)
+        assert np.array_equal(run.output, net.forward(x)[0])
+
+    def test_ragged_output_groups(self, simulator, config, rng):
+        """10 outputs over 16 PEs: some PEs idle, groups under-filled."""
+        net = nn.Network([nn.Dense(10, activation=lut(Identity()),
+                                   qformat=config.qformat)],
+                         input_shape=(12,), seed=9)
+        x = quantized_input(rng, (1, 12), config)
+        run = run_layer(simulator, config, net, x[0])
+        assert np.array_equal(run.output, net.forward(x)[0])
+
+
+class TestWholeNetwork:
+    def test_end_to_end_exact(self, simulator, config, rng):
+        net = nn.Network(
+            [nn.Conv2D(2, 3, activation=lut(Tanh()),
+                       qformat=config.qformat, name="c"),
+             nn.MaxPool2D(2, qformat=config.qformat, name="p"),
+             nn.Flatten(name="f"),
+             nn.Dense(6, activation=lut(Identity()),
+                      qformat=config.qformat, name="d")],
+            input_shape=(1, 10, 10), seed=10)
+        x = quantized_input(rng, (1, 1, 10, 10), config)
+        out, report = simulator.run_network(net, x[0])
+        reference = x
+        for layer in net.layers:
+            reference = layer.forward(reference)
+        assert np.array_equal(out, reference[0])
+        assert len(report.layers) == 3
+        assert report.total_cycles > 0
+
+    def test_report_sums(self, simulator, config, rng):
+        net = nn.Network([nn.Conv2D(1, 3, qformat=config.qformat)],
+                         input_shape=(1, 8, 8), seed=11)
+        x = quantized_input(rng, (1, 1, 8, 8), config)
+        _, report = simulator.run_network(net, x[0])
+        assert report.source == "cycle"
+        assert report.throughput_gops > 0
+        assert report.utilization < 1.0
+
+
+class TestTimingBehaviour:
+    def test_timing_only_mode(self, simulator, config):
+        net = nn.models.single_conv_layer(16, 16, 3, qformat=None)
+        program = compile_inference(net, config)
+        run = simulator.run_descriptor(program.descriptors[0])
+        assert run.output is None
+        assert run.cycles > 0
+
+    def test_duplication_reduces_fc_cycles(self, simulator, config, rng):
+        net = nn.Network([nn.Dense(64, qformat=config.qformat)],
+                         input_shape=(128,), seed=12)
+        cycles = {}
+        for duplicate in (True, False):
+            program = compile_inference(net, config, duplicate=duplicate)
+            cycles[duplicate] = simulator.run_descriptor(
+                program.descriptors[0]).cycles
+        assert cycles[False] > 1.5 * cycles[True]
+
+    def test_fully_connected_topology_runs(self, config, rng):
+        fc_config = config.with_(noc_topology="fully_connected")
+        simulator = NeurocubeSimulator(fc_config)
+        net = nn.Network([nn.Dense(16, qformat=fc_config.qformat)],
+                         input_shape=(24,), seed=13)
+        x = quantized_input(rng, (1, 24), fc_config)
+        run = run_layer(simulator, fc_config, net, x[0],
+                        duplicate=False)
+        assert np.array_equal(run.output, net.forward(x)[0])
+
+    def test_ddr3_fewer_channels_slower(self, rng):
+        net = nn.models.single_conv_layer(24, 24, 3, qformat=None)
+        cycles = {}
+        for name, config in (("hmc", NeurocubeConfig.hmc_15nm()),
+                             ("ddr3", NeurocubeConfig.ddr3())):
+            program = compile_inference(net, config)
+            cycles[name] = NeurocubeSimulator(config).run_descriptor(
+                program.descriptors[0]).cycles
+        assert cycles["ddr3"] > 2 * cycles["hmc"]
+
+    def test_ddr3_functionally_exact(self, rng):
+        """Two channels feeding sixteen PEs still computes exactly —
+        the mapping changes, the arithmetic must not."""
+        config = NeurocubeConfig.ddr3()
+        net = nn.Network([nn.Conv2D(1, 3, activation=lut(Tanh()),
+                                    qformat=config.qformat)],
+                         input_shape=(1, 10, 10), seed=14)
+        x = quantized_input(rng, (1, 1, 10, 10), config)
+        simulator = NeurocubeSimulator(config)
+        run = run_layer(simulator, config, net, x[0])
+        assert np.array_equal(run.output, net.forward(x)[0])
+        assert run.lateral_fraction > 0.5  # most traffic crosses mesh

@@ -1,0 +1,81 @@
+"""Consistency checks on the simulator's exposed statistics."""
+
+import pytest
+
+from repro import nn
+from repro.core import NeurocubeSimulator, compile_inference
+from repro.nn import models
+
+
+@pytest.fixture
+def simulator(config):
+    return NeurocubeSimulator(config)
+
+
+class TestStatConsistency:
+    def test_macs_fired_equals_descriptor_macs(self, config, simulator):
+        net = models.single_conv_layer(20, 20, 3, qformat=None)
+        desc = compile_inference(net, config).descriptors[0]
+        run = simulator.run_descriptor(desc)
+        assert run.macs_fired == desc.macs
+
+    def test_fc_macs_fired(self, config, simulator):
+        net = models.fully_connected_classifier(32, 24, qformat=None)
+        desc = compile_inference(net, config).descriptors[0]
+        run = simulator.run_descriptor(desc)
+        assert run.macs_fired == desc.macs
+
+    def test_busy_cycles_track_mac_rate(self, config, simulator):
+        """Each op holds its lanes busy n_mac PE cycles; summed busy
+        time equals ops x n_mac per active PE (within search stalls)."""
+        net = models.single_conv_layer(20, 20, 3, qformat=None)
+        desc = compile_inference(net, config).descriptors[0]
+        run = simulator.run_descriptor(desc)
+        ops_total = sum(-(-n // config.n_mac) * desc.connections
+                        for n in _per_pe_neuron_counts(desc, config))
+        expected = ops_total * config.n_mac
+        assert run.pe_busy_cycles == pytest.approx(
+            expected + run.search_stall_cycles, rel=0.01)
+
+    def test_no_duplication_increases_idle(self, config, simulator):
+        net = models.fully_connected_classifier(128, 64, qformat=None)
+        idle = {}
+        for duplicate in (True, False):
+            desc = compile_inference(net, config,
+                                     duplicate).descriptors[0]
+            idle[duplicate] = simulator.run_descriptor(
+                desc).pe_idle_cycles
+        assert idle[False] > idle[True]
+
+    def test_cache_peak_bounded_by_capacity(self, config, simulator):
+        net = models.fully_connected_classifier(96, 48, qformat=None)
+        desc = compile_inference(net, config, False).descriptors[0]
+        run = simulator.run_descriptor(desc)
+        capacity = (config.cache_subbanks
+                    * config.cache_entries_per_subbank)
+        assert 0 <= run.cache_peak <= capacity
+
+    def test_duplicate_conv_has_no_cache_traffic(self, config,
+                                                 simulator):
+        """All-local, in-order delivery: nothing should ever park."""
+        net = models.single_conv_layer(20, 20, 3, qformat=None)
+        desc = compile_inference(net, config, True).descriptors[0]
+        run = simulator.run_descriptor(desc)
+        assert run.search_stall_cycles == 0
+
+
+def _per_pe_neuron_counts(desc, config):
+    from repro.memory.layout import partition_grid
+
+    out_h = desc.in_height - desc.kernel + 1
+    out_w = desc.in_width - desc.kernel + 1
+    tiles = partition_grid(desc.in_height, desc.in_width, config.n_pe)
+    half = desc.kernel // 2
+    counts = [0] * config.n_pe
+    for oy in range(out_h):
+        for ox in range(out_w):
+            for index, tile in enumerate(tiles):
+                if tile.contains(ox + half, oy + half):
+                    counts[index] += 1
+                    break
+    return counts

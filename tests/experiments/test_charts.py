@@ -1,0 +1,56 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.charts import BarChart, sweep_chart
+
+
+class TestBarChart:
+    def test_renders_all_categories_and_series(self):
+        chart = BarChart(title="t", categories=["a", "b"])
+        chart.add_series("x", [1.0, 2.0]).add_series("y", [3.0, 4.0])
+        text = chart.render()
+        assert "t" in text
+        assert text.count("|") == 8  # two bars per category
+        for token in ("a", "b", "x", "y"):
+            assert token in text
+
+    def test_bars_scale_to_peak(self):
+        chart = BarChart(title="t", width=10, categories=["a", "b"])
+        chart.add_series("x", [5.0, 10.0])
+        lines = chart.render().splitlines()
+        assert lines[2].count("█") == 10  # the peak fills the width
+        assert lines[1].count("█") == 5
+
+    def test_zero_values_render(self):
+        chart = BarChart(title="t", categories=["a"])
+        chart.add_series("x", [0.0])
+        assert "0.0" in chart.render()
+
+    def test_mismatched_series_rejected(self):
+        chart = BarChart(title="t", categories=["a", "b"])
+        chart.add_series("x", [1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            chart.add_series("y", [1.0])
+
+    def test_empty_chart_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BarChart(title="t").render()
+        with pytest.raises(ConfigurationError):
+            BarChart(title="t", series={"x": []}).render()
+
+    def test_unit_appended(self):
+        chart = BarChart(title="t", unit="GOPs/s", categories=["a"])
+        chart.add_series("x", [3.0])
+        assert "GOPs/s" in chart.render()
+
+
+class TestSweepChart:
+    def test_convenience_wrapper(self):
+        text = sweep_chart("sweep", [3, 5, 7],
+                           {"dup": [10, 11, 12], "nodup": [8, 7, 6]},
+                           unit="GOPs/s")
+        assert "sweep" in text
+        assert "7" in text
+        assert "nodup" in text

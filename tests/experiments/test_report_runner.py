@@ -1,0 +1,79 @@
+"""Tests for the report generator and runner serialization."""
+
+import json
+
+import pytest
+
+from repro.experiments.report import MeasuredReport, ReportRow, generate
+from repro.experiments.runner import main as runner_main, serialize
+
+
+class TestSerialize:
+    def test_dataclass_roundtrips_to_json(self):
+        row = ReportRow("q", "1.0", "2.0")
+        data = serialize(row)
+        assert json.loads(json.dumps(data)) == {
+            "quantity": "q", "paper": "1.0", "measured": "2.0"}
+
+    def test_enum_becomes_value(self):
+        from repro.core.layerdesc import Phase
+
+        assert serialize(Phase.FORWARD) == "forward"
+
+    def test_numpy_array_summarised(self):
+        import numpy as np
+
+        data = serialize(np.arange(6).reshape(2, 3))
+        assert data == {"shape": [2, 3], "max": 5.0, "min": 0.0}
+
+    def test_unknown_object_repred(self):
+        class Odd:
+            def __repr__(self):
+                return "<odd>"
+
+        assert serialize(Odd()) == "<odd>"
+
+    def test_nested_containers(self):
+        data = serialize({"a": [ReportRow("x", "1", "2")],
+                          "b": (1, 2.5, None)})
+        assert data["a"][0]["quantity"] == "x"
+        assert data["b"] == [1, 2.5, None]
+
+
+class TestRunnerJson:
+    def test_json_output_parses(self, capsys):
+        assert runner_main(["run", "table1", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert "table1" in payload
+        assert payload["table1"]["specs"]["HMC-Int"]["max_channels"] == 16
+
+
+class TestMeasuredReport:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return generate()
+
+    def test_headline_rows_present(self, report):
+        quantities = {row.quantity for row in report.rows}
+        assert any("Inference GOPs/s" in q for q in quantities)
+        assert any("Efficiency 15nm" in q for q in quantities)
+        assert any("temp" in q for q in quantities)
+
+    def test_measured_values_numeric(self, report):
+        for row in report.rows:
+            cleaned = row.measured.rstrip("%x")
+            float(cleaned)  # must parse
+
+    def test_render_is_markdown_table(self, report):
+        text = report.to_table()
+        assert text.count("|") > 20
+        assert "Paper" in text and "Measured" in text
+
+    def test_runner_report_command(self, capsys):
+        assert runner_main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "Paper vs measured" in out
+
+    def test_empty_report_render(self):
+        with pytest.raises(ValueError):
+            MeasuredReport().to_table()

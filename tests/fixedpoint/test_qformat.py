@@ -1,0 +1,55 @@
+"""Tests for the Q-format descriptor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import Q_1_7_8, QFormat
+
+
+class TestQ178:
+    """The paper's format: 1 sign, 7 integer, 8 fractional bits."""
+
+    def test_total_bits(self):
+        assert Q_1_7_8.total_bits == 16
+
+    def test_scale(self):
+        assert Q_1_7_8.scale == 256
+
+    def test_range(self):
+        assert Q_1_7_8.max_value == pytest.approx(127.99609375)
+        assert Q_1_7_8.min_value == -128.0
+
+    def test_resolution(self):
+        assert Q_1_7_8.resolution == 1.0 / 256
+
+    def test_raw_range(self):
+        assert Q_1_7_8.max_raw == 32767
+        assert Q_1_7_8.min_raw == -32768
+
+    def test_str(self):
+        assert str(Q_1_7_8) == "Q1.7.8"
+
+
+class TestGenericFormats:
+    def test_q1_0_7(self):
+        fmt = QFormat(integer_bits=0, fraction_bits=7)
+        assert fmt.total_bits == 8
+        assert fmt.max_value < 1.0
+        assert fmt.min_value == -1.0
+
+    def test_integer_only(self):
+        fmt = QFormat(integer_bits=15, fraction_bits=0)
+        assert fmt.scale == 1
+        assert fmt.max_raw == 32767
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QFormat(integer_bits=-1, fraction_bits=8)
+
+    def test_zero_magnitude_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QFormat(integer_bits=0, fraction_bits=0)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            Q_1_7_8.integer_bits = 3

@@ -1,0 +1,122 @@
+"""Tests for the hardware power/area models against Table II."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw import AreaModel, PowerModel, components_for
+from repro.hw.area import HMC_LOGIC_DIE_MM2
+from repro.hw.components import (
+    COMPUTE_AREA_MM2,
+    COMPUTE_POWER_W,
+    DRAM_DIES_POWER_W,
+    HMC_LOGIC_POWER_W,
+    PE_SUM_AREA_MM2,
+    PE_SUM_POWER_W,
+)
+from repro.hw.tech import TECH_NODES
+
+
+class TestComponentDatabase:
+    @pytest.mark.parametrize("technology", ["28nm", "15nm"])
+    def test_all_table_rows_present(self, technology):
+        components = components_for(technology)
+        assert set(components) == {"mac", "sram_cache", "temporal_buffer",
+                                   "pmc", "weight_reg", "router"}
+
+    def test_sixteen_macs_per_pe(self):
+        assert components_for("28nm")["mac"].count_per_pe == 16
+
+    def test_router_datapath_36_bits(self):
+        assert components_for("15nm")["router"].size_bits == 36
+
+    def test_weight_register_3600_bits(self):
+        assert components_for("28nm")["weight_reg"].size_bits == 3600
+
+    def test_cache_20480_bits(self):
+        """2.5 KB cache = 20,480 bits (Table II)."""
+        assert components_for("28nm")["sram_cache"].size_bits == 20480
+
+    def test_unknown_technology(self):
+        with pytest.raises(ConfigurationError):
+            components_for("7nm")
+
+
+class TestPowerModel:
+    """Component sums must reproduce Table II's aggregate rows."""
+
+    @pytest.mark.parametrize("technology", ["28nm", "15nm"])
+    def test_pe_sum_matches_paper(self, technology):
+        model = PowerModel(technology)
+        assert model.pe_power_w == pytest.approx(
+            PE_SUM_POWER_W[technology], rel=0.01)
+
+    @pytest.mark.parametrize("technology", ["28nm", "15nm"])
+    def test_compute_power_matches_paper(self, technology):
+        model = PowerModel(technology)
+        assert model.compute_power_w == pytest.approx(
+            COMPUTE_POWER_W[technology], rel=0.01)
+
+    @pytest.mark.parametrize("technology", ["28nm", "15nm"])
+    def test_hmc_logic_matches_paper(self, technology):
+        model = PowerModel(technology)
+        assert model.hmc_logic_power_w == pytest.approx(
+            HMC_LOGIC_POWER_W[technology], rel=0.01)
+
+    @pytest.mark.parametrize("technology", ["28nm", "15nm"])
+    def test_dram_matches_paper(self, technology):
+        model = PowerModel(technology)
+        assert model.dram_power_w == pytest.approx(
+            DRAM_DIES_POWER_W[technology], rel=0.01)
+
+    def test_total_power_matches_table3_parenthetical(self):
+        """Table III: 1.86 W at 28nm and 21.50 W at 15nm all-in."""
+        assert PowerModel("28nm").system_power().total_w == pytest.approx(
+            1.86, rel=0.01)
+        assert PowerModel("15nm").system_power().total_w == pytest.approx(
+            21.5, rel=0.01)
+
+    def test_activity_scaling(self):
+        """§VII: 28nm PE clock imposes 0.06 activity on the vaults."""
+        assert TECH_NODES["28nm"].activity_factor == pytest.approx(0.06)
+        assert TECH_NODES["15nm"].activity_factor == 1.0
+
+    def test_efficiency_scopes(self):
+        power = PowerModel("15nm").system_power()
+        compute = power.efficiency(132.4, scope="compute")
+        total = power.efficiency(132.4, scope="total")
+        assert compute == pytest.approx(38.8, rel=0.01)
+        assert total < compute
+        with pytest.raises(ConfigurationError):
+            power.efficiency(1.0, scope="chip")
+
+
+class TestAreaModel:
+    @pytest.mark.parametrize("technology", ["28nm", "15nm"])
+    def test_pe_area_matches_paper(self, technology):
+        model = AreaModel(technology)
+        assert model.pe_area_mm2 == pytest.approx(
+            PE_SUM_AREA_MM2[technology], rel=0.01)
+
+    @pytest.mark.parametrize("technology", ["28nm", "15nm"])
+    def test_compute_area_matches_paper(self, technology):
+        model = AreaModel(technology)
+        assert model.compute_area_mm2 == pytest.approx(
+            COMPUTE_AREA_MM2[technology], rel=0.01)
+
+    def test_16_cores_fit_logic_die(self):
+        """Fig. 16: both nodes fit the 68 mm^2 HMC logic die."""
+        for technology in ("28nm", "15nm"):
+            plan = AreaModel(technology).floorplan()
+            assert plan.fits_logic_die()
+            assert plan.total_area_mm2() < HMC_LOGIC_DIE_MM2
+
+    def test_28nm_core_tile_near_paper_size(self):
+        """Fig. 16 places one core in a 513um x 513um tile; the
+        component sums land in that size class."""
+        plan = AreaModel("28nm").floorplan()
+        assert 0.45 < plan.core_side_mm < 0.65
+
+    def test_check_raises_when_infeasible(self):
+        model = AreaModel("28nm")
+        with pytest.raises(ConfigurationError):
+            model.check(n_cores=100_000)

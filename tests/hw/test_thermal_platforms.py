@@ -1,0 +1,119 @@
+"""Tests for the thermal stack and the Table III platform database."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw import PLATFORMS, Platform, ThermalStack, comparison_table
+from repro.hw.thermal import MAX_DRAM_TEMP_K, MAX_LOGIC_TEMP_K
+
+
+class TestThermalStack:
+    def test_no_power_means_ambient(self):
+        stack = ThermalStack(rows=4, cols=4)
+        result = stack.solve(np.zeros((5, 4, 4)))
+        assert np.allclose(result.temperatures, stack.ambient_k)
+
+    def test_power_raises_temperature(self):
+        stack = ThermalStack(rows=4, cols=4)
+        maps = np.zeros((5, 4, 4))
+        maps[0, 1, 1] = 5.0
+        result = stack.solve(maps)
+        assert result.logic_max_k > stack.ambient_k
+
+    def test_heat_source_is_hotspot(self):
+        stack = ThermalStack(rows=8, cols=8)
+        maps = np.zeros((5, 8, 8))
+        maps[0, 2, 2] = 10.0
+        result = stack.solve(maps)
+        logic = result.temperatures[0]
+        assert logic[2, 2] == logic.max()
+
+    def test_logic_hotter_than_dram_for_logic_power(self):
+        """The logic die sits farthest from the sink, so it runs
+        hottest — the Fig. 17 ordering."""
+        stack = ThermalStack(rows=4, cols=4)
+        maps = np.zeros((5, 4, 4))
+        maps[0] = 1.0
+        result = stack.solve(maps)
+        assert result.logic_max_k > result.dram_max_k
+
+    def test_linearity_in_power(self):
+        """Steady-state conduction is linear: doubling power doubles
+        the rise over ambient."""
+        stack = ThermalStack(rows=4, cols=4)
+        maps = np.zeros((5, 4, 4))
+        maps[0, 1, 1] = 2.0
+        rise1 = stack.solve(maps).logic_max_k - stack.ambient_k
+        rise2 = stack.solve(2 * maps).logic_max_k - stack.ambient_k
+        assert rise2 == pytest.approx(2 * rise1, rel=1e-6)
+
+    def test_neurocube_15nm_near_paper(self):
+        """Fig. 17: logic 349 K, DRAM 344 K; accept a 10 K window."""
+        result = ThermalStack().solve_neurocube("15nm")
+        assert result.logic_max_k == pytest.approx(349.0, abs=10.0)
+        assert result.dram_max_k == pytest.approx(344.0, abs=10.0)
+        assert result.within_limits
+
+    def test_neurocube_28nm_negligible(self):
+        """§VII: the 28nm node's heat is negligible."""
+        result = ThermalStack().solve_neurocube("28nm")
+        assert result.logic_max_k < 320.0
+
+    def test_limits_constants(self):
+        assert MAX_LOGIC_TEMP_K == 383.0
+        assert MAX_DRAM_TEMP_K == 378.0
+
+    def test_power_map_conservation(self):
+        """The generated Neurocube power maps sum to the §VII budget."""
+        from repro.hw.power import PowerModel
+
+        stack = ThermalStack()
+        maps = stack.neurocube_power_maps("15nm")
+        power = PowerModel("15nm")
+        expected = (power.compute_power_w + power.hmc_logic_power_w
+                    + power.dram_power_w)
+        assert maps.sum() == pytest.approx(expected, rel=1e-9)
+
+    def test_bad_shapes_rejected(self):
+        stack = ThermalStack(rows=4, cols=4)
+        with pytest.raises(ConfigurationError):
+            stack.solve(np.zeros((5, 3, 4)))
+        with pytest.raises(ConfigurationError):
+            ThermalStack(rows=1, cols=4)
+
+
+class TestPlatforms:
+    def test_all_paper_columns_present(self):
+        assert len(PLATFORMS) == 8
+
+    def test_gpu_efficiencies(self):
+        """Table III: 6.91 and 8.61 GOPs/s/W for the GPU rows."""
+        assert PLATFORMS["tegra_k1"].efficiency_gops_per_watt == (
+            pytest.approx(6.91, rel=0.01))
+        assert PLATFORMS["gtx_780"].efficiency_gops_per_watt == (
+            pytest.approx(8.61, rel=0.01))
+
+    def test_only_gpus_programmable(self):
+        programmable = {name for name, p in PLATFORMS.items()
+                        if p.programmable}
+        assert programmable == {"tegra_k1", "gtx_780"}
+
+    def test_asic_numbers_exclude_dram(self):
+        assert not PLATFORMS["dadiannao"].includes_dram
+        assert not PLATFORMS["origami"].includes_dram
+
+    def test_zero_power_rejected(self):
+        platform = Platform(
+            name="x", reference="", programmable=False, hardware="",
+            bit_precision=16, throughput_gops=1.0, includes_dram=False,
+            compute_power_w=0.0, application="", input_neurons=None)
+        with pytest.raises(ConfigurationError):
+            _ = platform.efficiency_gops_per_watt
+
+    def test_comparison_table_renders(self):
+        rows = {"15nm": {"throughput_gops": 132.4,
+                         "compute_power_w": 3.41}}
+        text = comparison_table(rows)
+        assert "neurocube_15nm" in text
+        assert "gtx_780" in text

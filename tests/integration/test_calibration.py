@@ -1,0 +1,49 @@
+"""End-to-end calibration run: fit the analytic model and verify it.
+
+This is the evidence behind the paper-scale analytic numbers; it runs
+the flit simulator on four small layers (~40 s) and checks the fitted
+model agrees on all of them.
+"""
+
+import pytest
+
+from repro.core import NeurocubeConfig, calibrate
+
+
+@pytest.fixture(scope="module")
+def result():
+    return calibrate(NeurocubeConfig.hmc_15nm())
+
+
+class TestCalibration:
+    def test_agreement_within_tolerance(self, result):
+        assert result.worst_ratio_error < 0.15
+
+    def test_covers_all_regimes(self, result):
+        names = {(s.name, s.duplicate) for s in result.samples}
+        assert len(names) == 4  # conv/fc x dup/no-dup
+
+    def test_fitted_factors_sane(self, result):
+        factors = result.factors
+        assert 0.5 < factors.conv_derate <= 1.0
+        assert 0.5 < factors.fc_derate <= 1.0
+        assert 0.0 <= factors.ooo_stall_per_remote_item < 5.0
+
+    def test_conv_derate_matches_paper_utilisation_class(self, result):
+        """The paper's achieved/peak is 132.4/160 = 0.83; the measured
+        knife-edge derate must sit in the same band."""
+        assert 0.75 < result.factors.conv_derate < 1.0
+
+    def test_default_factors_track_fit(self, result):
+        """The shipped defaults must stay close to what a fresh fit
+        produces, so paper-scale numbers remain backed by evidence."""
+        from repro.core.analytic import CalibrationFactors
+
+        defaults = CalibrationFactors()
+        assert defaults.conv_derate == pytest.approx(
+            result.factors.conv_derate, abs=0.05)
+        assert defaults.fc_derate == pytest.approx(
+            result.factors.fc_derate, abs=0.07)
+
+    def test_table_renders(self, result):
+        assert "ratio" in result.to_table()

@@ -1,0 +1,116 @@
+"""Cross-module integration tests.
+
+These exercise the seams: functional training feeding the compiler, the
+cycle simulator agreeing with the analytic model, and the full
+quickstart-style pipeline from synthetic data to a performance report.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core import (
+    AnalyticModel,
+    NeurocubeConfig,
+    NeurocubeSimulator,
+    compile_inference,
+)
+from repro.fixedpoint import quantize_float
+from repro.nn import data, models
+from repro.nn.activations import ActivationLUT, Tanh
+
+
+class TestTrainThenMap:
+    def test_trained_network_maps_and_simulates(self, config, rng):
+        """Train a tiny ConvNN functionally, then push one sample
+        through the cycle simulator — the trained weights must produce
+        the same classification decision in silicon as in numpy."""
+        q = config.qformat
+        net = nn.Network(
+            [nn.Conv2D(2, 3, activation=ActivationLUT(Tanh()),
+                       qformat=q, name="c"),
+             nn.MaxPool2D(2, qformat=q, name="p"),
+             nn.Flatten(name="f"),
+             nn.Dense(4, qformat=q, name="d")],
+            input_shape=(1, 10, 10), seed=21)
+        ds = data.synthetic_vectors(32, inputs=100, classes=4, seed=22)
+        x = quantize_float(ds.x.reshape(32, 1, 10, 10), q)
+        trainer = nn.Trainer(net, nn.CrossEntropyLoss(), nn.SGD(lr=0.1),
+                             batch_size=8)
+        result = trainer.fit(x, ds.y, epochs=4)
+        assert result.improved
+
+        sample = x[:1]
+        reference = net.predict(sample)[0]
+        simulated, _ = NeurocubeSimulator(config).run_network(
+            net, sample[0])
+        assert np.array_equal(simulated, reference)
+        assert simulated.argmax() == reference.argmax()
+
+
+class TestCycleVsAnalytic:
+    """The calibrated analytic model must track the flit simulator."""
+
+    @pytest.mark.parametrize("duplicate", [True, False])
+    def test_conv_agreement(self, config, duplicate):
+        net = models.single_conv_layer(40, 40, 5, qformat=None)
+        desc = compile_inference(net, config, duplicate).descriptors[0]
+        cycle = NeurocubeSimulator(config).run_descriptor(desc).cycles
+        analytic = AnalyticModel(config).evaluate_descriptor(desc).cycles
+        assert analytic == pytest.approx(cycle, rel=0.20)
+
+    @pytest.mark.parametrize("duplicate", [True, False])
+    def test_fc_agreement(self, config, duplicate):
+        net = models.fully_connected_classifier(256, 128, qformat=None)
+        descs = compile_inference(net, config, duplicate).descriptors
+        simulator = NeurocubeSimulator(config)
+        cycle = sum(simulator.run_descriptor(d).cycles for d in descs)
+        model = AnalyticModel(config)
+        analytic = sum(model.evaluate_descriptor(d).cycles
+                       for d in descs)
+        assert analytic == pytest.approx(cycle, rel=0.20)
+
+    def test_lateral_fraction_agreement(self, config):
+        """The analytic lateral estimate must match the measured one."""
+        net = models.single_conv_layer(40, 40, 7, qformat=None)
+        desc = compile_inference(net, config, False).descriptors[0]
+        measured = NeurocubeSimulator(config).run_descriptor(
+            desc).lateral_fraction
+        predicted = desc.lateral_packets / desc.noc_packets
+        assert measured == pytest.approx(predicted, abs=0.05)
+
+
+class TestDuplicationTradeoffMeasured:
+    def test_fc_duplication_speedup_and_memory_cost(self, config):
+        """The Fig. 10/12 trade-off observed in the flit simulator:
+        duplication buys FC speed and costs memory."""
+        net = models.fully_connected_classifier(192, 96, qformat=None)
+        simulator = NeurocubeSimulator(config)
+        runs = {}
+        for duplicate in (True, False):
+            descs = compile_inference(net, config, duplicate).descriptors
+            runs[duplicate] = {
+                "cycles": sum(simulator.run_descriptor(d).cycles
+                              for d in descs),
+                "bytes": sum(d.layout.total_bytes for d in descs),
+            }
+        assert runs[True]["cycles"] < 0.6 * runs[False]["cycles"]
+        assert runs[True]["bytes"] > runs[False]["bytes"]
+
+
+class TestExperimentsConsistency:
+    def test_fig12_uses_same_network_as_models(self, config):
+        """The experiment harness and the model zoo agree on op counts."""
+        from repro.experiments import fig12_inference
+
+        result = fig12_inference.run()
+        net = models.scene_labeling_convnn(qformat=None)
+        assert result.duplicate.total_ops == net.total_ops
+
+    def test_table3_power_matches_power_model(self):
+        from repro.experiments import table3_comparison
+        from repro.hw.power import PowerModel
+
+        result = table3_comparison.run()
+        assert result.neurocube_rows["15nm"]["compute_power_w"] == (
+            pytest.approx(PowerModel("15nm").compute_power_w))

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are documentation; a broken example is a broken promise.  The
+heavier scripts are exercised through their main() so failures carry a
+stack trace, with output captured.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "mnist_training.py",
+    "design_space.py",
+    "sequence_modeling.py",
+    "cellular_edge_detect.py",
+]
+
+SLOW_EXAMPLES = [
+    "scene_labeling.py",
+    "noc_study.py",
+]
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_fast_example_runs(name, capsys):
+    out = run_example(name, capsys)
+    assert out.strip(), f"{name} produced no output"
+    assert "Traceback" not in out
+
+
+def test_quickstart_claims_exact_match(capsys):
+    out = run_example("quickstart.py", capsys)
+    assert "matches functional reference: True" in out
+
+
+def test_sequence_modeling_shows_gate_luts(capsys):
+    out = run_example("sequence_modeling.py", capsys)
+    assert "LUT=sigmoid" in out and "LUT=tanh" in out
+
+
+def test_cellular_edge_detect_exact(capsys):
+    out = run_example("cellular_edge_detect.py", capsys)
+    assert "exactly: True" in out
+
+
+@pytest.mark.parametrize("name", SLOW_EXAMPLES)
+def test_slow_example_runs(name, capsys):
+    out = run_example(name, capsys)
+    assert out.strip(), f"{name} produced no output"
+
+
+def test_all_examples_accounted_for():
+    """Every example on disk is in exactly one smoke list."""
+    on_disk = {p.name for p in EXAMPLES.glob("*.py")}
+    assert on_disk == set(FAST_EXAMPLES) | set(SLOW_EXAMPLES)

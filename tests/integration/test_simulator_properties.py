@@ -1,0 +1,114 @@
+"""Property-based tests of the cycle simulator.
+
+Hypothesis draws small random layer shapes and checks the invariants
+that hold for *every* mapping: bit-exact functional parity with the
+numpy reference, write-back completeness, and packet conservation.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import nn
+from repro.core import NeurocubeConfig, NeurocubeSimulator, compile_inference
+from repro.fixedpoint import quantize_float
+from repro.nn.activations import ActivationLUT, Sigmoid, Tanh
+
+CONFIG = NeurocubeConfig.hmc_15nm()
+SIM = NeurocubeSimulator(CONFIG)
+
+slow = settings(max_examples=8, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+
+@st.composite
+def conv_case(draw):
+    height = draw(st.integers(6, 14))
+    width = draw(st.integers(6, 14))
+    kernel = draw(st.sampled_from([1, 3, 5]))
+    if kernel >= min(height, width):
+        kernel = 1
+    in_maps = draw(st.integers(1, 3))
+    out_maps = draw(st.integers(1, 2))
+    duplicate = draw(st.booleans())
+    seed = draw(st.integers(0, 1000))
+    return height, width, kernel, in_maps, out_maps, duplicate, seed
+
+
+@st.composite
+def fc_case(draw):
+    inputs = draw(st.integers(4, 48))
+    outputs = draw(st.integers(1, 40))
+    duplicate = draw(st.booleans())
+    seed = draw(st.integers(0, 1000))
+    return inputs, outputs, duplicate, seed
+
+
+class TestConvProperty:
+    @given(case=conv_case())
+    @slow
+    def test_bit_exact_and_complete(self, case):
+        height, width, kernel, in_maps, out_maps, duplicate, seed = case
+        net = nn.Network(
+            [nn.Conv2D(out_maps, kernel, activation=ActivationLUT(Tanh()),
+                       qformat=CONFIG.qformat)],
+            input_shape=(in_maps, height, width), seed=seed)
+        rng = np.random.default_rng(seed)
+        x = quantize_float(rng.uniform(-1, 1, (1, in_maps, height, width)),
+                           CONFIG.qformat)
+        program = compile_inference(net, CONFIG, duplicate=duplicate)
+        run = SIM.run_descriptor(program.descriptors[0], net.layers[0],
+                                 x[0])
+        reference = net.forward(x)[0]
+        assert run.output.shape == reference.shape
+        assert np.array_equal(run.output, reference)
+        # every MAC's operand stream plus write-backs were delivered
+        desc = program.descriptors[0]
+        assert run.packets == desc.stream_items + desc.neurons
+
+
+class TestFcProperty:
+    @given(case=fc_case())
+    @slow
+    def test_bit_exact_and_complete(self, case):
+        inputs, outputs, duplicate, seed = case
+        net = nn.Network(
+            [nn.Dense(outputs, activation=ActivationLUT(Sigmoid()),
+                      qformat=CONFIG.qformat)],
+            input_shape=(inputs,), seed=seed)
+        rng = np.random.default_rng(seed)
+        x = quantize_float(rng.uniform(-1, 1, (1, inputs)),
+                           CONFIG.qformat)
+        program = compile_inference(net, CONFIG, duplicate=duplicate)
+        run = SIM.run_descriptor(program.descriptors[0], net.layers[0],
+                                 x[0])
+        assert np.array_equal(run.output, net.forward(x)[0])
+
+    @given(case=fc_case())
+    @slow
+    def test_duplicate_never_slower(self, case):
+        """For any FC shape, duplication is at least as fast (its whole
+        point) — checked flit-accurately."""
+        inputs, outputs, _, seed = case
+        net = nn.Network([nn.Dense(outputs, qformat=CONFIG.qformat)],
+                         input_shape=(inputs,), seed=seed)
+        cycles = {}
+        for duplicate in (True, False):
+            desc = compile_inference(net, CONFIG,
+                                     duplicate).descriptors[0]
+            cycles[duplicate] = SIM.run_descriptor(desc).cycles
+        assert cycles[True] <= cycles[False]
+
+
+class TestLateralConservation:
+    @given(case=conv_case())
+    @slow
+    def test_duplicate_kills_lateral_traffic(self, case):
+        height, width, kernel, in_maps, out_maps, _, seed = case
+        net = nn.Network(
+            [nn.Conv2D(out_maps, kernel, qformat=CONFIG.qformat)],
+            input_shape=(in_maps, height, width), seed=seed)
+        desc = compile_inference(net, CONFIG, True).descriptors[0]
+        run = SIM.run_descriptor(desc)
+        assert run.lateral_fraction == 0.0

@@ -1,0 +1,115 @@
+"""Tests for the Table I spec database and channel timing."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.memory import (
+    DDR3,
+    HBM,
+    HMC_EXT,
+    HMC_INT,
+    TABLE_I,
+    WIDE_IO_2,
+    ChannelTiming,
+)
+from repro.memory.specs import HMC_VAULT_IO_CLOCK_HZ
+from repro.units import GBps, ns
+
+
+class TestTableI:
+    """Transcription checks against the paper's Table I."""
+
+    def test_all_rows_present(self):
+        assert set(TABLE_I) == {"DDR3", "WideIO2", "HBM", "HMC-Ext",
+                                "HMC-Int"}
+
+    def test_ddr3(self):
+        assert DDR3.max_channels == 2
+        assert DDR3.word_bits == 64
+        assert DDR3.peak_bandwidth == GBps(12.8)
+        assert DDR3.access_latency == ns(25.0)
+        assert DDR3.energy_per_bit == pytest.approx(70e-12)
+
+    def test_hmc_int(self):
+        assert HMC_INT.max_channels == 16
+        assert HMC_INT.word_bits == 32
+        assert HMC_INT.peak_bandwidth == GBps(10.0)
+        assert HMC_INT.access_latency == ns(27.5)
+        assert HMC_INT.energy_per_bit == pytest.approx(3.7e-12)
+
+    def test_hmc_ext(self):
+        assert HMC_EXT.max_channels == 8
+        assert HMC_EXT.peak_bandwidth == GBps(40.0)
+
+    def test_no_latency_rows(self):
+        assert WIDE_IO_2.access_latency is None
+        assert HBM.access_latency is None
+
+    def test_aggregate_bandwidth(self):
+        assert HMC_INT.total_peak_bandwidth == GBps(160.0)
+        assert DDR3.total_peak_bandwidth == GBps(25.6)
+
+    def test_word_bytes(self):
+        assert HMC_INT.word_bytes == 4
+        assert DDR3.word_bytes == 8
+
+
+class TestChannelTiming:
+    def test_hmc_sustained_matches_table_peak(self):
+        """Burst duty 0.5 at the 5 GHz push rate reconciles §VI with
+        Table I's 10 GB/s per-channel figure."""
+        timing = ChannelTiming.from_spec(
+            HMC_INT, io_clock_hz=HMC_VAULT_IO_CLOCK_HZ)
+        assert timing.burst_duty == 0.5
+        assert timing.sustained_bandwidth == pytest.approx(10e9)
+
+    def test_latency_cycles(self):
+        timing = ChannelTiming.from_spec(
+            HMC_INT, io_clock_hz=HMC_VAULT_IO_CLOCK_HZ)
+        # 27.5 ns at 5 GHz = 137.5 -> 138 whole cycles.
+        assert timing.access_latency_cycles == 138
+
+    def test_fractional_rate_for_slow_channel(self):
+        timing = ChannelTiming.from_spec(
+            DDR3, reference_clock_hz=HMC_VAULT_IO_CLOCK_HZ)
+        assert timing.words_per_cycle == pytest.approx(1.6e9 / 5e9)
+
+    def test_stream_exact_burst(self):
+        timing = ChannelTiming(io_clock_hz=1e9, word_bits=32,
+                               burst_length=8, tccd_gap_cycles=8)
+        assert timing.cycles_to_stream_words(8) == 8
+
+    def test_stream_two_bursts_pays_one_gap(self):
+        timing = ChannelTiming(io_clock_hz=1e9, word_bits=32,
+                               burst_length=8, tccd_gap_cycles=8)
+        assert timing.cycles_to_stream_words(16) == 24
+
+    def test_stream_zero(self):
+        timing = ChannelTiming(io_clock_hz=1e9, word_bits=32)
+        assert timing.cycles_to_stream_words(0) == 0
+
+    def test_negative_words_rejected(self):
+        timing = ChannelTiming(io_clock_hz=1e9, word_bits=32)
+        with pytest.raises(ConfigurationError):
+            timing.cycles_to_stream_words(-1)
+
+    def test_bad_rate_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelTiming(io_clock_hz=1e9, word_bits=32,
+                          words_per_cycle=0.0)
+
+    @given(n_words=st.integers(min_value=1, max_value=10_000),
+           burst=st.integers(min_value=1, max_value=16),
+           gap=st.integers(min_value=0, max_value=16))
+    @settings(max_examples=200)
+    def test_stream_cycles_bounds(self, n_words, burst, gap):
+        """Cycle count sits between the gap-free and fully-gapped runs
+        and is monotone in word count."""
+        timing = ChannelTiming(io_clock_hz=1e9, word_bits=32,
+                               burst_length=burst, tccd_gap_cycles=gap)
+        cycles = timing.cycles_to_stream_words(n_words)
+        assert cycles >= n_words
+        assert cycles <= n_words + (gap * ((n_words - 1) // burst + 1))
+        assert timing.cycles_to_stream_words(n_words + 1) >= cycles

@@ -1,0 +1,115 @@
+"""Tests for activations and the PNG's LUT realisation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import Q_1_7_8, QFormat
+from repro.nn.activations import (
+    ActivationLUT,
+    Identity,
+    ReLU,
+    Sigmoid,
+    Tanh,
+    by_name,
+)
+
+ACTIVATIONS = [Identity(), ReLU(), Sigmoid(), Tanh()]
+
+
+class TestForward:
+    def test_identity(self):
+        x = np.array([-2.0, 0.0, 3.0])
+        assert np.array_equal(Identity().forward(x), x)
+
+    def test_relu_clamps_negatives(self):
+        out = ReLU().forward(np.array([-1.0, 0.0, 2.0]))
+        assert np.array_equal(out, [0.0, 0.0, 2.0])
+
+    def test_sigmoid_range_and_midpoint(self):
+        s = Sigmoid()
+        assert s.forward(np.array([0.0]))[0] == 0.5
+        out = s.forward(np.linspace(-20, 20, 101))
+        assert np.all(out > 0.0) and np.all(out < 1.0)
+
+    def test_tanh_odd(self):
+        t = Tanh()
+        x = np.linspace(-3, 3, 13)
+        assert np.allclose(t.forward(-x), -t.forward(x))
+
+
+class TestDerivatives:
+    @pytest.mark.parametrize("activation",
+                             [Sigmoid(), Tanh(), Identity()])
+    def test_derivative_matches_finite_difference(self, activation):
+        y = np.linspace(-2.0, 2.0, 41)
+        eps = 1e-6
+        numeric = (activation.forward(y + eps)
+                   - activation.forward(y - eps)) / (2 * eps)
+        assert np.allclose(activation.derivative(y), numeric, atol=1e-6)
+
+    def test_relu_derivative_steps(self):
+        d = ReLU().derivative(np.array([-1.0, 1.0]))
+        assert np.array_equal(d, [0.0, 1.0])
+
+
+class TestByName:
+    @pytest.mark.parametrize("name", ["identity", "relu", "sigmoid",
+                                      "tanh"])
+    def test_known(self, name):
+        assert by_name(name).name == name
+
+    def test_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            by_name("swish")
+
+
+class TestActivationLUT:
+    """The LUT of paper §IV-A (Eq. 2 in hardware)."""
+
+    @pytest.mark.parametrize("base", ACTIVATIONS,
+                             ids=lambda a: a.name)
+    def test_exact_on_representable_inputs(self, base):
+        lut = ActivationLUT(base)
+        raw = np.arange(-512, 513, 7, dtype=np.int64)
+        y = raw / Q_1_7_8.scale
+        from repro.fixedpoint import from_float, to_float
+        expected = to_float(from_float(base.forward(y)))
+        assert np.array_equal(lut.forward(y), expected)
+
+    def test_entries_cover_domain(self):
+        lut = ActivationLUT(Sigmoid())
+        assert lut.entries == 1 << 16
+
+    def test_max_abs_error_within_half_lsb(self):
+        lut = ActivationLUT(Tanh())
+        assert lut.max_abs_error() <= Q_1_7_8.resolution / 2 + 1e-12
+
+    def test_lookup_raw_clips_out_of_range(self):
+        lut = ActivationLUT(Identity())
+        assert lut.lookup_raw(np.int64(10**6)) == Q_1_7_8.max_raw
+
+    def test_derivative_is_smooth_base(self):
+        lut = ActivationLUT(Sigmoid())
+        y = np.array([0.0, 1.0])
+        assert np.allclose(lut.derivative(y),
+                           Sigmoid().derivative(y))
+
+    def test_huge_format_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ActivationLUT(Tanh(), QFormat(integer_bits=15,
+                                          fraction_bits=16))
+
+    @given(raw=st.integers(min_value=Q_1_7_8.min_raw,
+                           max_value=Q_1_7_8.max_raw))
+    @settings(max_examples=200)
+    def test_sigmoid_lut_monotone(self, raw):
+        lut = _SIGMOID_LUT
+        if raw < Q_1_7_8.max_raw:
+            assert lut.lookup_raw(np.int64(raw + 1)) >= lut.lookup_raw(
+                np.int64(raw))
+
+
+_SIGMOID_LUT = ActivationLUT(Sigmoid())

@@ -1,0 +1,115 @@
+"""Tests for Dense, PixelwiseDense and Flatten."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.activations import Sigmoid, Tanh
+from repro.nn.layers import Dense, Flatten, PixelwiseDense
+
+
+def build(layer, shape, seed=0):
+    layer.build(shape, np.random.default_rng(seed))
+    return layer
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat, grad_flat = x.ravel(), None
+    grad_flat = grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn()
+        flat[i] = orig - eps
+        lo = fn()
+        flat[i] = orig
+        grad_flat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+class TestFlatten:
+    def test_forward_shape(self, rng):
+        layer = build(Flatten(), (2, 3, 4))
+        x = rng.normal(size=(5, 2, 3, 4))
+        assert layer.forward(x).shape == (5, 24)
+
+    def test_backward_restores_shape(self, rng):
+        layer = build(Flatten(), (2, 3, 4))
+        x = rng.normal(size=(5, 2, 3, 4))
+        layer.forward(x, training=True)
+        assert layer.backward(rng.normal(size=(5, 24))).shape == x.shape
+
+    def test_no_compute(self):
+        layer = build(Flatten(), (2, 3, 4))
+        assert layer.macs == 0
+        assert layer.weight_count == 0
+
+
+class TestDense:
+    def test_forward_matches_matmul(self, rng):
+        layer = build(Dense(6), (4,))
+        x = rng.normal(size=(3, 4))
+        expected = x @ layer.params["weight"].T + layer.params["bias"]
+        assert np.allclose(layer.forward(x), expected)
+
+    def test_needs_flat_input(self):
+        with pytest.raises(ConfigurationError):
+            build(Dense(4), (2, 3))
+
+    def test_gradients_match_numeric(self, rng):
+        layer = build(Dense(5, activation=Sigmoid()), (7,))
+        x = rng.normal(size=(2, 7))
+        grad_out = rng.normal(size=(2, 5))
+
+        def loss():
+            return float((layer.forward(x, training=True)
+                          * grad_out).sum())
+
+        loss()
+        grad_in = layer.backward(grad_out)
+        assert np.allclose(grad_in, numeric_grad(loss, x), atol=1e-5)
+        for key in ("weight", "bias"):
+            assert np.allclose(layer.grads[key],
+                               numeric_grad(loss, layer.params[key]),
+                               atol=1e-5), key
+
+    def test_metadata(self):
+        layer = build(Dense(10), (32,))
+        assert layer.connectivity == "full"
+        assert layer.connections_per_neuron == 32
+        assert layer.macs == 320
+        assert layer.weight_count == 330
+
+
+class TestPixelwiseDense:
+    def test_equivalent_to_1x1_conv(self, rng):
+        layer = build(PixelwiseDense(4), (3, 5, 6))
+        x = rng.normal(size=(2, 3, 5, 6))
+        out = layer.forward(x)
+        w, b = layer.params["weight"], layer.params["bias"]
+        expected = np.einsum("oc,bchw->bohw", w, x) + b[None, :, None,
+                                                        None]
+        assert np.allclose(out, expected)
+
+    def test_gradients_match_numeric(self, rng):
+        layer = build(PixelwiseDense(3, activation=Tanh()), (2, 3, 3))
+        x = rng.normal(size=(1, 2, 3, 3)) * 0.5
+        grad_out = rng.normal(size=(1, 3, 3, 3))
+
+        def loss():
+            return float((layer.forward(x, training=True)
+                          * grad_out).sum())
+
+        loss()
+        grad_in = layer.backward(grad_out)
+        assert np.allclose(grad_in, numeric_grad(loss, x), atol=1e-5)
+        assert np.allclose(layer.grads["weight"],
+                           numeric_grad(loss, layer.params["weight"]),
+                           atol=1e-5)
+
+    def test_metadata(self):
+        layer = build(PixelwiseDense(8), (16, 4, 4))
+        assert layer.connectivity == "full"
+        assert layer.connections_per_neuron == 16
+        assert layer.neuron_count == 8 * 16

@@ -1,0 +1,138 @@
+"""Tests for the LSTM layer (paper §VI extension)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import LSTM
+from repro.nn.layers.lstm import GATES
+
+
+def build(layer, shape, seed=0):
+    layer.build(shape, np.random.default_rng(seed))
+    return layer
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat, grad_flat = x.ravel(), grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn()
+        flat[i] = orig - eps
+        lo = fn()
+        flat[i] = orig
+        grad_flat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+class TestForward:
+    def test_output_shape(self, rng):
+        layer = build(LSTM(5), (4, 3))
+        assert layer.forward(rng.normal(size=(2, 4, 3))).shape == (2, 4, 5)
+
+    def test_first_step_manual(self, rng):
+        """Recompute step 0 by hand from the gate equations."""
+        layer = build(LSTM(3), (2, 4))
+        x = rng.normal(size=(1, 2, 4))
+        out = layer.forward(x)
+        p = layer.params
+
+        def sig(v):
+            return 1.0 / (1.0 + np.exp(-v))
+
+        x0 = x[:, 0]
+        i = sig(x0 @ p["w_i"].T + p["b_i"])
+        f = sig(x0 @ p["w_f"].T + p["b_f"])
+        o = sig(x0 @ p["w_o"].T + p["b_o"])
+        g = np.tanh(x0 @ p["w_g"].T + p["b_g"])
+        c = i * g  # c_prev = 0, so the forget path vanishes
+        assert np.allclose(out[:, 0], o * np.tanh(c))
+        assert f.shape == c.shape  # forget gate computed (bias init 1.0)
+
+    def test_forget_bias_initialised_to_one(self):
+        layer = build(LSTM(4), (3, 2))
+        assert np.allclose(layer.params["b_f"], 1.0)
+        assert np.allclose(layer.params["b_i"], 0.0)
+
+    def test_hidden_bounded(self, rng):
+        """h = o * tanh(c) with o in (0,1): |h| < 1 always."""
+        layer = build(LSTM(6), (20, 4))
+        out = layer.forward(rng.normal(size=(3, 20, 4)) * 10)
+        assert np.all(np.abs(out) < 1.0)
+
+    def test_needs_sequence_input(self):
+        with pytest.raises(ConfigurationError):
+            build(LSTM(4), (3,))
+
+
+class TestBackward:
+    def test_bptt_gradients_match_numeric(self, rng):
+        layer = build(LSTM(3), (3, 2))
+        x = rng.normal(size=(2, 3, 2)) * 0.5
+        grad_out = rng.normal(size=(2, 3, 3))
+
+        def loss():
+            return float((layer.forward(x, training=True)
+                          * grad_out).sum())
+
+        loss()
+        grad_in = layer.backward(grad_out)
+        assert np.allclose(grad_in, numeric_grad(loss, x), atol=1e-5)
+        for gate in GATES:
+            for prefix in ("w", "u", "b"):
+                key = f"{prefix}_{gate}"
+                assert np.allclose(layer.grads[key],
+                                   numeric_grad(loss, layer.params[key]),
+                                   atol=1e-5), key
+
+    def test_backward_without_forward_raises(self):
+        layer = build(LSTM(3), (3, 2))
+        with pytest.raises(ConfigurationError):
+            layer.backward(np.zeros((1, 3, 3)))
+
+    def test_training_reduces_loss(self, rng):
+        """An LSTM trains end to end through the standard stack."""
+        from repro.nn import MSELoss, Network, SGD, Trainer
+        from repro.nn import data
+
+        ds = data.synthetic_sequences(32, steps=6, inputs=4,
+                                      hidden_units=5, seed=6)
+        net = Network([LSTM(5, name="l")], input_shape=(6, 4), seed=7)
+        trainer = Trainer(net, MSELoss(), SGD(lr=0.2), batch_size=8,
+                          seed=8)
+        result = trainer.fit(ds.x, ds.y, epochs=8)
+        assert result.improved
+
+    def test_gradient_survives_long_lag(self, rng):
+        """The motivating LSTM property [28]: with forget gates biased
+        open, the gradient from the last step back to the first input
+        does not vanish (it stays within a few orders of magnitude of
+        the short-lag gradient)."""
+        steps = 20
+        layer = build(LSTM(8), (steps, 2), seed=9)
+        x = rng.normal(size=(4, steps, 2)) * 0.5
+        grad_out = np.zeros((4, steps, 8))
+        grad_out[:, -1] = 1.0  # loss only at the final step
+        layer.forward(x, training=True)
+        grad_in = layer.backward(grad_out)
+        first = np.abs(grad_in[:, 0]).mean()
+        last = np.abs(grad_in[:, -1]).mean()
+        assert first > 1e-4 * last
+
+
+class TestMetadata:
+    def test_connections_include_recurrence(self):
+        layer = build(LSTM(8), (5, 4))
+        assert layer.connections_per_neuron == 12
+
+    def test_macs_count_gates_and_update(self):
+        layer = build(LSTM(8), (5, 4))
+        expected = 4 * 5 * 8 * 12 + 3 * 5 * 8
+        assert layer.macs == expected
+
+    def test_weight_count(self):
+        layer = build(LSTM(8), (5, 4))
+        # Per gate: 8x4 input + 8x8 recurrent + 8 bias.
+        assert layer.weight_count == 4 * (32 + 64 + 8)

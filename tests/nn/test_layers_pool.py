@@ -1,0 +1,90 @@
+"""Tests for pooling layers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import AvgPool2D, MaxPool2D
+
+
+def build(layer, shape, seed=0):
+    layer.build(shape, np.random.default_rng(seed))
+    return layer
+
+
+class TestShapes:
+    def test_even_input(self):
+        layer = build(MaxPool2D(2), (3, 8, 10))
+        assert layer.output_shape == (3, 4, 5)
+
+    def test_odd_input_floors(self):
+        """Paper layer sizes shrink with floor semantics (151 -> 75)."""
+        layer = build(MaxPool2D(2), (1, 151, 111))
+        assert layer.output_shape == (1, 75, 55)
+
+    def test_window_larger_than_input(self):
+        with pytest.raises(ConfigurationError):
+            build(AvgPool2D(4), (1, 3, 3))
+
+    def test_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            MaxPool2D(0)
+
+
+class TestMaxPool:
+    def test_selects_maximum(self):
+        layer = build(MaxPool2D(2), (1, 2, 4))
+        x = np.array([[[[1.0, 5.0, -1.0, -2.0],
+                        [3.0, 2.0, -8.0, -3.0]]]])
+        out = layer.forward(x)
+        assert np.array_equal(out, [[[[5.0, -1.0]]]])
+
+    def test_all_negative_window(self):
+        layer = build(MaxPool2D(2), (1, 2, 2))
+        x = -np.ones((1, 1, 2, 2))
+        assert layer.forward(x)[0, 0, 0, 0] == -1.0
+
+    def test_gradient_routes_to_argmax(self, rng):
+        layer = build(MaxPool2D(2), (1, 4, 4))
+        x = rng.normal(size=(1, 1, 4, 4))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(out))
+        # Gradient mass is conserved and lands only on winners.
+        assert grad.sum() == pytest.approx(out.size)
+        winners = grad != 0
+        assert winners.sum() >= out.size
+
+    def test_tie_splits_gradient(self):
+        layer = build(MaxPool2D(2), (1, 2, 2))
+        x = np.full((1, 1, 2, 2), 3.0)
+        layer.forward(x, training=True)
+        grad = layer.backward(np.ones((1, 1, 1, 1)))
+        assert np.allclose(grad, 0.25)
+
+    def test_cropped_region_gets_no_gradient(self, rng):
+        layer = build(MaxPool2D(2), (1, 5, 5))
+        x = rng.normal(size=(1, 1, 5, 5))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(out))
+        assert np.all(grad[:, :, 4, :] == 0)
+        assert np.all(grad[:, :, :, 4] == 0)
+
+
+class TestAvgPool:
+    def test_averages(self):
+        layer = build(AvgPool2D(2), (1, 2, 2))
+        x = np.array([[[[1.0, 2.0], [3.0, 6.0]]]])
+        assert layer.forward(x)[0, 0, 0, 0] == 3.0
+
+    def test_gradient_uniform(self, rng):
+        layer = build(AvgPool2D(2), (1, 4, 4))
+        x = rng.normal(size=(1, 1, 4, 4))
+        out = layer.forward(x, training=True)
+        grad = layer.backward(np.ones_like(out))
+        assert np.allclose(grad[:, :, :4, :4], 0.25)
+
+    def test_metadata(self):
+        layer = build(AvgPool2D(3), (2, 9, 9))
+        assert layer.connectivity == "pool"
+        assert layer.connections_per_neuron == 9
+        assert layer.weight_count == 0

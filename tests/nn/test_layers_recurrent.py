@@ -1,0 +1,90 @@
+"""Tests for the Elman recurrent layer (paper §VI: RNN == unrolled MLP)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.layers import Recurrent
+
+
+def build(layer, shape, seed=0):
+    layer.build(shape, np.random.default_rng(seed))
+    return layer
+
+
+def numeric_grad(fn, x, eps=1e-6):
+    grad = np.zeros_like(x)
+    flat, grad_flat = x.ravel(), grad.ravel()
+    for i in range(flat.size):
+        orig = flat[i]
+        flat[i] = orig + eps
+        hi = fn()
+        flat[i] = orig - eps
+        lo = fn()
+        flat[i] = orig
+        grad_flat[i] = (hi - lo) / (2 * eps)
+    return grad
+
+
+class TestForward:
+    def test_output_shape(self, rng):
+        layer = build(Recurrent(5), (4, 3))
+        x = rng.normal(size=(2, 4, 3))
+        assert layer.forward(x).shape == (2, 4, 5)
+
+    def test_first_step_ignores_recurrence(self, rng):
+        layer = build(Recurrent(4), (3, 2))
+        x = rng.normal(size=(1, 3, 2))
+        out = layer.forward(x)
+        expected = np.tanh(x[:, 0] @ layer.params["w_in"].T
+                           + layer.params["bias"])
+        assert np.allclose(out[:, 0], expected)
+
+    def test_recurrence_carries_state(self, rng):
+        layer = build(Recurrent(4), (2, 2))
+        x = np.zeros((1, 2, 2))
+        x[0, 0] = rng.normal(size=2)
+        out = layer.forward(x)
+        # Second step has zero input, so its output comes purely from
+        # the recurrent path.
+        expected = np.tanh(out[:, 0] @ layer.params["w_rec"].T
+                           + layer.params["bias"])
+        assert np.allclose(out[:, 1], expected)
+
+    def test_needs_sequence_input(self):
+        with pytest.raises(ConfigurationError):
+            build(Recurrent(4), (3,))
+
+
+class TestBackward:
+    def test_bptt_gradients_match_numeric(self, rng):
+        layer = build(Recurrent(3), (4, 2))
+        x = rng.normal(size=(2, 4, 2)) * 0.5
+        grad_out = rng.normal(size=(2, 4, 3))
+
+        def loss():
+            return float((layer.forward(x, training=True)
+                          * grad_out).sum())
+
+        loss()
+        grad_in = layer.backward(grad_out)
+        assert np.allclose(grad_in, numeric_grad(loss, x), atol=1e-5)
+        for key in ("w_in", "w_rec", "bias"):
+            assert np.allclose(layer.grads[key],
+                               numeric_grad(loss, layer.params[key]),
+                               atol=1e-5), key
+
+    def test_backward_without_forward_raises(self):
+        layer = build(Recurrent(3), (4, 2))
+        with pytest.raises(ConfigurationError):
+            layer.backward(np.zeros((1, 4, 3)))
+
+
+class TestMetadata:
+    def test_connections_include_recurrence(self):
+        layer = build(Recurrent(8), (5, 4))
+        assert layer.connections_per_neuron == 12
+
+    def test_macs_count_unrolled_sequence(self):
+        layer = build(Recurrent(8), (5, 4))
+        assert layer.macs == 5 * 8 * 12

@@ -1,0 +1,178 @@
+"""Tests for losses, SGD and the trainer."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fixedpoint import Q_1_7_8
+from repro.nn import (
+    CrossEntropyLoss,
+    Dense,
+    MSELoss,
+    Network,
+    SGD,
+    Trainer,
+)
+from repro.nn import data
+from repro.nn.activations import Sigmoid
+
+
+class TestMSELoss:
+    def test_zero_at_match(self, rng):
+        y = rng.normal(size=(3, 4))
+        assert MSELoss().value(y, y) == 0.0
+
+    def test_known_value(self):
+        pred = np.array([[1.0, 2.0]])
+        target = np.array([[0.0, 0.0]])
+        assert MSELoss().value(pred, target) == pytest.approx(2.5)
+
+    def test_gradient_matches_numeric(self, rng):
+        loss = MSELoss()
+        pred = rng.normal(size=(2, 3))
+        target = rng.normal(size=(2, 3))
+        grad = loss.gradient(pred, target)
+        eps = 1e-6
+        for i in range(pred.size):
+            p = pred.copy().ravel()
+            p[i] += eps
+            hi = loss.value(p.reshape(pred.shape), target)
+            p[i] -= 2 * eps
+            lo = loss.value(p.reshape(pred.shape), target)
+            assert grad.ravel()[i] == pytest.approx(
+                (hi - lo) / (2 * eps), abs=1e-6)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            MSELoss().value(np.zeros((2, 3)), np.zeros((3, 2)))
+
+
+class TestCrossEntropyLoss:
+    def test_perfect_prediction_low_loss(self):
+        pred = np.array([[100.0, -100.0]])
+        target = np.array([[1.0, 0.0]])
+        assert CrossEntropyLoss().value(pred, target) < 1e-6
+
+    def test_uniform_prediction_log_k(self):
+        pred = np.zeros((1, 4))
+        target = np.array([[0.0, 1.0, 0.0, 0.0]])
+        assert CrossEntropyLoss().value(pred, target) == pytest.approx(
+            np.log(4))
+
+    def test_gradient_matches_numeric(self, rng):
+        loss = CrossEntropyLoss()
+        pred = rng.normal(size=(2, 3))
+        labels = np.array([0, 2])
+        target = np.zeros((2, 3))
+        target[np.arange(2), labels] = 1.0
+        grad = loss.gradient(pred, target)
+        eps = 1e-6
+        for i in range(pred.size):
+            p = pred.copy().ravel()
+            p[i] += eps
+            hi = loss.value(p.reshape(pred.shape), target)
+            p[i] -= 2 * eps
+            lo = loss.value(p.reshape(pred.shape), target)
+            assert grad.ravel()[i] == pytest.approx(
+                (hi - lo) / (2 * eps), abs=1e-6)
+
+    def test_dense_prediction_axis(self, rng):
+        """Per-pixel targets (B, K, H, W) average over batch and pixels."""
+        loss = CrossEntropyLoss()
+        pred = rng.normal(size=(2, 3, 4, 4))
+        labels = rng.integers(0, 3, size=(2, 4, 4))
+        target = np.zeros_like(pred)
+        for n in range(2):
+            for y in range(4):
+                for x in range(4):
+                    target[n, labels[n, y, x], y, x] = 1.0
+        value = loss.value(pred, target)
+        assert value > 0
+        assert loss.gradient(pred, target).shape == pred.shape
+
+
+class TestSGD:
+    def test_plain_step_descends(self, rng):
+        net = Network([Dense(1, name="d")], input_shape=(2,), seed=1)
+        x = rng.normal(size=(8, 2))
+        y = x @ np.array([[1.5], [-2.0]])
+        loss = MSELoss()
+        optim = SGD(lr=0.1)
+        values = []
+        for _ in range(50):
+            pred = net.forward(x, training=True)
+            values.append(loss.value(pred, y))
+            net.backward(loss.gradient(pred, y))
+            optim.step(net)
+        assert values[-1] < values[0] * 0.01
+
+    def test_momentum_accelerates(self, rng):
+        def run(momentum):
+            net = Network([Dense(1, name="d")], input_shape=(2,), seed=1)
+            x = rng.normal(size=(8, 2))
+            y = x @ np.array([[1.5], [-2.0]])
+            loss, optim = MSELoss(), SGD(lr=0.02, momentum=momentum)
+            for _ in range(30):
+                pred = net.forward(x, training=True)
+                net.backward(loss.gradient(pred, y))
+                optim.step(net)
+            return loss.value(net.forward(x), y)
+
+        assert run(0.9) < run(0.0)
+
+    def test_step_without_backward_raises(self):
+        net = Network([Dense(1)], input_shape=(2,))
+        with pytest.raises(ConfigurationError):
+            SGD(lr=0.1).step(net)
+
+    def test_bad_hyperparams(self):
+        with pytest.raises(ConfigurationError):
+            SGD(lr=0.0)
+        with pytest.raises(ConfigurationError):
+            SGD(lr=0.1, momentum=1.0)
+
+    def test_quantized_weights_stay_on_grid(self, rng):
+        net = Network([Dense(3, qformat=Q_1_7_8)], input_shape=(4,),
+                      seed=2)
+        x = rng.normal(size=(4, 4))
+        y = rng.normal(size=(4, 3))
+        loss, optim = MSELoss(), SGD(lr=0.05)
+        for _ in range(5):
+            pred = net.forward(x, training=True)
+            net.backward(loss.gradient(pred, y))
+            optim.step(net)
+        w = net.layers[0].params["weight"] * Q_1_7_8.scale
+        assert np.allclose(w, np.rint(w))
+
+
+class TestTrainer:
+    def test_fit_improves_on_separable_data(self):
+        net = Network([Dense(16, activation=Sigmoid(), name="h"),
+                       Dense(4, name="o")], input_shape=(8,), seed=5)
+        ds = data.synthetic_vectors(64, inputs=8, classes=4, seed=6)
+        trainer = Trainer(net, CrossEntropyLoss(), SGD(lr=0.2),
+                          batch_size=16)
+        result = trainer.fit(ds.x, ds.y, epochs=10)
+        assert result.improved
+        assert result.samples_seen == 640
+
+    def test_evaluate_matches_loss(self, rng):
+        net = Network([Dense(2)], input_shape=(3,), seed=7)
+        x = rng.normal(size=(5, 3))
+        y = rng.normal(size=(5, 2))
+        trainer = Trainer(net, MSELoss(), SGD(lr=0.1), batch_size=5)
+        assert trainer.evaluate(x, y) == pytest.approx(
+            MSELoss().value(net.predict(x), y))
+
+    def test_empty_dataset_rejected(self):
+        net = Network([Dense(2)], input_shape=(3,))
+        trainer = Trainer(net, MSELoss(), SGD(lr=0.1))
+        with pytest.raises(ConfigurationError):
+            trainer.fit(np.zeros((0, 3)), np.zeros((0, 2)))
+
+    def test_mismatched_lengths_rejected(self, rng):
+        net = Network([Dense(2)], input_shape=(3,))
+        trainer = Trainer(net, MSELoss(), SGD(lr=0.1))
+        with pytest.raises(ConfigurationError):
+            trainer.fit(rng.normal(size=(4, 3)),
+                        rng.normal(size=(5, 2)))

@@ -1,0 +1,130 @@
+"""Tests for the model zoo and synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import data, models
+
+
+class TestSceneLabelingModel:
+    def test_paper_dimensions(self):
+        """The text-fixed Fig. 9 facts: 7 compute layers, 320x240 RGB
+        input, 7x7 kernels, first conv 314x234."""
+        net = models.scene_labeling_convnn(qformat=None)
+        compute_layers = [l for l in net.layers
+                          if type(l).__name__ != "Flatten"]
+        assert len(compute_layers) == 7
+        assert net.input_shape == (3, 240, 320)
+        conv1 = net.layers[0]
+        assert conv1.kernel == 7
+        assert conv1.output_shape[1:] == (234, 314)
+        assert conv1.output_shape[1] * conv1.output_shape[2] == 73_476
+
+    def test_conv_and_fc1_dominate_ops(self):
+        net = models.scene_labeling_convnn(qformat=None)
+        by_name = {l.name: l.ops for l in net.layers}
+        dominant = (by_name["conv1"] + by_name["conv2"]
+                    + by_name["conv3"] + by_name["fc1"])
+        assert dominant / net.total_ops > 0.99
+
+    def test_small_variant(self):
+        net = models.scene_labeling_convnn(height=64, width=64,
+                                           qformat=None)
+        assert net.input_shape == (3, 64, 64)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ConfigurationError):
+            models.scene_labeling_convnn(height=32, width=32)
+
+    def test_forward_runs(self, rng):
+        net = models.scene_labeling_convnn(height=48, width=48,
+                                           conv_maps=(2, 2, 2),
+                                           hidden_units=8, qformat=None)
+        out = net.predict(rng.normal(size=(1, 3, 48, 48)))
+        assert out.shape == (1, models.SCENE_CLASSES)
+
+
+class TestOtherModels:
+    def test_mnist_mlp(self, rng):
+        net = models.mnist_mlp(hidden_units=32, qformat=None)
+        out = net.predict(rng.normal(size=(2, 1, 28, 28)))
+        assert out.shape == (2, 10)
+
+    def test_single_conv_matches_png_example(self):
+        """§IV-C: single-map 7x7 conv over 320x240 -> 73,476 neurons,
+        49 connections."""
+        net = models.single_conv_layer(240, 320, 7, qformat=None)
+        layer = net.layers[0]
+        assert layer.neuron_count == 73_476
+        assert layer.connections_per_neuron == 49
+
+    def test_fully_connected_classifier(self, rng):
+        net = models.fully_connected_classifier(32, 16, qformat=None)
+        assert net.predict(rng.normal(size=(3, 32))).shape == (3, 8)
+
+    def test_small_rnn(self, rng):
+        net = models.small_rnn(inputs=4, hidden_units=6, steps=5,
+                               qformat=None)
+        assert net.predict(rng.normal(size=(2, 5, 4))).shape == (2, 5, 6)
+
+    def test_lenet_like(self, rng):
+        net = models.lenet_like(qformat=None)
+        assert net.predict(rng.normal(size=(1, 1, 28, 28))).shape == (1,
+                                                                      10)
+
+
+class TestSyntheticData:
+    def test_scenes_shapes(self):
+        ds = data.synthetic_scenes(4, height=32, width=40, classes=5)
+        assert ds.x.shape == (4, 3, 32, 40)
+        assert ds.y.shape == (4, 5, 32, 40)
+
+    def test_scenes_one_hot_per_pixel(self):
+        ds = data.synthetic_scenes(3, height=16, width=16)
+        assert np.allclose(ds.y.sum(axis=1), 1.0)
+
+    def test_scenes_deterministic(self):
+        a = data.synthetic_scenes(2, height=16, width=16, seed=9)
+        b = data.synthetic_scenes(2, height=16, width=16, seed=9)
+        assert np.array_equal(a.x, b.x)
+
+    def test_scenes_structured_not_noise(self):
+        """Neighbouring pixels correlate far more than in white noise."""
+        ds = data.synthetic_scenes(4, height=32, width=32, seed=1)
+        x = ds.x[:, 0]
+        horizontal = np.mean(np.abs(x[:, :, 1:] - x[:, :, :-1]))
+        spread = np.std(x)
+        assert horizontal < spread
+
+    def test_digits_shapes_and_labels(self):
+        ds = data.synthetic_digits(12)
+        assert ds.x.shape == (12, 1, 28, 28)
+        assert ds.y.shape == (12, 10)
+        assert np.allclose(ds.y.sum(axis=1), 1.0)
+
+    def test_vectors_learnable_clusters(self):
+        ds = data.synthetic_vectors(100, inputs=16, classes=4, seed=3)
+        # Same-class points are closer to their class mean than to
+        # other class means, on average.
+        labels = ds.y.argmax(axis=1)
+        centroids = np.stack([ds.x[labels == k].mean(axis=0)
+                              for k in range(4)])
+        own = np.linalg.norm(ds.x - centroids[labels], axis=1).mean()
+        other = np.mean([np.linalg.norm(ds.x - centroids[k], axis=1).mean()
+                         for k in range(4)])
+        assert own < other
+
+    def test_sequences_shapes(self):
+        ds = data.synthetic_sequences(5, steps=7, inputs=3,
+                                      hidden_units=6)
+        assert ds.x.shape == (5, 7, 3)
+        assert ds.y.shape == (5, 7, 6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            data.synthetic_digits(0)
+
+    def test_dataset_length(self):
+        ds = data.synthetic_digits(7)
+        assert len(ds) == 7

@@ -1,0 +1,106 @@
+"""Tests for the Network container."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn import Conv2D, Dense, Flatten, MaxPool2D, Network
+from repro.nn.activations import Tanh
+
+
+def small_net(seed=0) -> Network:
+    return Network(
+        [Conv2D(2, 3, activation=Tanh(), name="conv"),
+         MaxPool2D(2, name="pool"),
+         Flatten(name="flat"),
+         Dense(5, name="out")],
+        input_shape=(1, 8, 8), seed=seed)
+
+
+class TestConstruction:
+    def test_shapes_propagate(self):
+        net = small_net()
+        assert net.output_shape == (5,)
+        assert net.layers[0].output_shape == (2, 6, 6)
+        assert net.layers[1].output_shape == (2, 3, 3)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Network([], input_shape=(4,))
+
+    def test_duplicate_names_resolved(self):
+        net = Network([Dense(4, name="d"), Dense(4, name="d")],
+                      input_shape=(4,))
+        names = [layer.name for layer in net]
+        assert len(set(names)) == 2
+
+    def test_seed_reproducible(self):
+        a, b = small_net(seed=3), small_net(seed=3)
+        assert np.array_equal(a.layers[0].params["weight"],
+                              b.layers[0].params["weight"])
+
+    def test_different_seeds_differ(self):
+        a, b = small_net(seed=3), small_net(seed=4)
+        assert not np.array_equal(a.layers[0].params["weight"],
+                                  b.layers[0].params["weight"])
+
+
+class TestForwardBackward:
+    def test_forward_shape(self, rng):
+        net = small_net()
+        out = net.forward(rng.normal(size=(3, 1, 8, 8)))
+        assert out.shape == (3, 5)
+
+    def test_shape_mismatch_rejected(self, rng):
+        net = small_net()
+        with pytest.raises(ConfigurationError):
+            net.forward(rng.normal(size=(3, 1, 9, 9)))
+
+    def test_backward_fills_all_grads(self, rng):
+        net = small_net()
+        x = rng.normal(size=(2, 1, 8, 8))
+        out = net.forward(x, training=True)
+        net.backward(np.ones_like(out))
+        for layer in net:
+            for key in layer.params:
+                assert key in layer.grads, (layer.name, key)
+
+    def test_whole_network_gradient_numeric(self, rng):
+        net = small_net()
+        x = rng.normal(size=(1, 1, 8, 8)) * 0.5
+        target = rng.normal(size=(1, 5))
+
+        def loss():
+            return float((net.forward(x, training=True) * target).sum())
+
+        loss()
+        grad_in = net.backward(target)
+        eps = 1e-6
+        flat = x.ravel()
+        for i in range(0, flat.size, 17):  # sample positions
+            orig = flat[i]
+            flat[i] = orig + eps
+            hi = loss()
+            flat[i] = orig - eps
+            lo = loss()
+            flat[i] = orig
+            assert grad_in.ravel()[i] == pytest.approx(
+                (hi - lo) / (2 * eps), abs=1e-5)
+
+
+class TestAggregates:
+    def test_total_macs_sum(self):
+        net = small_net()
+        assert net.total_macs == sum(l.macs for l in net)
+        assert net.total_ops == 2 * net.total_macs
+
+    def test_parameters_iterates_all(self):
+        net = small_net()
+        names = {(layer.name, key) for layer, key, _ in net.parameters()}
+        assert ("conv", "weight") in names
+        assert ("out", "bias") in names
+
+    def test_summary_contains_layers(self):
+        text = small_net().summary()
+        for name in ("conv", "pool", "flat", "out"):
+            assert name in text

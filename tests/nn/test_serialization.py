@@ -1,0 +1,100 @@
+"""Tests for network parameter save/load."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.errors import ConfigurationError
+from repro.nn import models
+from repro.nn.serialization import (
+    load_network,
+    read_header,
+    save_network,
+)
+
+
+@pytest.fixture
+def net():
+    return models.lenet_like(qformat=None, seed=3)
+
+
+class TestRoundTrip:
+    def test_save_load_identical(self, net, tmp_path, rng):
+        path = save_network(net, tmp_path / "model.npz")
+        other = models.lenet_like(qformat=None, seed=99)
+        x = rng.normal(size=(2, 1, 28, 28))
+        assert not np.allclose(net.predict(x), other.predict(x))
+        load_network(other, path)
+        assert np.array_equal(net.predict(x), other.predict(x))
+
+    def test_quantized_network_stays_on_grid(self, tmp_path):
+        from repro.fixedpoint import Q_1_7_8
+
+        net = models.mnist_mlp(hidden_units=16, seed=1)
+        path = save_network(net, tmp_path / "q.npz")
+        fresh = models.mnist_mlp(hidden_units=16, seed=2)
+        load_network(fresh, path)
+        for _, _, value in fresh.parameters():
+            scaled = value * Q_1_7_8.scale
+            assert np.allclose(scaled, np.rint(scaled))
+
+    def test_header_contents(self, net, tmp_path):
+        path = save_network(net, tmp_path / "model.npz")
+        header = read_header(path)
+        assert header["network_name"] == net.name
+        assert header["input_shape"] == [1, 28, 28]
+        assert "conv1" in header["layers"]
+        assert header["layers"]["conv1"]["weight"] == [6, 1, 5, 5]
+
+
+class TestStrictness:
+    def test_layer_mismatch_rejected(self, net, tmp_path):
+        path = save_network(net, tmp_path / "model.npz")
+        other = models.mnist_mlp(hidden_units=16)
+        with pytest.raises(ConfigurationError, match="layer mismatch"):
+            load_network(other, path)
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        a = models.mnist_mlp(hidden_units=16, qformat=None)
+        b = models.mnist_mlp(hidden_units=32, qformat=None)
+        path = save_network(a, tmp_path / "model.npz")
+        with pytest.raises(ConfigurationError, match="shape"):
+            load_network(b, path)
+
+    def test_non_archive_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.npz"
+        np.savez(bogus, stuff=np.zeros(3))
+        net = models.mnist_mlp(hidden_units=16)
+        with pytest.raises(ConfigurationError, match="header"):
+            load_network(net, bogus)
+
+    def test_load_does_not_partially_apply(self, tmp_path):
+        """A mid-archive shape mismatch must leave every parameter of
+        the target network untouched (validate-then-apply)."""
+        a = models.mnist_mlp(hidden_units=16, qformat=None, seed=1)
+        b = models.mnist_mlp(hidden_units=32, qformat=None, seed=2)
+        path = save_network(a, tmp_path / "model.npz")
+        before = [(layer.name, key, value.copy())
+                  for layer, key, value in b.parameters()]
+        with pytest.raises(ConfigurationError):
+            load_network(b, path)
+        after = {(layer.name, key): value
+                 for layer, key, value in b.parameters()}
+        for name, key, original in before:
+            assert np.array_equal(after[(name, key)], original), (
+                name, key)
+
+
+class TestTrainedRoundTrip:
+    def test_trained_weights_survive(self, tmp_path):
+        from repro.nn import data
+
+        net = models.mnist_mlp(hidden_units=24, seed=5)
+        ds = data.synthetic_digits(48, seed=6)
+        trainer = nn.Trainer(net, nn.CrossEntropyLoss(), nn.SGD(lr=0.1),
+                             batch_size=12)
+        trainer.fit(ds.x, ds.y, epochs=3)
+        path = save_network(net, tmp_path / "trained.npz")
+        clone = models.mnist_mlp(hidden_units=24, seed=50)
+        load_network(clone, path)
+        assert np.array_equal(net.predict(ds.x), clone.predict(ds.x))

@@ -1,0 +1,140 @@
+"""Tests for packets, buffers and the rotating arbiter."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.noc import (
+    CreditedBuffer,
+    FLIT_BITS,
+    Packet,
+    PacketKind,
+    RotatingPriorityArbiter,
+)
+
+
+def packet(**overrides) -> Packet:
+    fields = dict(src=0, dst=1, mac_id=2, op_id=3,
+                  kind=PacketKind.STATE)
+    fields.update(overrides)
+    return Packet(**fields)
+
+
+class TestPacket:
+    def test_flit_width_is_paper_datapath(self):
+        assert FLIT_BITS == 36
+
+    def test_single_flit(self):
+        assert packet().flits == 1
+
+    def test_op_id_field_wraps_at_256(self):
+        """§V-B: OP-ID is 8 bits; larger ops wrap on the wire."""
+        assert packet(op_id=300).op_id_field == 44
+        assert packet(op_id=255).op_id_field == 255
+
+    def test_negative_fields_rejected(self):
+        with pytest.raises(ConfigurationError):
+            packet(src=-1)
+        with pytest.raises(ConfigurationError):
+            packet(op_id=-1)
+
+    def test_serials_unique(self):
+        assert packet().serial != packet().serial
+
+
+class TestCreditedBuffer:
+    def test_fifo_order(self):
+        buffer = CreditedBuffer(depth=4)
+        first, second = packet(op_id=1), packet(op_id=2)
+        buffer.push(first)
+        buffer.push(second)
+        assert buffer.pop() is first
+        assert buffer.pop() is second
+
+    def test_default_depth_is_sixteen(self):
+        assert CreditedBuffer().depth == 16
+
+    def test_full_buffer_rejects(self):
+        buffer = CreditedBuffer(depth=2)
+        buffer.push(packet())
+        buffer.push(packet())
+        assert not buffer.has_space
+        with pytest.raises(SimulationError):
+            buffer.push(packet())
+
+    def test_peek_does_not_consume(self):
+        buffer = CreditedBuffer()
+        buffer.push(packet(op_id=9))
+        assert buffer.peek().op_id == 9
+        assert len(buffer) == 1
+
+    def test_empty_operations_fail(self):
+        buffer = CreditedBuffer()
+        with pytest.raises(SimulationError):
+            buffer.pop()
+        with pytest.raises(SimulationError):
+            buffer.peek()
+
+    def test_peak_occupancy_tracked(self):
+        buffer = CreditedBuffer(depth=4)
+        for _ in range(3):
+            buffer.push(packet())
+        buffer.pop()
+        assert buffer.peak_occupancy == 3
+
+
+class TestRotatingPriorityArbiter:
+    def test_grants_sole_requester(self):
+        arbiter = RotatingPriorityArbiter(4)
+        assert arbiter.grant([2]) == 2
+
+    def test_no_requests_returns_none(self):
+        arbiter = RotatingPriorityArbiter(4)
+        assert arbiter.grant([]) is None
+
+    def test_head_wins_ties(self):
+        arbiter = RotatingPriorityArbiter(4)
+        assert arbiter.head == 0
+        assert arbiter.grant([0, 2]) == 0
+
+    def test_daisy_chain_past_idle_head(self):
+        arbiter = RotatingPriorityArbiter(4)
+        assert arbiter.grant([2, 3]) == 2
+
+    def test_rotation_changes_winner(self):
+        arbiter = RotatingPriorityArbiter(2)
+        winners = []
+        for _ in range(4):
+            winners.append(arbiter.grant([0, 1]))
+            arbiter.rotate()
+        assert winners == [0, 1, 0, 1]
+
+    def test_mask_form(self):
+        arbiter = RotatingPriorityArbiter(3)
+        assert arbiter.grant([False, True, False]) == 1
+
+    def test_bad_index_rejected(self):
+        arbiter = RotatingPriorityArbiter(3)
+        with pytest.raises(ConfigurationError):
+            arbiter.grant([5])
+
+    @given(requests=st.lists(st.integers(0, 5), min_size=1, max_size=6,
+                             unique=True),
+           rotations=st.integers(0, 20))
+    @settings(max_examples=200)
+    def test_grant_is_always_a_requester(self, requests, rotations):
+        arbiter = RotatingPriorityArbiter(6)
+        for _ in range(rotations):
+            arbiter.rotate()
+        assert arbiter.grant(requests) in requests
+
+    def test_starvation_freedom(self):
+        """With rotation every cycle, every persistent requester is
+        granted within n_inputs cycles."""
+        arbiter = RotatingPriorityArbiter(6)
+        granted: set[int] = set()
+        for _ in range(6):
+            granted.add(arbiter.grant(list(range(6))))
+            arbiter.rotate()
+        assert granted == set(range(6))

@@ -1,0 +1,179 @@
+"""Tests for the assembled NoC: delivery, ordering, backpressure, stats."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc import (
+    FullyConnected,
+    Interconnect,
+    Mesh2D,
+    Packet,
+    PacketKind,
+    Port,
+)
+
+
+def packet(src, dst, op_id=0, kind=PacketKind.STATE, cycle=0):
+    return Packet(src=src, dst=dst, mac_id=0, op_id=op_id, kind=kind,
+                  inject_cycle=cycle)
+
+
+def drain(interconnect, ports=(Port.PE,), max_cycles=10_000):
+    """Step until idle, collecting deliveries per (node, port)."""
+    delivered = []
+    for _ in range(max_cycles):
+        interconnect.step()
+        for node in range(interconnect.topology.n_nodes):
+            for port in ports:
+                delivered.extend(interconnect.eject(node, port))
+        if not interconnect.busy:
+            return delivered
+    raise AssertionError("interconnect did not drain")
+
+
+class TestDelivery:
+    def test_local_delivery(self):
+        ic = Interconnect(Mesh2D(4, 4))
+        ic.inject(5, packet(5, 5))
+        got = drain(ic)
+        assert len(got) == 1 and got[0].dst == 5
+
+    def test_all_pairs_delivered(self):
+        ic = Interconnect(Mesh2D(4, 4))
+        for src in range(16):
+            for dst in range(16):
+                assert ic.inject(src, packet(src, dst, op_id=dst))
+        got = drain(ic)
+        assert len(got) == 256
+
+    def test_packets_reach_correct_node(self):
+        ic = Interconnect(Mesh2D(4, 4))
+        ic.inject(0, packet(0, 9))
+        for _ in range(100):
+            ic.step()
+            for node in range(16):
+                for p in ic.eject(node):
+                    assert node == 9
+                    return
+        raise AssertionError("packet lost")
+
+    def test_fully_connected_lower_latency(self):
+        def mean_latency(topology):
+            ic = Interconnect(topology)
+            for dst in range(1, 16):
+                ic.inject(0, packet(0, dst))
+            drain(ic)
+            return ic.stats.mean_latency
+
+        assert mean_latency(FullyConnected(16)) < mean_latency(
+            Mesh2D(4, 4))
+
+    def test_writebacks_go_to_mem_port(self):
+        ic = Interconnect(Mesh2D(2, 2))
+        ic.inject(0, packet(0, 3, kind=PacketKind.WRITEBACK),
+                  port=Port.PE)
+        got = drain(ic, ports=(Port.MEM,))
+        assert len(got) == 1
+
+
+class TestOrdering:
+    def test_same_flow_preserves_order(self):
+        """Deterministic routing: packets of one (src, dst) flow arrive
+        in injection order — the property the PE's OP-counter needs."""
+        ic = Interconnect(Mesh2D(4, 4))
+        pending = [packet(0, 15, op_id=i) for i in range(40)]
+        received = []
+        while pending or ic.busy:
+            while pending and ic.can_inject(0):
+                ic.inject(0, pending.pop(0))
+            ic.step()
+            received.extend(ic.eject(15))
+        ops = [p.op_id for p in received]
+        assert ops == sorted(ops)
+
+
+class TestBackpressure:
+    def test_injection_refused_when_full(self):
+        ic = Interconnect(Mesh2D(2, 2), buffer_depth=2)
+        accepted = sum(ic.inject(0, packet(0, 3)) for _ in range(10))
+        assert accepted == 2
+        assert ic.stats.rejected_injections == 8
+
+    def test_stalled_ejection_fills_buffers_without_loss(self):
+        ic = Interconnect(Mesh2D(2, 2), buffer_depth=2)
+        sent = 0
+        pending = [packet(0, 1, op_id=i) for i in range(12)]
+        for _ in range(60):
+            while pending and ic.can_inject(0):
+                ic.inject(0, pending.pop(0))
+                sent += 1
+            ic.step()  # never ejecting at node 1
+        # Fabric holds what it accepted; nothing vanished.
+        assert ic.occupancy == sent
+        got = drain(ic)
+        assert len(got) + 0 == sent
+
+    def test_bad_ports_rejected(self):
+        ic = Interconnect(Mesh2D(2, 2))
+        with pytest.raises(ConfigurationError):
+            ic.inject(0, packet(0, 1), port=Port.NORTH)
+        with pytest.raises(ConfigurationError):
+            ic.eject(0, port=Port.EAST)
+
+
+class TestLocalRate:
+    def test_local_ports_move_word_rate(self):
+        """The MEM->PE path must sustain 2 packets/cycle (one 32-bit
+        word), or a vault could never feed its own PE at full rate."""
+        ic = Interconnect(Mesh2D(2, 2), local_rate=2)
+        pending = [packet(1, 1, op_id=i) for i in range(64)]
+        cycles = 0
+        received = 0
+        while received < 64:
+            while pending and ic.can_inject(1):
+                ic.inject(1, pending.pop(0))
+            ic.step()
+            received += len(ic.eject(1))
+            cycles += 1
+            assert cycles < 200
+        # 64 packets at 2/cycle plus pipeline fill.
+        assert cycles <= 40
+
+    def test_mesh_links_stay_single_rate(self):
+        ic = Interconnect(Mesh2D(1, 2), local_rate=2)
+        pending = [packet(0, 1, op_id=i) for i in range(32)]
+        cycles = 0
+        received = 0
+        while received < 32:
+            while pending and ic.can_inject(0):
+                ic.inject(0, pending.pop(0))
+            ic.step()
+            received += len(ic.eject(1))
+            cycles += 1
+            assert cycles < 300
+        # One link at 1 packet/cycle bounds the rate from below.
+        assert cycles >= 32
+
+
+class TestStats:
+    def test_lateral_fraction(self):
+        ic = Interconnect(Mesh2D(2, 2))
+        ic.inject(0, packet(0, 0))
+        ic.inject(0, packet(0, 3))
+        drain(ic)
+        assert ic.stats.lateral_fraction == 0.5
+
+    def test_latency_accounts_inject_cycle(self):
+        ic = Interconnect(Mesh2D(2, 2))
+        for _ in range(5):
+            ic.step()
+        ic.inject(0, packet(0, 0, cycle=ic.cycle))
+        drain(ic)
+        assert 0 < ic.stats.mean_latency < 10
+
+    def test_link_traversals_match_hops(self):
+        ic = Interconnect(Mesh2D(4, 4))
+        ic.inject(0, packet(0, 15))
+        drain(ic)
+        assert ic.stats.link_traversals == 6

@@ -1,0 +1,104 @@
+"""Direct tests of the router's switch stage."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc import Packet, PacketKind, Port
+from repro.noc.router import Router
+
+
+def packet(dst, op_id=0, kind=PacketKind.STATE):
+    return Packet(src=0, dst=dst, mac_id=0, op_id=op_id, kind=kind)
+
+
+def route_by_dst(routes):
+    """Route function from a dst -> port mapping."""
+    return lambda pkt: routes[pkt.dst]
+
+
+def make_router(routes, link_ports=(Port.EAST, Port.WEST),
+                local_rate=2, depth=16):
+    return Router(0, list(link_ports), route_by_dst(routes),
+                  buffer_depth=depth, local_rate=local_rate)
+
+
+class TestSwitch:
+    def test_moves_head_to_routed_output(self):
+        router = make_router({1: Port.EAST})
+        router.inputs[Port.MEM].push(packet(1))
+        assert router.switch() == 1
+        assert router.outputs[Port.EAST].pop().dst == 1
+
+    def test_parallel_moves_different_outputs(self):
+        router = make_router({1: Port.EAST, 2: Port.WEST})
+        router.inputs[Port.MEM].push(packet(1))
+        router.inputs[Port.PE].push(packet(2))
+        assert router.switch() == 2
+
+    def test_contention_one_winner_per_link_output(self):
+        router = make_router({1: Port.EAST})
+        router.inputs[Port.MEM].push(packet(1))
+        router.inputs[Port.WEST].push(packet(1))
+        assert router.switch() == 1
+        assert router.outputs[Port.EAST].occupancy == 1
+
+    def test_local_output_moves_at_word_rate(self):
+        """The PE output can accept two packets per cycle (one 32-bit
+        word), fed by the MEM input at the same rate."""
+        router = make_router({0: Port.PE}, local_rate=2)
+        for op in range(4):
+            router.inputs[Port.MEM].push(packet(0, op_id=op))
+        assert router.switch() == 2
+        assert router.outputs[Port.PE].occupancy == 2
+
+    def test_link_output_capped_at_one(self):
+        router = make_router({1: Port.EAST}, local_rate=2)
+        router.inputs[Port.MEM].push(packet(1))
+        router.inputs[Port.MEM].push(packet(1))
+        assert router.switch() == 1
+
+    def test_full_output_blocks_move(self):
+        router = make_router({1: Port.EAST}, depth=1)
+        router.outputs[Port.EAST].push(packet(1))
+        router.inputs[Port.MEM].push(packet(1))
+        assert router.switch() == 0
+        assert router.inputs[Port.MEM].occupancy == 1
+
+    def test_fifo_order_preserved_per_input(self):
+        router = make_router({0: Port.PE}, local_rate=1)
+        for op in range(3):
+            router.inputs[Port.MEM].push(packet(0, op_id=op))
+        ops = []
+        for _ in range(3):
+            router.switch()
+            ops.append(router.outputs[Port.PE].pop().op_id)
+        assert ops == [0, 1, 2]
+
+    def test_arbitration_rotates_between_contenders(self):
+        router = make_router({0: Port.PE}, local_rate=1)
+        winners = []
+        for _ in range(4):
+            router.inputs[Port.MEM].push(packet(0, op_id=1))
+            router.inputs[Port.PE].push(packet(0, op_id=2))
+            router.switch()
+            winners.append(router.outputs[Port.PE].pop().op_id)
+            # drain the loser so the queues stay short
+            for port in (Port.MEM, Port.PE):
+                while not router.inputs[port].empty:
+                    router.inputs[port].pop()
+        assert set(winners) == {1, 2}
+
+    def test_busy_and_occupancy(self):
+        router = make_router({1: Port.EAST})
+        assert not router.busy
+        router.inputs[Port.MEM].push(packet(1))
+        assert router.busy
+        assert router.occupancy == 1
+
+    def test_duplicate_ports_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Router(0, [Port.EAST, Port.EAST], lambda p: Port.EAST)
+
+    def test_bad_local_rate(self):
+        with pytest.raises(ConfigurationError):
+            Router(0, [Port.EAST], lambda p: Port.EAST, local_rate=0)

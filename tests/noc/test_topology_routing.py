@@ -1,0 +1,135 @@
+"""Tests for mesh/fully-connected topologies and X-Y routing."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.noc import FullyConnected, Mesh2D, Packet, PacketKind, Port
+from repro.noc.routing import local_delivery_port, xy_route
+
+
+def packet(src, dst, kind=PacketKind.STATE):
+    return Packet(src=src, dst=dst, mac_id=0, op_id=0, kind=kind)
+
+
+class TestXYRoute:
+    def test_x_before_y(self):
+        assert xy_route(0, 0, 2, 2) == Port.EAST
+
+    def test_y_after_x_aligned(self):
+        assert xy_route(0, 2, 2, 2) == Port.SOUTH
+
+    def test_arrived(self):
+        assert xy_route(1, 1, 1, 1) is None
+
+    def test_west_and_north(self):
+        assert xy_route(2, 2, 2, 0) == Port.WEST
+        assert xy_route(2, 0, 0, 0) == Port.NORTH
+
+
+class TestMesh2D:
+    def test_paper_mesh_is_4x4(self):
+        mesh = Mesh2D.for_nodes(16)
+        assert (mesh.rows, mesh.cols) == (4, 4)
+
+    def test_coords_round_trip(self):
+        mesh = Mesh2D(4, 4)
+        for node in range(16):
+            row, col = mesh.coords(node)
+            assert mesh.node_at(row, col) == node
+
+    def test_corner_has_two_links(self):
+        mesh = Mesh2D(4, 4)
+        assert len(mesh.link_ports(0)) == 2
+
+    def test_interior_has_four_links(self):
+        mesh = Mesh2D(4, 4)
+        assert len(mesh.link_ports(5)) == 4
+
+    def test_interior_router_has_six_channels(self):
+        """§III-C: four neighbour + PE + memory channels."""
+        mesh = Mesh2D(4, 4)
+        assert len(mesh.link_ports(5)) + 2 == 6
+
+    def test_links_are_symmetric(self):
+        mesh = Mesh2D(3, 5)
+        for node in range(mesh.n_nodes):
+            for port in mesh.link_ports(node):
+                other, in_port = mesh.link_target(node, port)
+                back, back_port = mesh.link_target(other, in_port)
+                assert (back, back_port) == (node, port)
+
+    def test_min_hops_manhattan(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.min_hops(0, 15) == 6
+        assert mesh.min_hops(5, 5) == 0
+
+    def test_routing_reaches_destination(self):
+        mesh = Mesh2D(4, 4)
+        for src in range(16):
+            for dst in range(16):
+                node, hops = src, 0
+                while True:
+                    port = mesh.next_port(node, packet(src, dst))
+                    if port in (Port.PE, Port.MEM):
+                        break
+                    node, _ = mesh.link_target(node, port)
+                    hops += 1
+                    assert hops <= mesh.diameter
+                assert node == dst
+                assert hops == mesh.min_hops(src, dst)
+
+    def test_writeback_delivered_to_mem_port(self):
+        mesh = Mesh2D(2, 2)
+        wb = packet(1, 1, PacketKind.WRITEBACK)
+        assert mesh.next_port(1, wb) == Port.MEM
+
+    def test_state_delivered_to_pe_port(self):
+        mesh = Mesh2D(2, 2)
+        assert mesh.next_port(1, packet(0, 1)) == Port.PE
+
+    def test_diameter_and_bisection(self):
+        mesh = Mesh2D(4, 4)
+        assert mesh.diameter == 6
+        assert mesh.bisection_links == 4
+
+    def test_bad_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            Mesh2D(0, 4)
+
+
+class TestFullyConnected:
+    def test_every_pair_linked(self):
+        topo = FullyConnected(5)
+        for node in range(5):
+            peers = {port[1] for port in topo.link_ports(node)}
+            assert peers == set(range(5)) - {node}
+
+    def test_single_hop(self):
+        topo = FullyConnected(16)
+        assert topo.min_hops(0, 15) == 1
+        assert topo.min_hops(3, 3) == 0
+
+    def test_paper_channel_count(self):
+        """§VI-C: a 16-node fully connected router needs 17 channels."""
+        assert FullyConnected(16).channels_per_router == 17
+
+    def test_direct_route(self):
+        topo = FullyConnected(4)
+        assert topo.next_port(0, packet(0, 3)) == ("peer", 3)
+
+    def test_local_delivery(self):
+        topo = FullyConnected(4)
+        assert topo.next_port(3, packet(0, 3)) == Port.PE
+
+    def test_link_symmetry(self):
+        topo = FullyConnected(4)
+        other, in_port = topo.link_target(1, ("peer", 2))
+        assert other == 2
+        assert in_port == ("peer", 1)
+
+
+class TestLocalDeliveryPort:
+    def test_kinds(self):
+        assert local_delivery_port(PacketKind.WRITEBACK) == Port.MEM
+        assert local_delivery_port(PacketKind.STATE) == Port.PE
+        assert local_delivery_port(PacketKind.WEIGHT) == Port.PE

@@ -1,0 +1,100 @@
+"""Edge-case and error-surface tests across small remaining gaps."""
+
+import numpy as np
+import pytest
+
+from repro import errors
+from repro.core import NeurocubeConfig
+from repro.errors import ConfigurationError
+from repro.experiments.charts import BarChart
+from repro.memory import MemorySystem
+from repro.memory.specs import DDR3
+from repro.nn.activations import PiecewiseLinear, by_name
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for name in ("ConfigurationError", "MappingError",
+                     "SimulationError", "ProtocolError"):
+            cls = getattr(errors, name)
+            assert issubclass(cls, errors.ReproError)
+
+    def test_protocol_is_simulation_error(self):
+        assert issubclass(errors.ProtocolError, errors.SimulationError)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(errors.ReproError):
+            raise errors.MappingError("boom")
+
+
+class TestPiecewiseLinear:
+    def test_registered_by_name(self):
+        assert isinstance(by_name("piecewise_linear"), PiecewiseLinear)
+
+    def test_identity_inside_unit_interval(self):
+        act = PiecewiseLinear()
+        y = np.linspace(-0.99, 0.99, 21)
+        assert np.allclose(act.forward(y), y)
+
+    def test_clamps_outside(self):
+        act = PiecewiseLinear()
+        assert act.forward(np.array([5.0]))[0] == 1.0
+        assert act.forward(np.array([-5.0]))[0] == -1.0
+
+    def test_derivative_is_indicator(self):
+        act = PiecewiseLinear()
+        d = act.derivative(np.array([-2.0, 0.0, 2.0]))
+        assert np.array_equal(d, [0.0, 1.0, 0.0])
+
+
+class TestDdr3System:
+    def test_two_channels_default(self):
+        system = MemorySystem(DDR3)
+        assert len(system.vaults) == 2
+        assert system.vaults[0].items_per_word == 4
+
+    def test_sustained_below_peak(self):
+        system = MemorySystem(DDR3)
+        assert system.sustained_bandwidth < DDR3.total_peak_bandwidth
+
+
+class TestChartsEdge:
+    def test_many_series_cycle_glyphs(self):
+        chart = BarChart(title="t", categories=["a"])
+        for i in range(6):
+            chart.add_series(f"s{i}", [float(i + 1)])
+        text = chart.render()
+        assert "s5" in text
+
+    def test_negative_width_bars_clamped(self):
+        chart = BarChart(title="t", width=5, categories=["a", "b"])
+        chart.add_series("x", [0.0, 5.0])
+        assert "|" in chart.render()
+
+
+class TestConfigEdges:
+    def test_single_pe_config(self):
+        config = NeurocubeConfig(n_channels=1, n_pe=1)
+        assert config.peak_gops == pytest.approx(10.0)
+        assert config.channel_of_pe(0) == 0
+
+    def test_fully_connected_single_node(self):
+        from repro.noc import FullyConnected, Interconnect
+
+        ic = Interconnect(FullyConnected(1))
+        from repro.noc import Packet, PacketKind
+
+        ic.inject(0, Packet(src=0, dst=0, mac_id=0, op_id=0,
+                            kind=PacketKind.STATE))
+        for _ in range(5):
+            ic.step()
+            if ic.eject(0):
+                return
+        raise AssertionError("single-node delivery failed")
+
+    def test_mesh_one_by_n(self):
+        from repro.noc import Mesh2D
+
+        mesh = Mesh2D(1, 4)
+        assert mesh.min_hops(0, 3) == 3
+        assert mesh.diameter == 3

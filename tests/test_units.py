@@ -1,0 +1,62 @@
+"""Tests for the physical-unit helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestConversions:
+    def test_frequencies(self):
+        assert units.MHz(300) == 300e6
+        assert units.GHz(5) == 5e9
+
+    def test_times(self):
+        assert units.ns(27.5) == pytest.approx(27.5e-9)
+
+    def test_bandwidth_and_sizes(self):
+        assert units.GBps(10) == 10e9
+        assert units.KB(2.5) == 2500
+        assert units.MB(1) == 1e6
+
+    def test_energy_power(self):
+        assert units.pJ(3.7) == pytest.approx(3.7e-12)
+        assert units.mW(249) == pytest.approx(0.249)
+
+
+class TestCycleMath:
+    def test_cycles_round_up(self):
+        # 27.5 ns at 5 GHz = 137.5 -> 138 cycles.
+        assert units.cycles_for_time(27.5e-9, 5e9) == 138
+
+    def test_exact_cycles_not_rounded(self):
+        assert units.cycles_for_time(2e-9, 1e9) == 2
+
+    def test_zero_duration(self):
+        assert units.cycles_for_time(0.0, 1e9) == 0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            units.cycles_for_time(-1.0, 1e9)
+        with pytest.raises(ValueError):
+            units.cycles_for_time(1.0, 0.0)
+        with pytest.raises(ValueError):
+            units.seconds_for_cycles(10, -1.0)
+
+    def test_seconds_for_cycles(self):
+        assert units.seconds_for_cycles(5e9, 5e9) == 1.0
+
+    def test_gops(self):
+        # 1e9 ops in 1e9 cycles at 1 GHz = 1 second -> 1 GOPs/s.
+        assert units.giga_ops_per_second(1e9, 1e9, 1e9) == 1.0
+        with pytest.raises(ValueError):
+            units.giga_ops_per_second(1.0, 0.0, 1e9)
+
+    @given(duration=st.floats(min_value=0, max_value=1.0),
+           freq=st.floats(min_value=1e3, max_value=1e10))
+    @settings(max_examples=200)
+    def test_cycles_cover_duration(self, duration, freq):
+        cycles = units.cycles_for_time(duration, freq)
+        assert cycles >= duration * freq - 1e-6
+        assert cycles < duration * freq + 1.0 + 1e-6
