@@ -4,7 +4,6 @@ Includes a flit-accurate cross-check of the 15(a) claim on a scaled-down
 layer: the cycle simulator must also rank HMC above DDR3.
 """
 
-import pytest
 
 from repro.core import NeurocubeConfig, NeurocubeSimulator, compile_inference
 from repro.experiments import fig15_memory_noc

@@ -6,6 +6,10 @@ evaluation latency, and functional-substrate throughput — so regressions
 in the infrastructure show up here.
 """
 
+import dataclasses
+import os
+import time
+
 import numpy as np
 
 from repro.core import (
@@ -14,6 +18,7 @@ from repro.core import (
     NeurocubeSimulator,
     compile_inference,
 )
+from repro.fixedpoint import quantize_float
 from repro.nn import models
 
 
@@ -34,6 +39,61 @@ def test_analytic_model_latency(benchmark):
     net = models.scene_labeling_convnn(qformat=None)
     report = benchmark(lambda: model.evaluate_network(net, True))
     assert report.throughput_gops > 0
+
+
+def test_parallel_conv_speedup(benchmark):
+    """Multi-output-map conv: 4 workers vs serial, bit-identical.
+
+    Eight independent output maps fan out over the process pool.  The
+    wall-clock speedup assertion only fires on hosts with at least four
+    usable cores (CI runners qualify; a single-core container cannot
+    physically show parallel speedup, so there we only check identity).
+    """
+    base = NeurocubeConfig.hmc_15nm()
+    net = models.single_conv_layer(20, 20, 5, in_maps=1, out_maps=8,
+                                   seed=7)
+    x = quantize_float(
+        np.random.default_rng(7).standard_normal((1, 20, 20)),
+        base.qformat)
+    desc = compile_inference(net, base).descriptors[0]
+    layer = net.layers[0]
+
+    serial = NeurocubeSimulator(dataclasses.replace(base, sim_workers=1))
+    parallel = NeurocubeSimulator(dataclasses.replace(base, sim_workers=4))
+
+    start = time.perf_counter()
+    run_serial = serial.run_descriptor(desc, layer, x)
+    serial_seconds = time.perf_counter() - start
+
+    run_parallel = benchmark.pedantic(
+        lambda: parallel.run_descriptor(desc, layer, x),
+        rounds=1, iterations=1)
+
+    np.testing.assert_array_equal(run_serial.output, run_parallel.output)
+    assert run_serial.cycles == run_parallel.cycles
+    assert run_serial.macs_fired == run_parallel.macs_fired
+    if len(os.sched_getaffinity(0)) >= 4:
+        assert serial_seconds / run_parallel.host_seconds >= 2.0
+
+
+def test_skip_ahead_overhead(benchmark):
+    """Skip-ahead on vs off on a latency-dominated conv: never slower
+    than 1.5x the plain path, usually faster."""
+    base = NeurocubeConfig.hmc_15nm()
+    net = models.single_conv_layer(16, 16, 3, qformat=None)
+    desc = compile_inference(net, base).descriptors[0]
+
+    plain = NeurocubeSimulator(
+        dataclasses.replace(base, sim_skip_ahead=False))
+    start = time.perf_counter()
+    run_plain = plain.run_descriptor(desc)
+    plain_seconds = time.perf_counter() - start
+
+    skipping = NeurocubeSimulator(base)
+    run_skip = benchmark.pedantic(lambda: skipping.run_descriptor(desc),
+                                  rounds=1, iterations=1)
+    assert run_skip.cycles == run_plain.cycles
+    assert run_skip.host_seconds <= 1.5 * plain_seconds
 
 
 def test_functional_forward_throughput(benchmark):

@@ -13,7 +13,6 @@ Run:  python examples/cellular_edge_detect.py
 
 import numpy as np
 
-from repro import nn
 from repro.core import NeurocubeConfig, NeurocubeSimulator, compile_inference
 from repro.fixedpoint import quantize_float
 from repro.nn import data, models

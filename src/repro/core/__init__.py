@@ -18,6 +18,13 @@ from repro.core.host import (
     HostSchedule,
     registers_for_descriptor,
 )
+from repro.core.parallel import (
+    MapOutcome,
+    MapTask,
+    ParallelPassExecutor,
+    PassOutcome,
+    SubPassSpec,
+)
 from repro.core.pe import ProcessingElement
 from repro.core.simulator import LayerRun, NeurocubeSimulator
 from repro.core.analytic import AnalyticModel
@@ -44,6 +51,11 @@ __all__ = [
     "ProcessingElement",
     "NeurocubeSimulator",
     "LayerRun",
+    "ParallelPassExecutor",
+    "MapTask",
+    "MapOutcome",
+    "PassOutcome",
+    "SubPassSpec",
     "AnalyticModel",
     "LayerStats",
     "RunReport",

@@ -8,6 +8,7 @@ per PE ``n_mac``, and the clock relations ``f_pe = f_noc = f_dram_io`` and
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError
@@ -29,6 +30,10 @@ from repro.units import MHz
 F_PE_28NM_HZ = MHz(300.0)
 #: PE clock at the 15nm node (§VII: redesigned to reach 5 GHz).
 F_PE_15NM_HZ = HMC_VAULT_IO_CLOCK_HZ
+
+#: Environment variable overriding :attr:`NeurocubeConfig.sim_workers`,
+#: so CI and batch sweeps can fan passes out without touching code.
+SIM_WORKERS_ENV = "NEUROCUBE_SIM_WORKERS"
 
 
 @dataclass(frozen=True)
@@ -55,6 +60,15 @@ class NeurocubeConfig:
             Table II) — bounds which kernels can be PE-resident.
         qformat: the fixed-point data format.
         technology: "28nm" or "15nm", used by the hardware models.
+        sim_workers: host processes used to run independent simulator
+            passes (conv output maps, pool maps) concurrently; 1 runs
+            everything in-process.  Overridable via the
+            ``NEUROCUBE_SIM_WORKERS`` environment variable — see
+            :attr:`effective_sim_workers`.
+        sim_skip_ahead: enable the simulator's quiescence skip-ahead
+            (jump the clock over cycles where every agent is counting
+            down).  Results are identical either way; the knob exists so
+            equivalence tests can compare the two paths.
     """
 
     memory_spec: MemorySpec = HMC_INT
@@ -72,8 +86,13 @@ class NeurocubeConfig:
     weight_memory_bits: int = 3600
     qformat: QFormat = field(default=Q_1_7_8)
     technology: str = "15nm"
+    sim_workers: int = 1
+    sim_skip_ahead: bool = True
 
     def __post_init__(self) -> None:
+        if self.sim_workers < 1:
+            raise ConfigurationError(
+                f"sim_workers must be >= 1, got {self.sim_workers}")
         if self.n_channels < 1 or self.n_channels > self.memory_spec.max_channels:
             raise ConfigurationError(
                 f"{self.memory_spec.name} supports up to "
@@ -149,6 +168,27 @@ class NeurocubeConfig:
     def weight_memory_items(self) -> int:
         """Weights that fit in the PE weight register."""
         return self.weight_memory_bits // self.qformat.total_bits
+
+    @property
+    def effective_sim_workers(self) -> int:
+        """The pass-executor worker count, after the env override.
+
+        ``NEUROCUBE_SIM_WORKERS`` (when set and non-empty) wins over the
+        :attr:`sim_workers` field, so a CI job or sweep driver can fan
+        out without rebuilding configurations.
+        """
+        raw = os.environ.get(SIM_WORKERS_ENV)
+        if raw:
+            try:
+                value = int(raw)
+            except ValueError:
+                raise ConfigurationError(
+                    f"{SIM_WORKERS_ENV}={raw!r} is not an integer")
+            if value < 1:
+                raise ConfigurationError(
+                    f"{SIM_WORKERS_ENV} must be >= 1, got {value}")
+            return value
+        return self.sim_workers
 
     def pe_of_channel(self, channel: int) -> int:
         """The PE co-located with a channel (identity mapping)."""

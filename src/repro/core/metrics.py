@@ -60,6 +60,8 @@ class RunReport:
         peak_gops: configuration's arithmetic peak, for utilisation.
         layers: per-descriptor stats in execution order.
         source: "cycle" or "analytic".
+        host_seconds: wall-clock host time the simulation took (0.0 for
+            analytic reports, which are effectively instantaneous).
     """
 
     network_name: str
@@ -67,6 +69,7 @@ class RunReport:
     peak_gops: float
     layers: list[LayerStats] = field(default_factory=list)
     source: str = "analytic"
+    host_seconds: float = 0.0
 
     @property
     def total_ops(self) -> int:
@@ -104,19 +107,26 @@ class RunReport:
         return 1.0 / self.seconds
 
     @property
+    def simulated_cycles_per_second(self) -> float:
+        """Simulation rate: reference cycles per host wall-clock second."""
+        if self.host_seconds <= 0.0:
+            return 0.0
+        return self.total_cycles / self.host_seconds
+
+    @property
     def state_bytes(self) -> int:
-        return sum(l.state_bytes for l in self.layers
-                   if l.phase == "forward")
+        return sum(layer.state_bytes for layer in self.layers
+                   if layer.phase == "forward")
 
     @property
     def weight_bytes(self) -> int:
-        return sum(l.weight_bytes for l in self.layers
-                   if l.phase == "forward")
+        return sum(layer.weight_bytes for layer in self.layers
+                   if layer.phase == "forward")
 
     @property
     def duplicated_bytes(self) -> int:
-        return sum(l.duplicated_bytes for l in self.layers
-                   if l.phase == "forward")
+        return sum(layer.duplicated_bytes for layer in self.layers
+                   if layer.phase == "forward")
 
     @property
     def total_bytes(self) -> int:
@@ -130,10 +140,11 @@ class RunReport:
     @property
     def lateral_fraction(self) -> float:
         """Packet-weighted lateral traffic fraction across layers."""
-        packets = sum(l.packets for l in self.layers)
+        packets = sum(layer.packets for layer in self.layers)
         if not packets:
             return 0.0
-        lateral = sum(l.packets * l.lateral_fraction for l in self.layers)
+        lateral = sum(layer.packets * layer.lateral_fraction
+                      for layer in self.layers)
         return lateral / packets
 
     def layer(self, name: str) -> LayerStats:
@@ -143,7 +154,7 @@ class RunReport:
                 return stats
         raise ConfigurationError(
             f"no layer {name!r} in report; have "
-            f"{[l.name for l in self.layers]}")
+            f"{[layer.name for layer in self.layers]}")
 
     def to_table(self) -> str:
         """Render the per-layer stats as an aligned text table."""

@@ -130,7 +130,7 @@ class MultiCubeReport:
     def comm_fraction(self) -> float:
         """Share of the critical path spent communication-bound."""
         total = self.total_cycles
-        comm = sum(l.cycles for l in self.layers if l.comm_bound)
+        comm = sum(layer.cycles for layer in self.layers if layer.comm_bound)
         return comm / total if total else 0.0
 
     def to_table(self) -> str:

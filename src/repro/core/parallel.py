@@ -1,0 +1,176 @@
+"""Parallel pass execution for the cycle simulator.
+
+The paper's evaluation (§VI) and the design-space examples need hundreds
+of independent cycle-simulated passes: every output map of a convolution
+and every map of a pooling layer runs the same PNG program on disjoint
+data, with no architectural state shared between passes (each pass
+rebuilds vaults, NoC and PEs from scratch).  This module fans those
+passes out over a process pool.
+
+Work units are :class:`MapTask` objects — one per output map, carrying
+the full sub-pass chain of a blocked convolution, because sub-passes are
+sequentially dependent (each preloads the previous partial sums) and
+must stay serial *within* a worker.  Workers return :class:`MapOutcome`
+objects whose per-pass statistics snapshots are folded by the caller in
+task order, so a parallel run produces bit-identical outputs, cycle
+counts and statistics to a serial one.
+
+The worker count comes from ``NeurocubeConfig.effective_sim_workers``
+(the ``sim_workers`` field, overridable with ``NEUROCUBE_SIM_WORKERS``).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from functools import partial
+
+import numpy as np
+
+from repro.core.config import NeurocubeConfig
+from repro.core.layerdesc import LayerDescriptor
+from repro.nn.activations import ActivationLUT
+
+
+@dataclass(frozen=True)
+class SubPassSpec:
+    """One sub-pass of a (possibly input-map-blocked) pass chain.
+
+    Attributes:
+        kernel: this sub-pass's kernel block (None for pooling or
+            timing-only runs).
+        input_tensor: the input-map block this sub-pass streams.
+        bias: accumulator preload for the first sub-pass of the chain;
+            later sub-passes preload the previous sub-pass's partials
+            instead.
+        final: True on the last sub-pass — the only one that goes
+            through the activation LUT.
+    """
+
+    kernel: np.ndarray | None
+    input_tensor: np.ndarray | None
+    bias: float
+    final: bool
+
+
+@dataclass(frozen=True)
+class MapTask:
+    """One independent unit of pass work: a full output map.
+
+    Attributes:
+        index: output-map (or pool-map) index; results are folded in
+            this order.
+        mode: "mac" or "max" (max pooling).
+        sub_passes: the sequentially-dependent sub-pass chain.
+    """
+
+    index: int
+    mode: str
+    sub_passes: tuple[SubPassSpec, ...]
+
+
+@dataclass(frozen=True)
+class PassOutcome:
+    """Picklable reduction of one pass's results.
+
+    ``PassResult`` itself holds the live :class:`Interconnect` (whose
+    routing closures cannot cross a process boundary), so workers ship
+    this snapshot instead.
+
+    Attributes:
+        cycles: reference cycles to layer-done.
+        delivered: NoC packets delivered.
+        lateral: delivered packets that crossed at least one link.
+        total_latency: summed inject-to-eject latency.
+        pe_stats: per-PE statistics (``PEStats``).
+        png_stats: per-PNG statistics (``PNGStats``).
+    """
+
+    cycles: int
+    delivered: int
+    lateral: int
+    total_latency: int
+    pe_stats: tuple
+    png_stats: tuple
+
+
+@dataclass(frozen=True)
+class MapOutcome:
+    """What one worker returns for one :class:`MapTask`.
+
+    Attributes:
+        index: the task's map index.
+        passes: per-sub-pass outcomes, in execution order.
+        output: the map's assembled output (functional mode) or None.
+    """
+
+    index: int
+    passes: tuple[PassOutcome, ...]
+    output: np.ndarray | None
+
+
+def snapshot_pass(result) -> PassOutcome:
+    """Reduce a ``PassResult`` to its picklable statistics snapshot."""
+    stats = result.interconnect.stats
+    return PassOutcome(
+        cycles=result.cycles, delivered=stats.delivered,
+        lateral=stats.lateral, total_latency=stats.total_latency,
+        pe_stats=tuple(result.pe_stats),
+        png_stats=tuple(result.png_stats))
+
+
+def run_map_task(config: NeurocubeConfig, desc: LayerDescriptor,
+                 lut: ActivationLUT | None, functional: bool,
+                 task: MapTask) -> MapOutcome:
+    """Run one map's sub-pass chain to completion (worker entry point).
+
+    Sub-passes run serially: sub-pass 0 preloads the spec's bias, later
+    sub-passes preload the stored partial sums, and only the final
+    sub-pass goes through the activation LUT — exactly the serial
+    simulator's schedule, so outputs and statistics match bit for bit.
+    """
+    # Imported here, not at module top: the simulator imports this
+    # module for the task/outcome types.
+    from repro.core.scheduler import build_conv_pass
+    from repro.core.simulator import NeurocubeSimulator
+
+    simulator = NeurocubeSimulator(config)
+    partial_sums: np.ndarray | None = None
+    passes = []
+    for spec in task.sub_passes:
+        bias = (spec.bias if partial_sums is None
+                else partial_sums.ravel())
+        plan = build_conv_pass(desc, config, spec.input_tensor,
+                               spec.kernel, bias,
+                               lut if spec.final else None, mode=task.mode)
+        result = simulator.run_pass(plan)
+        passes.append(snapshot_pass(result))
+        if functional:
+            partial_sums = simulator.assemble_output(desc, plan,
+                                                     result.outputs)
+    return MapOutcome(index=task.index, passes=tuple(passes),
+                      output=partial_sums)
+
+
+class ParallelPassExecutor:
+    """Dispatches :class:`MapTask` lists over a process pool.
+
+    With ``workers <= 1`` (or a single task) everything runs in-process
+    through the identical :func:`run_map_task` code path, which is what
+    makes serial-vs-parallel equivalence structural rather than
+    accidental.  Results always come back in task order.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(1, workers)
+
+    def run(self, config: NeurocubeConfig, desc: LayerDescriptor,
+            lut: ActivationLUT | None, functional: bool,
+            tasks: list[MapTask]) -> list[MapOutcome]:
+        """Run all tasks; returns outcomes ordered like ``tasks``."""
+        worker = partial(run_map_task, config, desc, lut, functional)
+        if self.workers == 1 or len(tasks) <= 1:
+            return [worker(task) for task in tasks]
+        pool_size = min(self.workers, len(tasks))
+        with ProcessPoolExecutor(max_workers=pool_size) as pool:
+            return list(pool.map(worker, tasks))

@@ -13,9 +13,7 @@ the MAC computation.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-
-import numpy as np
+from dataclasses import dataclass
 
 from repro.core.config import NeurocubeConfig
 from repro.core.mac import MACUnit
@@ -109,6 +107,8 @@ class ProcessingElement:
         self._weight_slots: dict[int, int] = {}
         self._state_slots: dict[int, int] = {}
         self._shared_state: int | None = None
+        # Bound once: the router output this PE drains every cycle.
+        self._rx_buffer = interconnect.routers[pe_id].outputs[Port.PE]
         self.stats = PEStats()
 
     # ------------------------------------------------------------------
@@ -152,8 +152,10 @@ class ProcessingElement:
 
     def step(self) -> None:
         """One PE-clock cycle."""
-        self._inject_writebacks()
-        self._receive_packets()
+        if self._writebacks:
+            self._inject_writebacks()
+        if not self._rx_buffer.empty:
+            self._receive_packets()
         if self._group_idx >= len(self._groups):
             return
         if self._busy > 0:
@@ -168,10 +170,45 @@ class ProcessingElement:
         else:
             self.stats.idle_cycles += 1
 
+    def next_event_delta(self) -> int | None:
+        """How the quiescence check should treat this PE.
+
+        Returns 0 when the PE can act right now (write-backs queued, or a
+        complete operand set waiting to fire), the remaining MAC/search
+        countdown when it is busy, and None when it is passive — done, or
+        idle until a packet arrives (which, with an empty NoC, requires
+        some other agent to act first).
+        """
+        if self._writebacks:
+            return 0
+        if self._group_idx >= len(self._groups):
+            return None
+        if self._busy > 0:
+            return self._busy
+        if self._operands_ready():
+            return 0
+        return None
+
+    def skip(self, cycles: int) -> None:
+        """Fast-forward ``cycles`` event-free cycles.
+
+        The caller (the simulator's skip-ahead) guarantees no packet
+        arrives and no countdown elapses within the window, so the only
+        effects of stepping would have been the countdown itself and the
+        busy/idle statistics — replicated here exactly.
+        """
+        if self._group_idx >= len(self._groups):
+            return
+        if self._busy > 0:
+            self._busy -= cycles
+            self.stats.busy_cycles += cycles
+        elif not self._operands_ready():
+            self.stats.idle_cycles += cycles
+
     # -- packet intake --------------------------------------------------
 
     def _receive_packets(self) -> None:
-        buffer = self.interconnect.routers[self.pe_id].outputs[Port.PE]
+        buffer = self._rx_buffer
         taken = 0
         while taken < self.interconnect.local_rate and not buffer.empty:
             packet = buffer.peek()

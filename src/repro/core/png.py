@@ -20,7 +20,7 @@ Two layers of modelling live here:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterator
 
 from repro.errors import ConfigurationError, ProtocolError
@@ -273,6 +273,31 @@ class NeurosequenceGenerator:
                 and not self._ready
                 and not self.vault.busy
                 and self._expected_writebacks <= 0)
+
+    def can_progress(self) -> bool:
+        """True when the next :meth:`step` could do visible work, given an
+        empty NoC and an unchanged vault.
+
+        Used by the simulator's quiescence check.  The PNG can progress
+        when it holds packets ready to inject, or when it can enqueue a
+        new vault read: the request pipeline has a slot and the next
+        emission record sits within the lock-step horizon.  Peeking the
+        next record pulls it into the held slot, which is exactly where
+        ``step`` would park it — no schedule state is lost.
+        """
+        if self._ready:
+            return True
+        if self._emissions_exhausted and self._held is None:
+            return False
+        if self.vault.pending >= self.max_outstanding:
+            return False
+        if self._held is None:
+            self._held = self._next_record()
+            if self._held is None:
+                return False
+        if self._horizon is None:
+            return True
+        return self._held.op_id <= self._horizon()
 
     # ------------------------------------------------------------------
     # simulation

@@ -296,7 +296,6 @@ def build_fc_pass(desc: LayerDescriptor, config: NeurocubeConfig,
 
     # ---- output / weight placement -------------------------------------
     pe_outputs = np.array_split(np.arange(n_out), n_pe)
-    weight_addr_base = [len(items) for items in vault_items]
     weight_addr: dict[tuple[int, int], tuple[int, int]] = {}
     for pe in range(n_pe):
         channel = config.channel_of_pe(pe)

@@ -8,6 +8,15 @@ activation, write-back — so layer outputs can be checked exactly against
 the :mod:`repro.nn` reference.  In timing mode (no tensors) it moves
 zero payloads through the identical control paths.
 
+Two mechanisms keep multi-pass runs fast without changing a single
+result (see ``docs/simulator_internals.md``):
+
+* independent passes — conv output maps, pool maps — fan out over the
+  :mod:`repro.core.parallel` process pool (``config.sim_workers``);
+* within one pass, quiescent stretches (every PE counting down, every
+  vault mid-latency, the NoC empty) are skipped in one jump instead of
+  being stepped cycle by cycle.
+
 Paper-scale layers are far too large to simulate flit by flit in Python;
 the companion :mod:`repro.core.analytic` model is calibrated against this
 simulator on scaled-down layers (see :mod:`repro.core.calibration`).
@@ -15,6 +24,7 @@ simulator on scaled-down layers (see :mod:`repro.core.calibration`).
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -23,9 +33,17 @@ from repro.core.compiler import compile_inference
 from repro.core.config import NeurocubeConfig
 from repro.core.layerdesc import LayerDescriptor
 from repro.core.metrics import LayerStats, RunReport
+from repro.core.parallel import (
+    MapOutcome,
+    MapTask,
+    ParallelPassExecutor,
+    PassOutcome,
+    SubPassSpec,
+    snapshot_pass,
+)
 from repro.core.pe import ProcessingElement
 from repro.core.png import NeurosequenceGenerator
-from repro.core.scheduler import PassPlan, build_conv_pass, build_fc_pass
+from repro.core.scheduler import PassPlan, build_fc_pass
 from repro.errors import MappingError, SimulationError
 from repro.fixedpoint import to_float
 from repro.memory.vault import VaultChannel
@@ -70,6 +88,23 @@ class _RunAccumulator:
     cache_peak: int = 0
     inject_stall_cycles: int = 0
 
+    def fold(self, outcome: PassOutcome) -> None:
+        """Fold one pass's snapshot in; call in serial pass order so the
+        accumulated statistics are identical for serial and parallel
+        runs."""
+        self.cycles += outcome.cycles
+        self.packets += outcome.delivered
+        self.lateral += outcome.lateral
+        self.latency += outcome.total_latency
+        for pe_stats in outcome.pe_stats:
+            self.macs_fired += pe_stats.macs_fired
+            self.idle_cycles += pe_stats.idle_cycles
+            self.busy_cycles += pe_stats.busy_cycles
+            self.search_stall_cycles += pe_stats.search_stall_cycles
+            self.cache_peak = max(self.cache_peak, pe_stats.cache_peak)
+        for png_stats in outcome.png_stats:
+            self.inject_stall_cycles += png_stats.inject_stall_cycles
+
 
 @dataclass
 class LayerRun:
@@ -89,6 +124,7 @@ class LayerRun:
             searches beyond the overlapped MAC time (§V-B).
         cache_peak: deepest total cache occupancy any PE reached.
         inject_stall_cycles: PNG cycles blocked by NoC backpressure.
+        host_seconds: wall-clock host time the simulation took.
     """
 
     descriptor: LayerDescriptor
@@ -103,6 +139,14 @@ class LayerRun:
     search_stall_cycles: int = 0
     cache_peak: int = 0
     inject_stall_cycles: int = 0
+    host_seconds: float = 0.0
+
+    @property
+    def simulated_cycles_per_second(self) -> float:
+        """Simulation rate: reference cycles per host wall-clock second."""
+        if self.host_seconds <= 0.0:
+            return 0.0
+        return self.cycles / self.host_seconds
 
     def to_stats(self) -> LayerStats:
         """Convert to the report row format."""
@@ -207,12 +251,29 @@ class NeurocubeSimulator:
             # with full search stalls would still finish well inside this.
             work = max(1, plan.stream_items)
             max_cycles = 200 * work + 500_000
+        skip_ahead = config.sim_skip_ahead
         cycles = 0
         last_progress = 0
         progress_mark = -1
         while True:
             if all(png.done for png in pngs) and all(pe.done for pe in pes):
                 break
+            if skip_ahead:
+                jump = self._quiescent_cycles(interconnect, pngs, vaults,
+                                              pes)
+                # Stop one cycle short of the earliest event and never
+                # overshoot the stall/ceiling checks, so error timing is
+                # identical to cycle-by-cycle stepping.
+                jump = min(jump,
+                           last_progress + stall_limit - cycles,
+                           max_cycles - cycles)
+                if jump > 0:
+                    for vault in vaults:
+                        vault.skip(jump)
+                    interconnect.skip(jump)
+                    for pe in pes:
+                        pe.skip(jump)
+                    cycles += jump
             for png in pngs:
                 png.step()
             interconnect.step()
@@ -227,11 +288,81 @@ class NeurocubeSimulator:
                 raise SimulationError(
                     f"pass stalled: {done_now}/{plan.total_neurons} "
                     f"neurons after {cycles} cycles "
-                    f"(occupancy {interconnect.occupancy})")
+                    f"(occupancy {interconnect.occupancy})\n"
+                    + self._stall_detail(interconnect, pngs, vaults, pes))
         return PassResult(cycles=cycles, outputs=outputs,
                           interconnect=interconnect,
                           pe_stats=[pe.stats for pe in pes],
                           png_stats=[png.stats for png in pngs])
+
+    @staticmethod
+    def _quiescent_cycles(interconnect: Interconnect, pngs, vaults,
+                          pes) -> int:
+        """Cycles that can be skipped because nothing can act.
+
+        Returns 0 unless every agent is provably inert: the NoC holds no
+        flits, no PE can inject or fire, no PNG can enqueue or inject,
+        and every vault is mid-burst-gap or mid-access-latency.  The
+        returned jump stops one cycle before the earliest countdown
+        expiry so the event cycle itself runs through the normal
+        cycle-by-cycle path.
+        """
+        if interconnect.in_fabric:
+            return 0
+        events = []
+        for pe in pes:
+            delta = pe.next_event_delta()
+            if delta == 0:
+                return 0
+            if delta is not None:
+                events.append(delta)
+        for png in pngs:
+            if png.can_progress():
+                return 0
+        for vault in vaults:
+            delta = vault.next_event_delta()
+            if delta is not None:
+                events.append(delta)
+        if not events:
+            # Nothing will ever happen again: a genuine deadlock.  Fall
+            # through to normal stepping so the stall detector fires with
+            # its usual timing.
+            return 0
+        return min(events) - 1
+
+    @staticmethod
+    def _stall_detail(interconnect: Interconnect, pngs, vaults,
+                      pes) -> str:
+        """Per-agent diagnostic block appended to stall errors.
+
+        Gives CI logs enough to localise a wedged pass without a
+        debugger: which PEs stopped advancing their OP-counters, and
+        which PNGs are blocked on backpressure, the horizon, or missing
+        write-backs.
+        """
+        lines = [f"  noc: injected={interconnect.stats.injected} "
+                 f"delivered={interconnect.stats.delivered} "
+                 f"rejected={interconnect.stats.rejected_injections}"]
+        for pe in pes:
+            cache = sum(len(bank) for bank in pe._cache)
+            lines.append(
+                f"  PE {pe.pe_id}: op={pe.op_counter} "
+                f"group={pe._group_idx}/{len(pe._groups)} "
+                f"busy={pe._busy} macs={pe.stats.macs_fired} "
+                f"idle={pe.stats.idle_cycles} "
+                f"writebacks_queued={len(pe._writebacks)} "
+                f"cached={cache} done={pe.done}")
+        for png, vault in zip(pngs, vaults):
+            held = png._held.op_id if png._held is not None else None
+            lines.append(
+                f"  PNG @node {png.node}: "
+                f"injected={png.stats.packets_injected} "
+                f"inject_stalls={png.stats.inject_stall_cycles} "
+                f"ready={len(png._ready)} vault_pending={vault.pending} "
+                f"held_op={held} "
+                f"exhausted={png._emissions_exhausted} "
+                f"awaiting_writebacks={png._expected_writebacks}")
+        return "\n".join(lines)
 
     # ------------------------------------------------------------------
     # descriptor-level runs
@@ -241,29 +372,42 @@ class NeurocubeSimulator:
                        input_tensor: np.ndarray | None = None) -> LayerRun:
         """Simulate all passes of one descriptor.
 
+        Conv output maps and pool maps are independent; they are built
+        into :class:`MapTask` units and dispatched through the pass
+        executor — in-process when ``config.effective_sim_workers`` is 1,
+        over a process pool otherwise.  Outcomes are folded in task
+        order, so the parallel path is bit-identical to the serial one.
+
         Args:
             desc: the compiled descriptor (forward phase).
             layer: the source ``repro.nn`` layer (for weights/biases and
                 the activation); None runs timing-only.
             input_tensor: the layer input, unbatched; None -> timing-only.
         """
+        started = time.perf_counter()
         functional = layer is not None and input_tensor is not None
         lut = None
         if layer is not None:
             act = layer.activation
             lut = act if isinstance(act, ActivationLUT) else ActivationLUT(act)
-        self._accum = _RunAccumulator()
+        accum = _RunAccumulator()
         if desc.kind == "fc":
-            output = self._run_one(
-                desc, self._fc_plan(desc, layer, input_tensor, lut),
-                functional)
-        elif desc.kind == "pool":
-            output = self._run_pool(desc, layer, input_tensor, lut,
-                                    functional)
+            plan = self._fc_plan(desc, layer, input_tensor, lut)
+            result = self.run_pass(plan)
+            accum.fold(snapshot_pass(result))
+            output = (self.assemble_output(desc, plan, result.outputs)
+                      if functional else None)
         else:
-            output = self._run_conv(desc, layer, input_tensor, lut,
-                                    functional)
-        accum = self._accum
+            if desc.kind == "pool":
+                tasks = self._pool_tasks(desc, layer, input_tensor)
+            else:
+                tasks = self._conv_tasks(desc, layer, input_tensor)
+            outcomes = self._run_tasks(desc, lut, functional, tasks)
+            for outcome in outcomes:
+                for pass_outcome in outcome.passes:
+                    accum.fold(pass_outcome)
+            output = (np.stack([o.output for o in outcomes], axis=0)
+                      if functional else None)
         return LayerRun(
             descriptor=desc, cycles=accum.cycles, output=output,
             packets=accum.packets,
@@ -276,54 +420,42 @@ class NeurocubeSimulator:
             pe_idle_cycles=accum.idle_cycles,
             search_stall_cycles=accum.search_stall_cycles,
             cache_peak=accum.cache_peak,
-            inject_stall_cycles=accum.inject_stall_cycles)
+            inject_stall_cycles=accum.inject_stall_cycles,
+            host_seconds=time.perf_counter() - started)
 
-    def _run_one(self, desc, plan, functional):
-        """Run one pass plan, fold its stats, return assembled output."""
-        result = self.run_pass(plan)
-        stats = result.interconnect.stats
-        accum = self._accum
-        accum.cycles += result.cycles
-        accum.packets += stats.delivered
-        accum.lateral += stats.lateral
-        accum.latency += stats.total_latency
-        for pe_stats in result.pe_stats:
-            accum.macs_fired += pe_stats.macs_fired
-            accum.idle_cycles += pe_stats.idle_cycles
-            accum.busy_cycles += pe_stats.busy_cycles
-            accum.search_stall_cycles += pe_stats.search_stall_cycles
-            accum.cache_peak = max(accum.cache_peak, pe_stats.cache_peak)
-        for png_stats in result.png_stats:
-            accum.inject_stall_cycles += png_stats.inject_stall_cycles
-        if functional:
-            return self._assemble(desc, plan, result.outputs)
-        return None
+    def _run_tasks(self, desc: LayerDescriptor, lut, functional: bool,
+                   tasks: list[MapTask]) -> list[MapOutcome]:
+        executor = ParallelPassExecutor(self.config.effective_sim_workers)
+        return executor.run(self.config, desc, lut, functional, tasks)
 
-    def _run_pool(self, desc, layer, input_tensor, lut, functional):
+    def _pool_tasks(self, desc, layer, input_tensor) -> list[MapTask]:
+        """One task per pooled map; every map is a single final pass."""
         mode = "max" if isinstance(layer, MaxPool2D) else "mac"
-        maps = []
+        tasks = []
         for pass_index in range(desc.passes):
             per_map = (input_tensor[pass_index:pass_index + 1]
                        if input_tensor is not None else None)
-            plan = build_conv_pass(desc, self.config, per_map, None, 0.0,
-                                   lut, mode=mode)
-            maps.append(self._run_one(desc, plan, functional))
-        return np.stack(maps, axis=0) if functional else None
+            spec = SubPassSpec(kernel=None, input_tensor=per_map,
+                               bias=0.0, final=True)
+            tasks.append(MapTask(index=pass_index, mode=mode,
+                                 sub_passes=(spec,)))
+        return tasks
 
-    def _run_conv(self, desc, layer, input_tensor, lut, functional):
-        """Run a (possibly input-map-blocked) convolution.
+    def _conv_tasks(self, desc, layer, input_tensor) -> list[MapTask]:
+        """One task per output map, carrying its sub-pass chain.
 
         Sub-passes carry per-neuron partial sums: sub-pass 0 preloads the
-        layer bias, later sub-passes preload the stored partials, and
-        only the final sub-pass goes through the activation LUT.
+        layer bias, later sub-passes preload the stored partials (inside
+        the worker), and only the final sub-pass goes through the
+        activation LUT.
         """
         out_maps = desc.passes // desc.sub_passes
-        maps = []
+        tasks = []
         for out_map in range(out_maps):
-            partial: np.ndarray | None = None
+            specs = []
             for j in range(desc.sub_passes):
                 kernel = None
-                bias: float | np.ndarray = 0.0
+                bias = 0.0
                 block_input = input_tensor
                 if layer is not None and layer.params:
                     in_maps = layer.input_shape[0]
@@ -332,17 +464,14 @@ class NeurocubeSimulator:
                     kernel = layer.params["weight"][out_map, lo:hi]
                     if input_tensor is not None:
                         block_input = input_tensor[lo:hi]
-                    bias = (float(layer.params["bias"][out_map])
-                            if j == 0 else partial.ravel())
-                final = j == desc.sub_passes - 1
-                plan = build_conv_pass(desc, self.config, block_input,
-                                       kernel, bias,
-                                       lut if final else None, mode="mac")
-                result = self._run_one(desc, plan, functional)
-                if functional:
-                    partial = result
-            maps.append(partial)
-        return np.stack(maps, axis=0) if functional else None
+                    if j == 0:
+                        bias = float(layer.params["bias"][out_map])
+                specs.append(SubPassSpec(
+                    kernel=kernel, input_tensor=block_input, bias=bias,
+                    final=(j == desc.sub_passes - 1)))
+            tasks.append(MapTask(index=out_map, mode="mac",
+                                 sub_passes=tuple(specs)))
+        return tasks
 
     def _fc_plan(self, desc, layer, input_tensor, lut):
         weights = biases = None
@@ -354,7 +483,8 @@ class NeurocubeSimulator:
         return build_fc_pass(desc, self.config, vector, weights, biases,
                              lut)
 
-    def _assemble(self, desc, plan: PassPlan, outputs: dict) -> np.ndarray:
+    def assemble_output(self, desc, plan: PassPlan,
+                        outputs: dict) -> np.ndarray:
         """Collect write-backs into a flat/2D output array (real values)."""
         missing = plan.total_neurons - len(outputs)
         if missing:
@@ -406,5 +536,6 @@ class NeurocubeSimulator:
                     f"layer {layer.name!r} missing from program")
             run = self.run_descriptor(desc, layer, current)
             report.layers.append(run.to_stats())
+            report.host_seconds += run.host_seconds
             current = run.output
         return current, report

@@ -48,13 +48,13 @@ class InferenceResult:
         """The Fig. 12(c) panel: per-layer GOPs/s, both strategies."""
         chart = BarChart(title="Fig. 12(c) — throughput per layer",
                          unit="GOPs/s", width=36,
-                         categories=[l.name for l in
+                         categories=[layer.name for layer in
                                      self.duplicate.layers])
         f_clk = self.duplicate.f_clk_hz
-        chart.add_series("duplicate", [l.throughput_gops(f_clk)
-                                       for l in self.duplicate.layers])
-        chart.add_series("no dup", [l.throughput_gops(f_clk)
-                                    for l in self.no_duplicate.layers])
+        chart.add_series("duplicate", [layer.throughput_gops(f_clk)
+                                       for layer in self.duplicate.layers])
+        chart.add_series("no dup", [layer.throughput_gops(f_clk)
+                                    for layer in self.no_duplicate.layers])
         return chart.render()
 
     def to_table(self) -> str:

@@ -112,6 +112,76 @@ class VaultChannel:
                                  dtype=np.int64)])
         return tuple(int(v) for v in chunk)
 
+    def can_issue_soon(self) -> bool:
+        """True when the next :meth:`step` call would issue a request."""
+        if not self._queue or self._gap_remaining > 0:
+            return False
+        credit = min(2.0, self._issue_credit + self.timing.words_per_cycle)
+        return credit >= 1.0
+
+    def next_event_delta(self) -> int | None:
+        """Cycles until this vault can next act, or None when fully idle.
+
+        An "event" is a state change visible outside the vault: a request
+        issue becoming possible (burst gap elapsing, issue credit
+        reaching one word) or an in-flight read completing.  Between now
+        and the returned delta the vault only counts down, which is what
+        lets the simulator skip those cycles wholesale.
+        """
+        deltas = []
+        if self._in_flight:
+            deltas.append(max(1, self._in_flight[0].completed_cycle
+                              - self.cycle))
+        if self._queue:
+            if self._gap_remaining > 0:
+                deltas.append(self._gap_remaining)
+            else:
+                # Credit accrues words_per_cycle per step; issue happens
+                # on the first step where the accumulated credit >= 1.
+                # Walked iteratively so the float arithmetic is the same
+                # sequence step() would produce.
+                rate = self.timing.words_per_cycle
+                if rate > 0:
+                    credit = self._issue_credit
+                    steps = 0
+                    while credit < 1.0:
+                        credit = min(2.0, credit + rate)
+                        steps += 1
+                    deltas.append(max(1, steps))
+        if not deltas:
+            return None
+        return min(deltas)
+
+    def skip(self, cycles: int) -> None:
+        """Fast-forward ``cycles`` event-free cycles.
+
+        Replicates exactly what ``cycles`` consecutive :meth:`step` calls
+        would do under the precondition that none of them issues or
+        completes a request (the caller guarantees this by skipping at
+        most ``next_event_delta() - 1`` cycles): the clock and issue
+        credit advance, a pending burst gap drains (charging stall cycles
+        while requests wait), and the burst position resets on any cycle
+        the channel sat idle outside a gap.
+        """
+        self.cycle += cycles
+        # Accrue credit one cycle at a time: repeated `min(2, c + rate)`
+        # is not `min(2, c + n*rate)` in floating point, and skip-ahead
+        # must be bit-identical to stepping.
+        rate = self.timing.words_per_cycle
+        credit = self._issue_credit
+        for _ in range(cycles):
+            credit = min(2.0, credit + rate)
+        self._issue_credit = credit
+        if self._gap_remaining > 0:
+            idle_after_gap = cycles > self._gap_remaining
+            if self._queue:
+                self.stall_cycles += min(cycles, self._gap_remaining)
+            self._gap_remaining = max(0, self._gap_remaining - cycles)
+        else:
+            idle_after_gap = cycles > 0
+        if idle_after_gap:
+            self._burst_pos = 0
+
     def step(self) -> list[CompletedRead]:
         """Advance one I/O clock cycle; return reads completing this cycle.
 

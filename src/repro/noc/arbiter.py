@@ -33,6 +33,18 @@ class RotatingPriorityArbiter:
         """Advance the priority head; call once per clock cycle."""
         self._head = (self._head + 1) % self.n_inputs
 
+    def advance(self, cycles: int) -> None:
+        """Advance the head by ``cycles`` rotations at once.
+
+        Used by the simulator's quiescence skip-ahead: the head after
+        ``cycles`` idle cycles is the same as after ``cycles`` calls to
+        :meth:`rotate`, so arbitration decisions stay bit-identical to a
+        cycle-by-cycle run.
+        """
+        if cycles < 0:
+            raise ConfigurationError(f"cannot advance by {cycles} cycles")
+        self._head = (self._head + cycles) % self.n_inputs
+
     @property
     def head(self) -> int:
         """The input currently holding top priority."""

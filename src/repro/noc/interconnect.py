@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, SimulationError
 from repro.noc.buffer import DEFAULT_DEPTH
 from repro.noc.packet import Packet
 from repro.noc.router import Router
@@ -82,6 +82,11 @@ class Interconnect:
                 target, in_port = topology.link_target(router.node_id, port)
                 self._links.append(
                     (router, port, self.routers[target], in_port))
+        # The link stage only needs the two buffers of each link; binding
+        # them once keeps the per-cycle loop free of dict lookups.
+        self._link_buffers = [
+            (src.outputs[out_port], dst.inputs[in_port])
+            for src, out_port, dst, in_port in self._links]
 
     def _route_fn(self, node: int):
         return lambda packet: self.topology.next_port(node, packet)
@@ -132,14 +137,37 @@ class Interconnect:
     def step(self) -> None:
         """Advance the fabric one cycle: link stage, then switch stage."""
         self.cycle += 1
-        for src_router, out_port, dst_router, in_port in self._links:
-            output = src_router.outputs[out_port]
-            target = dst_router.inputs[in_port]
+        for output, target in self._link_buffers:
             if not output.empty and target.has_space:
                 target.push(output.pop())
                 self.stats.link_traversals += 1
         for router in self.routers:
             router.switch()
+
+    def skip(self, cycles: int) -> None:
+        """Advance ``cycles`` empty-fabric cycles at once.
+
+        Only legal while :attr:`in_fabric` is zero: the clock moves, the
+        arbiter priority heads rotate (they rotate every cycle, idle or
+        not), and nothing else can change.  Used by the simulator's
+        quiescence skip-ahead.
+        """
+        if self.in_fabric:
+            raise SimulationError(
+                f"skip({cycles}) with {self.in_fabric} packets in flight")
+        self.cycle += cycles
+        for router in self.routers:
+            router.advance_idle(cycles)
+
+    @property
+    def in_fabric(self) -> int:
+        """Packets currently inside the fabric, O(1).
+
+        Every packet enters through :meth:`inject` and leaves through
+        :meth:`eject`, so the difference of those counters is the live
+        population (equal to :attr:`occupancy`, without walking buffers).
+        """
+        return self.stats.injected - self.stats.delivered
 
     @property
     def busy(self) -> bool:

@@ -62,7 +62,23 @@ class Router:
         self._arbiters: dict[PortKey, RotatingPriorityArbiter] = {
             port: RotatingPriorityArbiter(len(self.ports))
             for port in self.ports}
+        # Arbiter heads rotate every cycle even when the router is idle
+        # (§III-C).  Idle rotations are batched into this counter and
+        # flushed lazily before the next real arbitration, which keeps
+        # the per-cycle cost of an empty router at one integer add.
+        self._pending_rotations = 0
+        self._input_buffers = list(self.inputs.values())
         self.switched_packets = 0
+
+    def advance_idle(self, cycles: int) -> None:
+        """Account ``cycles`` idle cycles of arbiter rotation at once."""
+        self._pending_rotations += cycles
+
+    def _flush_rotations(self) -> None:
+        if self._pending_rotations:
+            for arbiter in self._arbiters.values():
+                arbiter.advance(self._pending_rotations)
+            self._pending_rotations = 0
 
     def switch(self) -> int:
         """One switch-stage cycle: input buffers -> output buffers.
@@ -73,6 +89,10 @@ class Router:
         one packet per cycle; local ports up to ``local_rate``, realised
         as repeated arbitration rounds.
         """
+        if all(buffer.empty for buffer in self._input_buffers):
+            self._pending_rotations += 1
+            return 0
+        self._flush_rotations()
         moved = 0
         supplied = {port: 0 for port in self.ports}
         accepted = {port: 0 for port in self.ports}

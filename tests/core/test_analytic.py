@@ -71,8 +71,8 @@ class TestHeadlineShape:
 
     def test_conv_layers_flat_with_duplication(self, model, scene_net):
         report = model.evaluate_network(scene_net, duplicate=True)
-        conv_gops = [l.throughput_gops(model.config.f_pe_hz)
-                     for l in report.layers if l.kind == "conv"]
+        conv_gops = [row.throughput_gops(model.config.f_pe_hz)
+                     for row in report.layers if row.kind == "conv"]
         assert max(conv_gops) / min(conv_gops) < 1.25
 
     def test_duplication_costs_memory(self, model, scene_net):

@@ -5,7 +5,6 @@ monotonicity/sanity properties that must hold for any input — the
 guard-rails that keep sweep experiments trustworthy.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -2,14 +2,14 @@
 
 import pytest
 
-from repro.core import NeurocubeConfig, compile_inference, compile_training
+from repro.core import compile_inference, compile_training
 from repro.core.compiler import conv_map_block, descriptor_for_layer
 from repro.core.layerdesc import Phase
 from repro.errors import MappingError
 from repro.nn import models
 from repro.nn.layers import Flatten
 from repro.nn.network import Network
-from repro.nn.layers import Dense, PixelwiseDense, Recurrent
+from repro.nn.layers import PixelwiseDense
 
 
 @pytest.fixture

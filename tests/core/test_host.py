@@ -4,7 +4,6 @@ import pytest
 
 from repro.core import (
     HostController,
-    NeurocubeConfig,
     compile_inference,
     registers_for_descriptor,
 )

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import NeurocubeConfig, compile_inference
+from repro.core import compile_inference
 from repro.core.layerdesc import LayerDescriptor, Phase
 from repro.core.metrics import LayerStats, RunReport
 from repro.errors import ConfigurationError

@@ -1,0 +1,202 @@
+"""Parallel execution and skip-ahead equivalence tests.
+
+The contract under test: a parallel run (``sim_workers > 1``) and a
+skip-ahead run (``sim_skip_ahead=True``, the default) must both be
+**bit-identical** to a plain serial cycle-by-cycle run — same outputs,
+same cycle counts, same folded statistics — on every descriptor kind.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import NeurocubeSimulator, compile_inference
+from repro.core.config import SIM_WORKERS_ENV
+from repro.core.parallel import MapTask, ParallelPassExecutor, SubPassSpec
+from repro.errors import ConfigurationError
+from repro.fixedpoint import quantize_float
+from repro.nn import models
+
+#: Every LayerRun field that must fold identically across execution modes.
+STAT_FIELDS = (
+    "cycles", "packets", "lateral_fraction", "mean_packet_latency",
+    "macs_fired", "pe_busy_cycles", "pe_idle_cycles",
+    "search_stall_cycles", "cache_peak", "inject_stall_cycles",
+)
+
+
+def run_first_layer(config, net, x, layer_index=0):
+    """Compile ``net`` and simulate one layer's descriptor functionally."""
+    simulator = NeurocubeSimulator(config)
+    program = compile_inference(net, config, True)
+    desc = [d for d in program.descriptors
+            if d.layer_index == layer_index][0]
+    quantised = quantize_float(np.asarray(x, dtype=np.float64),
+                               config.qformat)
+    return simulator.run_descriptor(desc, net.layers[layer_index],
+                                    quantised)
+
+
+def assert_identical(run_a, run_b):
+    """Outputs, cycles and every folded statistic must match exactly."""
+    np.testing.assert_array_equal(run_a.output, run_b.output)
+    for name in STAT_FIELDS:
+        assert getattr(run_a, name) == getattr(run_b, name), name
+
+
+@pytest.fixture
+def serial_config(config):
+    return dataclasses.replace(config, sim_workers=1)
+
+
+@pytest.fixture
+def parallel_config(config):
+    return dataclasses.replace(config, sim_workers=4)
+
+
+class TestParallelEquivalence:
+    def test_multi_map_conv(self, serial_config, parallel_config, rng):
+        net = models.single_conv_layer(12, 12, 3, in_maps=1, out_maps=4,
+                                       seed=1)
+        x = rng.standard_normal((1, 12, 12))
+        assert_identical(run_first_layer(serial_config, net, x),
+                         run_first_layer(parallel_config, net, x))
+
+    def test_sub_passed_conv(self, serial_config, parallel_config, rng):
+        # 8 input maps with a 7x7 kernel exceeds the resident-weight
+        # budget, forcing sub_passes > 1 (sequential chain per map).
+        net = models.single_conv_layer(9, 9, 7, in_maps=8, out_maps=2,
+                                       seed=2)
+        x = rng.standard_normal((8, 9, 9))
+        run_serial = run_first_layer(serial_config, net, x)
+        assert run_serial.descriptor.sub_passes > 1
+        assert_identical(run_serial, run_first_layer(parallel_config, net,
+                                                     x))
+
+    def test_full_network_with_pool_and_fc(self, serial_config,
+                                           parallel_config, rng):
+        net = models.lenet_like(seed=3)
+        x = rng.standard_normal(net.layers[0].input_shape)
+        out_serial, rep_serial = NeurocubeSimulator(
+            serial_config).run_network(net, x)
+        out_parallel, rep_parallel = NeurocubeSimulator(
+            parallel_config).run_network(net, x)
+        np.testing.assert_array_equal(out_serial, out_parallel)
+        assert rep_serial.total_cycles == rep_parallel.total_cycles
+        for row_s, row_p in zip(rep_serial.layers, rep_parallel.layers):
+            assert row_s == row_p
+
+    def test_executor_preserves_task_order(self, config):
+        spec = SubPassSpec(kernel=None, input_tensor=None, bias=0.0,
+                           final=True)
+        tasks = [MapTask(index=i, mode="mac", sub_passes=(spec,))
+                 for i in range(5)]
+        net = models.single_conv_layer(6, 6, 3, qformat=None)
+        desc = compile_inference(net, config).descriptors[0]
+        outcomes = ParallelPassExecutor(2).run(config, desc, None, False,
+                                               tasks)
+        assert [o.index for o in outcomes] == [0, 1, 2, 3, 4]
+
+
+class TestSkipAheadEquivalence:
+    def test_multi_map_conv(self, config, rng):
+        net = models.single_conv_layer(12, 12, 3, in_maps=1, out_maps=2,
+                                       seed=4)
+        x = rng.standard_normal((1, 12, 12))
+        with_skip = run_first_layer(
+            dataclasses.replace(config, sim_skip_ahead=True), net, x)
+        without = run_first_layer(
+            dataclasses.replace(config, sim_skip_ahead=False), net, x)
+        assert_identical(with_skip, without)
+
+    def test_backpressure_heavy_noc(self, config, rng):
+        """Skip-ahead must stay exact when tiny buffers force stalls."""
+        cramped = dataclasses.replace(config, noc_buffer_depth=2)
+        net = models.single_conv_layer(10, 10, 3, in_maps=1, out_maps=2,
+                                       seed=5)
+        x = rng.standard_normal((1, 10, 10))
+        with_skip = run_first_layer(
+            dataclasses.replace(cramped, sim_skip_ahead=True), net, x)
+        without = run_first_layer(
+            dataclasses.replace(cramped, sim_skip_ahead=False), net, x)
+        assert_identical(with_skip, without)
+
+    def test_fc_layer(self, config, rng):
+        net = models.mnist_mlp(seed=6)
+        x = rng.standard_normal(net.layers[1].input_shape)
+        with_skip = run_first_layer(
+            dataclasses.replace(config, sim_skip_ahead=True), net, x,
+            layer_index=1)
+        without = run_first_layer(
+            dataclasses.replace(config, sim_skip_ahead=False), net, x,
+            layer_index=1)
+        assert_identical(with_skip, without)
+
+
+class TestWorkerConfiguration:
+    def test_default_is_serial(self, config):
+        assert config.sim_workers == 1
+        assert config.effective_sim_workers == 1
+
+    def test_env_override(self, config, monkeypatch):
+        monkeypatch.setenv(SIM_WORKERS_ENV, "3")
+        assert config.effective_sim_workers == 3
+
+    def test_env_override_rejects_garbage(self, config, monkeypatch):
+        monkeypatch.setenv(SIM_WORKERS_ENV, "many")
+        with pytest.raises(ConfigurationError):
+            config.effective_sim_workers
+        monkeypatch.setenv(SIM_WORKERS_ENV, "0")
+        with pytest.raises(ConfigurationError):
+            config.effective_sim_workers
+
+    def test_invalid_worker_count_rejected(self, config):
+        with pytest.raises(ConfigurationError):
+            dataclasses.replace(config, sim_workers=0)
+
+    def test_env_unset_falls_back_to_field(self, config, monkeypatch):
+        monkeypatch.delenv(SIM_WORKERS_ENV, raising=False)
+        assert dataclasses.replace(
+            config, sim_workers=2).effective_sim_workers == 2
+        assert SIM_WORKERS_ENV not in os.environ
+
+
+class TestHostTiming:
+    def test_layer_run_reports_host_time(self, config, rng):
+        net = models.single_conv_layer(8, 8, 3, seed=7)
+        x = rng.standard_normal((1, 8, 8))
+        run = run_first_layer(config, net, x)
+        assert run.host_seconds > 0.0
+        assert run.simulated_cycles_per_second > 0.0
+        assert run.simulated_cycles_per_second == pytest.approx(
+            run.cycles / run.host_seconds)
+
+    def test_network_report_accumulates_host_time(self, config, rng):
+        net = models.mnist_mlp(seed=8)
+        x = rng.standard_normal(net.layers[0].input_shape)
+        _, report = NeurocubeSimulator(config).run_network(net, x)
+        assert report.host_seconds > 0.0
+        assert report.simulated_cycles_per_second > 0.0
+
+
+class TestStallDiagnostics:
+    def test_stall_error_names_each_agent(self, config):
+        """The enriched deadlock report must localise the wedged agents."""
+        net = models.single_conv_layer(8, 8, 3, qformat=None)
+        desc = compile_inference(net, config).descriptors[0]
+        simulator = NeurocubeSimulator(config)
+        from repro.core.scheduler import build_conv_pass
+        from repro.errors import SimulationError
+        plan = build_conv_pass(desc, config, None, None, 0.0, None)
+        with pytest.raises(SimulationError) as excinfo:
+            simulator.run_pass(plan, max_cycles=5, stall_limit=10**9)
+        message = str(excinfo.value)
+        assert "stalled" in message
+        assert "PE 0:" in message
+        assert "PNG @node" in message
+        assert "inject_stalls=" in message
+        assert "op=" in message

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core import NeurocubeConfig
 from repro.core.roofline import RooflineModel
 from repro.nn import models
 

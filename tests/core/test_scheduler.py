@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.core import NeurocubeConfig, compile_inference
+from repro.core import compile_inference
 from repro.core.scheduler import build_conv_pass, build_fc_pass
 from repro.fixedpoint import from_float
 from repro.nn import models

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import nn
 from repro.core import NeurocubeSimulator, compile_inference
 from repro.nn import models
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core import AnalyticModel, NeurocubeConfig, compile_inference
+from repro.core import AnalyticModel, compile_inference
 from repro.errors import ConfigurationError
 from repro.hw import EnergyModel
 from repro.nn import models

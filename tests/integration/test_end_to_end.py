@@ -11,7 +11,6 @@ import pytest
 from repro import nn
 from repro.core import (
     AnalyticModel,
-    NeurocubeConfig,
     NeurocubeSimulator,
     compile_inference,
 )

@@ -6,7 +6,6 @@ stack trace, with output captured.
 """
 
 import runpy
-import sys
 from pathlib import Path
 
 import pytest

@@ -7,7 +7,7 @@ the error surfaces."""
 import numpy as np
 import pytest
 
-from repro.core import NeurocubeConfig, NeurocubeSimulator, compile_inference
+from repro.core import NeurocubeSimulator, compile_inference
 from repro.core.scheduler import build_fc_pass
 from repro.errors import SimulationError
 from repro.nn import models
@@ -62,4 +62,4 @@ class TestCorruptedPlans:
         plan = build_fc_pass(desc, config, np.zeros(16),
                              np.zeros((8, 16)), np.zeros(8), None)
         with pytest.raises(SimulationError, match="never wrote back"):
-            simulator._assemble(desc, plan, {})
+            simulator.assemble_output(desc, plan, {})

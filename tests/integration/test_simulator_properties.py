@@ -6,7 +6,6 @@ numpy reference, write-back completeness, and packet conservation.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -12,8 +12,8 @@ class TestSceneLabelingModel:
         """The text-fixed Fig. 9 facts: 7 compute layers, 320x240 RGB
         input, 7x7 kernels, first conv 314x234."""
         net = models.scene_labeling_convnn(qformat=None)
-        compute_layers = [l for l in net.layers
-                          if type(l).__name__ != "Flatten"]
+        compute_layers = [layer for layer in net.layers
+                          if type(layer).__name__ != "Flatten"]
         assert len(compute_layers) == 7
         assert net.input_shape == (3, 240, 320)
         conv1 = net.layers[0]
@@ -23,7 +23,7 @@ class TestSceneLabelingModel:
 
     def test_conv_and_fc1_dominate_ops(self):
         net = models.scene_labeling_convnn(qformat=None)
-        by_name = {l.name: l.ops for l in net.layers}
+        by_name = {layer.name: layer.ops for layer in net.layers}
         dominant = (by_name["conv1"] + by_name["conv2"]
                     + by_name["conv3"] + by_name["fc1"])
         assert dominant / net.total_ops > 0.99

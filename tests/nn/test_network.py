@@ -91,7 +91,7 @@ class TestForwardBackward:
 class TestAggregates:
     def test_total_macs_sum(self):
         net = small_net()
-        assert net.total_macs == sum(l.macs for l in net)
+        assert net.total_macs == sum(layer.macs for layer in net)
         assert net.total_ops == 2 * net.total_macs
 
     def test_parameters_iterates_all(self):

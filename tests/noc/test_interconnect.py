@@ -1,6 +1,5 @@
 """Tests for the assembled NoC: delivery, ordering, backpressure, stats."""
 
-import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError

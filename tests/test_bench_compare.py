@@ -1,0 +1,100 @@
+"""The CI benchmark-regression gate (tools/bench_compare.py)."""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+TOOL = Path(__file__).resolve().parents[1] / "tools" / "bench_compare.py"
+
+
+def bench_json(times: dict[str, float]) -> dict:
+    """A minimal pytest-benchmark JSON document with given 'min' times."""
+    return {
+        "benchmarks": [
+            {"name": name,
+             "stats": {"min": seconds, "max": seconds * 1.2,
+                       "mean": seconds * 1.1, "median": seconds * 1.05,
+                       "stddev": seconds * 0.01}}
+            for name, seconds in times.items()
+        ]
+    }
+
+
+def write(tmp_path: Path, name: str, payload: dict) -> str:
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def run_tool(*args: str) -> subprocess.CompletedProcess:
+    return subprocess.run([sys.executable, str(TOOL), *args],
+                          capture_output=True, text=True)
+
+
+def test_identical_results_pass(tmp_path):
+    baseline = write(tmp_path, "base.json",
+                     bench_json({"test_a": 1.0, "test_b": 0.5}))
+    current = write(tmp_path, "cur.json",
+                    bench_json({"test_a": 1.0, "test_b": 0.5}))
+    result = run_tool(baseline, current)
+    assert result.returncode == 0
+    assert "no regressions" in result.stdout
+
+
+def test_two_x_slowdown_fails(tmp_path):
+    """The acceptance fixture: a synthetic 2x slowdown must gate."""
+    baseline = write(tmp_path, "base.json", bench_json({"test_a": 1.0}))
+    current = write(tmp_path, "cur.json", bench_json({"test_a": 2.0}))
+    result = run_tool(baseline, current)
+    assert result.returncode != 0
+    assert "REGRESSION" in result.stdout
+
+
+def test_slowdown_within_threshold_passes(tmp_path):
+    baseline = write(tmp_path, "base.json", bench_json({"test_a": 1.0}))
+    current = write(tmp_path, "cur.json", bench_json({"test_a": 1.25}))
+    assert run_tool(baseline, current).returncode == 0
+
+
+def test_custom_threshold(tmp_path):
+    baseline = write(tmp_path, "base.json", bench_json({"test_a": 1.0}))
+    current = write(tmp_path, "cur.json", bench_json({"test_a": 1.25}))
+    assert run_tool(baseline, current,
+                    "--threshold", "0.10").returncode == 1
+
+
+def test_speedup_passes(tmp_path):
+    baseline = write(tmp_path, "base.json", bench_json({"test_a": 1.0}))
+    current = write(tmp_path, "cur.json", bench_json({"test_a": 0.4}))
+    assert run_tool(baseline, current).returncode == 0
+
+
+def test_new_and_retired_benchmarks_do_not_gate(tmp_path):
+    baseline = write(tmp_path, "base.json",
+                     bench_json({"test_old": 1.0, "test_kept": 1.0}))
+    current = write(tmp_path, "cur.json",
+                    bench_json({"test_new": 9.0, "test_kept": 1.0}))
+    result = run_tool(baseline, current)
+    assert result.returncode == 0
+    assert "new benchmark" in result.stdout
+    assert "baseline only" in result.stdout
+
+
+def test_malformed_json_is_an_error(tmp_path):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    good = write(tmp_path, "good.json", bench_json({"test_a": 1.0}))
+    result = run_tool(str(bad), good)
+    assert result.returncode != 0
+    assert "cannot read" in result.stderr
+
+
+def test_missing_benchmarks_key_is_an_error(tmp_path):
+    empty = write(tmp_path, "empty.json", {"machine_info": {}})
+    good = write(tmp_path, "good.json", bench_json({"test_a": 1.0}))
+    result = run_tool(empty, good)
+    assert result.returncode != 0
+    assert "benchmarks" in result.stderr

@@ -5,7 +5,6 @@ import pytest
 
 from repro import errors
 from repro.core import NeurocubeConfig
-from repro.errors import ConfigurationError
 from repro.experiments.charts import BarChart
 from repro.memory import MemorySystem
 from repro.memory.specs import DDR3
