@@ -4,3 +4,22 @@ Every benchmark regenerates one of the paper's tables or figures and
 prints the rows/series the paper reports (run with ``-s`` to see them);
 assertions encode the shape checks recorded in EXPERIMENTS.md.
 """
+
+import pytest
+
+
+@pytest.fixture
+def record_sim_rate():
+    """Record a ``LayerRun``'s simulation rate into the benchmark JSON.
+
+    Attaches ``simulated_cycles`` and ``simulated_cycles_per_second`` to
+    the benchmark's ``extra_info``, so emitted ``BENCH_*.json`` records
+    carry the simulator's throughput alongside the host-time stats.
+    Informational only: ``tools/bench_compare.py`` prints these but the
+    regression gate reads the ``stats`` block exclusively.
+    """
+    def record(benchmark, run):
+        benchmark.extra_info["simulated_cycles"] = int(run.cycles)
+        benchmark.extra_info["simulated_cycles_per_second"] = float(
+            run.simulated_cycles_per_second)
+    return record

@@ -7,7 +7,9 @@ in the infrastructure show up here.
 """
 
 import dataclasses
+import json
 import os
+import pathlib
 import time
 
 import numpy as np
@@ -20,9 +22,12 @@ from repro.core import (
 )
 from repro.fixedpoint import quantize_float
 from repro.nn import models
+from repro.obs import TraceOptions
+
+BASELINE_PATH = pathlib.Path(__file__).parent / "baseline.json"
 
 
-def test_cycle_simulator_rate(benchmark):
+def test_cycle_simulator_rate(benchmark, record_sim_rate):
     """Simulated cycles per benchmark round on a small conv layer."""
     config = NeurocubeConfig.hmc_15nm()
     net = models.single_conv_layer(24, 24, 3, qformat=None)
@@ -30,6 +35,52 @@ def test_cycle_simulator_rate(benchmark):
     simulator = NeurocubeSimulator(config)
     run = benchmark(lambda: simulator.run_descriptor(desc))
     assert run.cycles > 0
+    record_sim_rate(benchmark, run)
+
+
+def test_untraced_cycles_match_baseline():
+    """With tracing disabled, smoke-layer cycle counts stay bit-identical
+    to the committed baseline's ``extra_info`` — the observability hooks
+    must be invisible when off."""
+    config = NeurocubeConfig.hmc_15nm()
+    net = models.single_conv_layer(24, 24, 3, qformat=None)
+    desc = compile_inference(net, config).descriptors[0]
+    run = NeurocubeSimulator(config).run_descriptor(desc)
+    with open(BASELINE_PATH) as handle:
+        baseline = json.load(handle)
+    expected = next(
+        bench["extra_info"]["simulated_cycles"]
+        for bench in baseline["benchmarks"]
+        if bench["name"] == "test_cycle_simulator_rate")
+    assert run.cycles == expected
+    assert run.trace is None
+
+
+def test_traced_run_overhead(benchmark, record_sim_rate):
+    """Full tracing (events + counters) on the smoke layer: identical
+    cycles, and host time within a generous bound of the untraced run.
+
+    The bound is deliberately loose (4x) — event recording on a small
+    layer is dominated by fixed per-pass costs — but catches an
+    accidentally quadratic or unconditionally-sampling tracer.
+    """
+    config = NeurocubeConfig.hmc_15nm()
+    net = models.single_conv_layer(24, 24, 3, qformat=None)
+    desc = compile_inference(net, config).descriptors[0]
+
+    plain = NeurocubeSimulator(config)
+    start = time.perf_counter()
+    run_plain = plain.run_descriptor(desc)
+    plain_seconds = time.perf_counter() - start
+
+    traced = NeurocubeSimulator(config, trace=TraceOptions())
+    run_traced = benchmark.pedantic(lambda: traced.run_descriptor(desc),
+                                    rounds=1, iterations=1)
+    assert run_traced.cycles == run_plain.cycles
+    assert run_traced.trace is not None
+    assert run_traced.trace.events
+    assert run_traced.host_seconds <= max(4 * plain_seconds, 1.0)
+    record_sim_rate(benchmark, run_traced)
 
 
 def test_analytic_model_latency(benchmark):
@@ -41,7 +92,7 @@ def test_analytic_model_latency(benchmark):
     assert report.throughput_gops > 0
 
 
-def test_parallel_conv_speedup(benchmark):
+def test_parallel_conv_speedup(benchmark, record_sim_rate):
     """Multi-output-map conv: 4 workers vs serial, bit-identical.
 
     Eight independent output maps fan out over the process pool.  The
@@ -72,11 +123,12 @@ def test_parallel_conv_speedup(benchmark):
     np.testing.assert_array_equal(run_serial.output, run_parallel.output)
     assert run_serial.cycles == run_parallel.cycles
     assert run_serial.macs_fired == run_parallel.macs_fired
+    record_sim_rate(benchmark, run_parallel)
     if len(os.sched_getaffinity(0)) >= 4:
         assert serial_seconds / run_parallel.host_seconds >= 2.0
 
 
-def test_skip_ahead_overhead(benchmark):
+def test_skip_ahead_overhead(benchmark, record_sim_rate):
     """Skip-ahead on vs off on a latency-dominated conv: never slower
     than 1.5x the plain path, usually faster."""
     base = NeurocubeConfig.hmc_15nm()
@@ -94,6 +146,7 @@ def test_skip_ahead_overhead(benchmark):
                                   rounds=1, iterations=1)
     assert run_skip.cycles == run_plain.cycles
     assert run_skip.host_seconds <= 1.5 * plain_seconds
+    record_sim_rate(benchmark, run_skip)
 
 
 def test_functional_forward_throughput(benchmark):

@@ -23,6 +23,8 @@ class LayerStats:
         packets: NoC packets injected.
         lateral_fraction: fraction of packets that crossed the mesh.
         state_bytes, weight_bytes, duplicated_bytes: DRAM footprint.
+        mean_packet_latency: mean inject-to-eject packet latency in
+            cycles (0.0 for analytic rows, which don't model it).
     """
 
     name: str
@@ -40,6 +42,7 @@ class LayerStats:
     state_bytes: int
     weight_bytes: int
     duplicated_bytes: int
+    mean_packet_latency: float = 0.0
 
     @property
     def total_bytes(self) -> int:
@@ -88,6 +91,10 @@ class RunReport:
         """Whole-run throughput in GOPs/s."""
         if not self.layers:
             raise ConfigurationError("report has no layers")
+        if self.total_cycles == 0:
+            raise ConfigurationError(
+                f"report for {self.network_name!r} has zero total cycles; "
+                "throughput is undefined (no layers simulated yet?)")
         return giga_ops_per_second(self.total_ops, self.total_cycles,
                                    self.f_clk_hz)
 
@@ -104,6 +111,10 @@ class RunReport:
     @property
     def frames_per_second(self) -> float:
         """Inputs processed per second at this clock."""
+        if self.total_cycles == 0:
+            raise ConfigurationError(
+                f"report for {self.network_name!r} has zero total cycles; "
+                "frames/s is undefined (no layers simulated yet?)")
         return 1.0 / self.seconds
 
     @property
@@ -159,7 +170,8 @@ class RunReport:
     def to_table(self) -> str:
         """Render the per-layer stats as an aligned text table."""
         header = (f"{'layer':<22}{'kind':<6}{'MOPs':>9}{'Mcycles':>10}"
-                  f"{'GOPs/s':>9}{'bound':>9}{'lat%':>7}{'MB':>9}")
+                  f"{'GOPs/s':>9}{'bound':>9}{'lat%':>7}{'pktlat':>8}"
+                  f"{'MB':>9}")
         rows = [f"{self.network_name} ({self.source}, "
                 f"{self.f_clk_hz / 1e9:.2f} GHz clock)", header,
                 "-" * len(header)]
@@ -170,6 +182,7 @@ class RunReport:
                 f"{layer.throughput_gops(self.f_clk_hz):>9.1f}"
                 f"{layer.bound:>9}"
                 f"{100 * layer.lateral_fraction:>7.1f}"
+                f"{layer.mean_packet_latency:>8.1f}"
                 f"{layer.total_bytes / 1e6:>9.2f}")
         rows.append(
             f"TOTAL: {self.total_ops / 1e9:.3f} GOPs in "

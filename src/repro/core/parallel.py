@@ -84,6 +84,10 @@ class PassOutcome:
         total_latency: summed inject-to-eject latency.
         pe_stats: per-PE statistics (``PEStats``).
         png_stats: per-PNG statistics (``PNGStats``).
+        trace: the pass's :class:`repro.obs.Trace` (local clock starting
+            at 0) when tracing was enabled, else None.  The parent
+            offsets it into the run-global clock while folding, so
+            parallel and serial runs merge to identical traces.
     """
 
     cycles: int
@@ -92,6 +96,7 @@ class PassOutcome:
     total_latency: int
     pe_stats: tuple
     png_stats: tuple
+    trace: object | None = None
 
 
 @dataclass(frozen=True)
@@ -116,18 +121,24 @@ def snapshot_pass(result) -> PassOutcome:
         cycles=result.cycles, delivered=stats.delivered,
         lateral=stats.lateral, total_latency=stats.total_latency,
         pe_stats=tuple(result.pe_stats),
-        png_stats=tuple(result.png_stats))
+        png_stats=tuple(result.png_stats),
+        trace=result.trace)
 
 
 def run_map_task(config: NeurocubeConfig, desc: LayerDescriptor,
                  lut: ActivationLUT | None, functional: bool,
-                 task: MapTask) -> MapOutcome:
+                 task: MapTask, trace=None) -> MapOutcome:
     """Run one map's sub-pass chain to completion (worker entry point).
 
     Sub-passes run serially: sub-pass 0 preloads the spec's bias, later
     sub-passes preload the stored partial sums, and only the final
     sub-pass goes through the activation LUT — exactly the serial
     simulator's schedule, so outputs and statistics match bit for bit.
+
+    ``trace`` (a picklable :class:`repro.obs.TraceOptions`, or None)
+    turns on per-pass tracing inside the worker; each pass's trace rides
+    back on its :class:`PassOutcome` with a local clock the parent
+    offsets into the run-global one.
     """
     # Imported here, not at module top: the simulator imports this
     # module for the task/outcome types.
@@ -143,7 +154,7 @@ def run_map_task(config: NeurocubeConfig, desc: LayerDescriptor,
         plan = build_conv_pass(desc, config, spec.input_tensor,
                                spec.kernel, bias,
                                lut if spec.final else None, mode=task.mode)
-        result = simulator.run_pass(plan)
+        result = simulator.run_pass(plan, trace=trace)
         passes.append(snapshot_pass(result))
         if functional:
             partial_sums = simulator.assemble_output(desc, plan,
@@ -166,9 +177,10 @@ class ParallelPassExecutor:
 
     def run(self, config: NeurocubeConfig, desc: LayerDescriptor,
             lut: ActivationLUT | None, functional: bool,
-            tasks: list[MapTask]) -> list[MapOutcome]:
+            tasks: list[MapTask], trace=None) -> list[MapOutcome]:
         """Run all tasks; returns outcomes ordered like ``tasks``."""
-        worker = partial(run_map_task, config, desc, lut, functional)
+        worker = partial(run_map_task, config, desc, lut, functional,
+                         trace=trace)
         if self.workers == 1 or len(tasks) <= 1:
             return [worker(task) for task in tasks]
         pool_size = min(self.workers, len(tasks))

@@ -87,13 +87,20 @@ class PEStats:
 
 
 class ProcessingElement:
-    """One PE agent attached to NoC node ``pe_id``."""
+    """One PE agent attached to NoC node ``pe_id``.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`, optional) turns on event
+    emission at the three PE observability points — MAC fires, cache
+    parks, cache recoveries; None keeps those sites to a single pointer
+    comparison each.
+    """
 
     def __init__(self, pe_id: int, config: NeurocubeConfig,
-                 interconnect: Interconnect) -> None:
+                 interconnect: Interconnect, tracer=None) -> None:
         self.pe_id = pe_id
         self.config = config
         self.interconnect = interconnect
+        self._tracer = tracer
         self.macs = [MACUnit(config.qformat, mac_id=i)
                      for i in range(config.n_mac)]
         self._groups: list[GroupPlan] = []
@@ -136,6 +143,11 @@ class ProcessingElement:
         return (self._group_idx >= len(self._groups)
                 and not self._writebacks
                 and all(not bank for bank in self._cache))
+
+    @property
+    def cache_fill(self) -> int:
+        """Packets currently parked across all cache sub-banks."""
+        return sum(len(bank) for bank in self._cache)
 
     @property
     def op_counter(self) -> int:
@@ -243,6 +255,10 @@ class ProcessingElement:
             occupancy = sum(len(b) for b in self._cache)
             if occupancy > self.stats.cache_peak:
                 self.stats.cache_peak = occupancy
+            if self._tracer is not None:
+                self._tracer.cache_park(self.interconnect.cycle,
+                                        self.pe_id, packet.op_id,
+                                        occupancy)
 
     def _to_temporal_buffer(self, packet: Packet) -> None:
         group = self._groups[self._group_idx]
@@ -291,6 +307,10 @@ class ProcessingElement:
                 self.macs[lane].accumulate_raw(
                     weight, self._lane_state(group, lane))
             self.stats.macs_fired += 1
+        if self._tracer is not None:
+            self._tracer.mac_fire(self.interconnect.cycle, self.pe_id,
+                                  self.config.n_mac, len(group.slots),
+                                  self.op_counter)
         self._busy = self.config.n_mac - 1
         self.stats.busy_cycles += 1
         if self._busy == 0:
@@ -348,6 +368,9 @@ class ProcessingElement:
                 self._to_temporal_buffer(packet)
             else:
                 kept.append(packet)
+        if self._tracer is not None:
+            self._tracer.cache_evict(self.interconnect.cycle, self.pe_id,
+                                     len(bank) - len(kept), extra)
         bank[:] = kept
 
     def _clear_operand_buffers(self) -> None:

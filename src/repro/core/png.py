@@ -209,16 +209,21 @@ class NeurosequenceGenerator:
         interconnect: the NoC.
         max_outstanding: how many reads the PNG keeps queued at the vault
             (the request pipeline depth).
+        tracer: optional :class:`repro.obs.Tracer`; when set, every
+            successful injection emits a ``png.inject`` event.  None (the
+            default) keeps the injection loop hook-free.
     """
 
     def __init__(self, vault: VaultChannel, node: int,
                  interconnect: Interconnect,
                  max_outstanding: int = 16,
-                 horizon: Callable[[], float] | None = None) -> None:
+                 horizon: Callable[[], float] | None = None,
+                 tracer=None) -> None:
         self.vault = vault
         self.node = node
         self.interconnect = interconnect
         self.max_outstanding = max_outstanding
+        self._tracer = tracer
         # All PNGs walk one layer's FSM in lock-step (Fig. 8c: the host
         # starts computation only "after all 16 PNGs are configured").
         # The horizon callback bounds the op-skew between generators so a
@@ -380,10 +385,13 @@ class NeurosequenceGenerator:
             if not self.interconnect.can_inject(self.node, Port.MEM):
                 self.stats.inject_stall_cycles += 1
                 return
-            self.interconnect.inject(self.node, self._ready.popleft(),
-                                     Port.MEM)
+            packet = self._ready.popleft()
+            self.interconnect.inject(self.node, packet, Port.MEM)
             injected += 1
             self.stats.packets_injected += 1
+            if self._tracer is not None:
+                self._tracer.png_inject(self.interconnect.cycle,
+                                        self.vault.vault_id, packet)
 
     def _drain_writebacks(self) -> None:
         for packet in self.interconnect.eject(

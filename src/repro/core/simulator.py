@@ -52,6 +52,8 @@ from repro.nn.layers import Flatten, MaxPool2D
 from repro.nn.network import Network
 from repro.noc.interconnect import Interconnect
 from repro.noc.topology import FullyConnected, Mesh2D
+from repro.obs.session import current_session
+from repro.obs.tracer import Trace, TraceOptions, Tracer
 
 
 @dataclass
@@ -64,6 +66,7 @@ class PassResult:
         interconnect: the NoC instance (for its stats).
         pe_stats: per-PE statistics (fires, stalls, cache peaks).
         png_stats: per-PNG statistics (injections, stalls).
+        trace: the pass's :class:`repro.obs.Trace` when tracing was on.
     """
 
     cycles: int
@@ -71,6 +74,49 @@ class PassResult:
     interconnect: Interconnect
     pe_stats: list
     png_stats: list
+    trace: Trace | None = None
+
+
+def _build_sampler(pes, vaults, interconnect):
+    """Build one pass's time-series counter closure.
+
+    Called by the :class:`repro.obs.Tracer` at every sample point; all
+    reads are side-effect-free probes of live agent state.  Emits:
+
+    * ``pe{i}.mac_util`` — fraction of cycles since the previous sample
+      the PE's MAC array spent computing (delta of busy cycles);
+    * ``pe{i}.cache_fill`` — instantaneous cache occupancy in items;
+    * ``vault{v}.bw_words`` — words served per cycle since the previous
+      sample (delta of the channel's served-word counter);
+    * ``link.{src}->{dst}.occupancy`` — packets resident in each mesh
+      link's endpoint buffers;
+    * ``noc.in_fabric`` — packets in flight anywhere in the NoC.
+    """
+    prev_busy = [0] * len(pes)
+    prev_words = [0] * len(vaults)
+    prev_cycle = [0]
+
+    def sample(cycle):
+        span = max(1, cycle - prev_cycle[0])
+        prev_cycle[0] = cycle
+        out = []
+        for i, pe in enumerate(pes):
+            busy = pe.stats.busy_cycles
+            out.append((f"pe{pe.pe_id}.mac_util",
+                        (busy - prev_busy[i]) / span))
+            prev_busy[i] = busy
+            out.append((f"pe{pe.pe_id}.cache_fill", pe.cache_fill))
+        for v, vault in enumerate(vaults):
+            words = vault.words_served
+            out.append((f"vault{vault.vault_id}.bw_words",
+                        (words - prev_words[v]) / span))
+            prev_words[v] = words
+        for label, occupancy in interconnect.link_occupancies():
+            out.append((f"link.{label}.occupancy", occupancy))
+        out.append(("noc.in_fabric", interconnect.in_fabric))
+        return out
+
+    return sample
 
 
 @dataclass
@@ -125,6 +171,8 @@ class LayerRun:
         cache_peak: deepest total cache occupancy any PE reached.
         inject_stall_cycles: PNG cycles blocked by NoC backpressure.
         host_seconds: wall-clock host time the simulation took.
+        trace: merged run trace (all passes on one clock) when tracing
+            was enabled, else None.
     """
 
     descriptor: LayerDescriptor
@@ -140,6 +188,7 @@ class LayerRun:
     cache_peak: int = 0
     inject_stall_cycles: int = 0
     host_seconds: float = 0.0
+    trace: Trace | None = None
 
     @property
     def simulated_cycles_per_second(self) -> float:
@@ -159,14 +208,27 @@ class LayerRun:
             lateral_fraction=self.lateral_fraction,
             state_bytes=desc.layout.state_bytes,
             weight_bytes=desc.layout.weight_bytes,
-            duplicated_bytes=desc.layout.duplicated_bytes)
+            duplicated_bytes=desc.layout.duplicated_bytes,
+            mean_packet_latency=self.mean_packet_latency)
 
 
 class NeurocubeSimulator:
-    """Flit-accurate simulator for one :class:`NeurocubeConfig`."""
+    """Flit-accurate simulator for one :class:`NeurocubeConfig`.
 
-    def __init__(self, config: NeurocubeConfig) -> None:
+    Args:
+        config: the architecture to simulate.
+        trace: :class:`repro.obs.TraceOptions` to trace every pass of
+            every descriptor run; None (the default) disables tracing —
+            unless an ambient :class:`repro.obs.TraceSession` is active,
+            in which case its options apply and finished runs register
+            with the session.  Tracing never changes simulated results:
+            cycle counts and outputs are bit-identical either way.
+    """
+
+    def __init__(self, config: NeurocubeConfig,
+                 trace: TraceOptions | None = None) -> None:
         self.config = config
+        self.trace_options = trace
 
     def _topology(self):
         if self.config.noc_topology == "fully_connected":
@@ -179,7 +241,8 @@ class NeurocubeSimulator:
 
     def run_pass(self, plan: PassPlan,
                  max_cycles: int | None = None,
-                 stall_limit: int = 1_000_000) -> PassResult:
+                 stall_limit: int = 1_000_000,
+                 trace: TraceOptions | None = None) -> PassResult:
         """Run one PNG pass to layer-done.
 
         Args:
@@ -188,13 +251,19 @@ class NeurocubeSimulator:
                 bound derived from the plan's work).
             stall_limit: cycles without a new write-back before the run
                 is declared deadlocked.
+            trace: per-pass trace options; when set, a fresh
+                :class:`repro.obs.Tracer` is wired into every agent and
+                the frozen trace rides back on the result.  The untraced
+                path stays hook-free: each instrumentation site is one
+                ``is not None`` test.
         """
         config = self.config
+        tracer = Tracer(trace) if trace is not None else None
         interconnect = Interconnect(
             self._topology(), buffer_depth=config.noc_buffer_depth,
-            local_rate=config.items_per_word)
+            local_rate=config.items_per_word, tracer=tracer)
         vaults = [VaultChannel(config.channel_timing, vault_id=v,
-                               data=plan.vault_data[v])
+                               data=plan.vault_data[v], tracer=tracer)
                   for v in range(config.n_channels)]
         outputs: dict = {}
 
@@ -236,15 +305,19 @@ class NeurocubeSimulator:
         for v in range(config.n_channels):
             png = NeurosequenceGenerator(
                 vaults[v], node=config.pe_of_channel(v),
-                interconnect=interconnect, horizon=horizon)
+                interconnect=interconnect, horizon=horizon,
+                tracer=tracer)
             png.program(iter(plan.vault_emissions[v]),
                         plan.expected_writebacks[v], lut=plan.lut,
                         writeback_sink=make_sink(v))
             pngs.append(png)
         for p in range(config.n_pe):
-            pe = ProcessingElement(p, config, interconnect)
+            pe = ProcessingElement(p, config, interconnect,
+                                   tracer=tracer)
             pe.program(plan.pe_groups[p])
             pes.append(pe)
+        if tracer is not None and tracer.options.counters:
+            tracer.bind_sampler(_build_sampler(pes, vaults, interconnect))
 
         if max_cycles is None:
             # Generous ceiling: every item serialised through one channel
@@ -268,6 +341,8 @@ class NeurocubeSimulator:
                            last_progress + stall_limit - cycles,
                            max_cycles - cycles)
                 if jump > 0:
+                    if tracer is not None:
+                        tracer.skip_ahead(cycles, jump)
                     for vault in vaults:
                         vault.skip(jump)
                     interconnect.skip(jump)
@@ -280,6 +355,8 @@ class NeurocubeSimulator:
             for pe in pes:
                 pe.step()
             cycles += 1
+            if tracer is not None:
+                tracer.on_cycle(cycles)
             done_now = len(outputs)
             if done_now != progress_mark:
                 progress_mark = done_now
@@ -293,7 +370,9 @@ class NeurocubeSimulator:
         return PassResult(cycles=cycles, outputs=outputs,
                           interconnect=interconnect,
                           pe_stats=[pe.stats for pe in pes],
-                          png_stats=[png.stats for png in pngs])
+                          png_stats=[png.stats for png in pngs],
+                          trace=(tracer.finish(cycles)
+                                 if tracer is not None else None))
 
     @staticmethod
     def _quiescent_cycles(interconnect: Interconnect, pngs, vaults,
@@ -386,14 +465,25 @@ class NeurocubeSimulator:
         """
         started = time.perf_counter()
         functional = layer is not None and input_tensor is not None
+        session = current_session()
+        trace_options = self.trace_options
+        if trace_options is None and session is not None:
+            trace_options = session.options
         lut = None
         if layer is not None:
             act = layer.activation
             lut = act if isinstance(act, ActivationLUT) else ActivationLUT(act)
         accum = _RunAccumulator()
+        # Per-pass traces carry local clocks starting at 0; each one is
+        # offset by the cycles accumulated *before* its fold, which is
+        # the serial fold order — so serial and parallel runs merge to
+        # identical run-global traces.
+        trace_parts: list[tuple[int, Trace]] = []
         if desc.kind == "fc":
             plan = self._fc_plan(desc, layer, input_tensor, lut)
-            result = self.run_pass(plan)
+            result = self.run_pass(plan, trace=trace_options)
+            if result.trace is not None:
+                trace_parts.append((accum.cycles, result.trace))
             accum.fold(snapshot_pass(result))
             output = (self.assemble_output(desc, plan, result.outputs)
                       if functional else None)
@@ -402,13 +492,17 @@ class NeurocubeSimulator:
                 tasks = self._pool_tasks(desc, layer, input_tensor)
             else:
                 tasks = self._conv_tasks(desc, layer, input_tensor)
-            outcomes = self._run_tasks(desc, lut, functional, tasks)
+            outcomes = self._run_tasks(desc, lut, functional, tasks,
+                                       trace=trace_options)
             for outcome in outcomes:
                 for pass_outcome in outcome.passes:
+                    if pass_outcome.trace is not None:
+                        trace_parts.append(
+                            (accum.cycles, pass_outcome.trace))
                     accum.fold(pass_outcome)
             output = (np.stack([o.output for o in outcomes], axis=0)
                       if functional else None)
-        return LayerRun(
+        run = LayerRun(
             descriptor=desc, cycles=accum.cycles, output=output,
             packets=accum.packets,
             lateral_fraction=(accum.lateral / accum.packets
@@ -421,12 +515,20 @@ class NeurocubeSimulator:
             search_stall_cycles=accum.search_stall_cycles,
             cache_peak=accum.cache_peak,
             inject_stall_cycles=accum.inject_stall_cycles,
-            host_seconds=time.perf_counter() - started)
+            host_seconds=time.perf_counter() - started,
+            trace=(Trace.merged(trace_parts) if trace_parts else None))
+        if session is not None:
+            session.add_run(desc.name, run.trace, run.cycles,
+                            run.host_seconds, stats=run.to_stats(),
+                            config=self.config)
+        return run
 
     def _run_tasks(self, desc: LayerDescriptor, lut, functional: bool,
-                   tasks: list[MapTask]) -> list[MapOutcome]:
+                   tasks: list[MapTask],
+                   trace: TraceOptions | None = None) -> list[MapOutcome]:
         executor = ParallelPassExecutor(self.config.effective_sim_workers)
-        return executor.run(self.config, desc, lut, functional, tasks)
+        return executor.run(self.config, desc, lut, functional, tasks,
+                            trace=trace)
 
     def _pool_tasks(self, desc, layer, input_tensor) -> list[MapTask]:
         """One task per pooled map; every map is a single final pass."""

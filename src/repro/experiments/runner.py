@@ -6,6 +6,14 @@ Usage::
     neurocube-experiments run fig12 [fig13 ...]
     neurocube-experiments run all
     neurocube-experiments run fig12 --json   # machine-readable output
+    neurocube-experiments run fig15a --trace --trace-dir out/
+
+With ``--trace``, each experiment runs inside an ambient
+:class:`repro.obs.TraceSession`: every cycle-simulator descriptor run it
+performs is traced, and a ``manifest_<id>.json`` (plus a
+``trace_<id>.json`` when any runs were captured) lands in the trace
+directory.  Experiments that never touch the cycle simulator still get a
+manifest recording that zero runs were captured.
 """
 
 from __future__ import annotations
@@ -14,6 +22,7 @@ import argparse
 import dataclasses
 import enum
 import json
+import pathlib
 import sys
 
 from repro.experiments.registry import EXPERIMENTS, get_experiment
@@ -32,6 +41,13 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--json", action="store_true",
         help="emit machine-readable JSON instead of tables")
+    run_parser.add_argument(
+        "--trace", action="store_true",
+        help="trace cycle-simulator runs; writes per-experiment "
+             "trace_<id>.json and manifest_<id>.json")
+    run_parser.add_argument(
+        "--trace-dir", default=".",
+        help="directory for --trace output files (default: cwd)")
     sub.add_parser(
         "report",
         help="regenerate the paper-vs-measured summary (EXPERIMENTS.md "
@@ -76,10 +92,14 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     ids = (sorted(EXPERIMENTS) if args.ids == ["all"] else args.ids)
     as_json = getattr(args, "json", False)
+    tracing = getattr(args, "trace", False)
     collected = {}
     for exp_id in ids:
         experiment = get_experiment(exp_id)
-        result = experiment.run()
+        if tracing:
+            result = _run_traced(experiment, args.trace_dir)
+        else:
+            result = experiment.run()
         if as_json:
             collected[exp_id] = serialize(result)
         else:
@@ -89,6 +109,32 @@ def main(argv: list[str] | None = None) -> int:
     if as_json:
         print(json.dumps(collected, indent=2))
     return 0
+
+
+def _run_traced(experiment, trace_dir: str):
+    """Run one experiment inside a trace session; write its artifacts."""
+    from repro.obs import (
+        TraceSession,
+        manifest_from_session,
+        write_manifest,
+        write_trace,
+    )
+
+    out_dir = pathlib.Path(trace_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    with TraceSession() as session:
+        result = experiment.run()
+    manifest = manifest_from_session(experiment.exp_id, session)
+    manifest_path = out_dir / f"manifest_{experiment.exp_id}.json"
+    write_manifest(manifest, str(manifest_path))
+    print(f"[trace] wrote {manifest_path}", file=sys.stderr)
+    if session.runs:
+        trace_path = out_dir / f"trace_{experiment.exp_id}.json"
+        write_trace(session.merged_trace(), str(trace_path))
+        print(f"[trace] wrote {trace_path} "
+              f"({session.total_cycles} cycles, "
+              f"{len(session.runs)} runs)", file=sys.stderr)
+    return result
 
 
 if __name__ == "__main__":

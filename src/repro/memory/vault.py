@@ -49,16 +49,20 @@ class VaultChannel:
         data: optional backing store of raw 16-bit items (int array).
             Reads beyond its end, or with no store at all, return zeros —
             timing-only mode.
+        tracer: optional :class:`repro.obs.Tracer`; when set, every word
+            read issue emits a ``vault.read`` span covering the access
+            latency.  None (the default) keeps the issue loop hook-free.
     """
 
     def __init__(self, timing: ChannelTiming, vault_id: int = 0,
-                 data: np.ndarray | None = None) -> None:
+                 data: np.ndarray | None = None, tracer=None) -> None:
         if timing.word_bits % ITEM_BITS:
             raise ConfigurationError(
                 f"word size {timing.word_bits} not a multiple of the "
                 f"{ITEM_BITS}-bit item size")
         self.timing = timing
         self.vault_id = vault_id
+        self.tracer = tracer
         self.data = None if data is None else np.asarray(data, dtype=np.int64)
         self.items_per_word = timing.word_bits // ITEM_BITS
         self.cycle = 0
@@ -206,6 +210,9 @@ class VaultChannel:
                 issued_cycle=self.cycle, completed_cycle=completed))
             self.busy_cycles += 1
             self.words_served += 1
+            if self.tracer is not None:
+                self.tracer.vault_read(self.vault_id, self.cycle,
+                                       completed, address)
             self._burst_pos += 1
             if self._burst_pos >= self.timing.burst_length:
                 self._burst_pos = 0

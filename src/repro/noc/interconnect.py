@@ -64,10 +64,11 @@ class Interconnect:
 
     def __init__(self, topology: Topology,
                  buffer_depth: int = DEFAULT_DEPTH,
-                 local_rate: int = 2) -> None:
+                 local_rate: int = 2, tracer=None) -> None:
         self.topology = topology
         self.cycle = 0
         self.local_rate = local_rate
+        self.tracer = tracer
         self.stats = NocStats()
         self.routers = [
             Router(node, topology.link_ports(node),
@@ -87,6 +88,9 @@ class Interconnect:
         self._link_buffers = [
             (src.outputs[out_port], dst.inputs[in_port])
             for src, out_port, dst, in_port in self._links]
+        self._link_labels = [
+            f"{src.node_id}->{dst.node_id}"
+            for src, _, dst, _ in self._links]
 
     def _route_fn(self, node: int):
         return lambda packet: self.topology.next_port(node, packet)
@@ -127,7 +131,11 @@ class Interconnect:
             self.stats.delivered += 1
             if packet.src != node:
                 self.stats.lateral += 1
-            self.stats.total_latency += self.cycle - packet.inject_cycle
+            latency = self.cycle - packet.inject_cycle
+            self.stats.total_latency += latency
+            if self.tracer is not None:
+                self.tracer.packet_delivered(self.cycle, node, latency,
+                                             packet)
         return out
 
     # ------------------------------------------------------------------
@@ -137,10 +145,21 @@ class Interconnect:
     def step(self) -> None:
         """Advance the fabric one cycle: link stage, then switch stage."""
         self.cycle += 1
-        for output, target in self._link_buffers:
-            if not output.empty and target.has_space:
-                target.push(output.pop())
-                self.stats.link_traversals += 1
+        if self.tracer is None:
+            # Hook-free hot path: the traced loop below is identical but
+            # pays a label lookup per move, which the untraced fabric
+            # must not.
+            for output, target in self._link_buffers:
+                if not output.empty and target.has_space:
+                    target.push(output.pop())
+                    self.stats.link_traversals += 1
+        else:
+            for label, (output, target) in zip(self._link_labels,
+                                               self._link_buffers):
+                if not output.empty and target.has_space:
+                    target.push(output.pop())
+                    self.stats.link_traversals += 1
+                    self.tracer.noc_hop(self.cycle, label)
         for router in self.routers:
             router.switch()
 
@@ -178,6 +197,17 @@ class Interconnect:
     def occupancy(self) -> int:
         """Total packets currently inside the fabric."""
         return sum(router.occupancy for router in self.routers)
+
+    def link_occupancies(self) -> list[tuple[str, int]]:
+        """Per-link buffered packets: upstream output + downstream input.
+
+        Used by the trace counter sampler for the per-link occupancy
+        time series; the label matches the ``noc/<src>-><dst>`` tracks
+        of the hop events.
+        """
+        return [(label, out.occupancy + inp.occupancy)
+                for label, (out, inp) in zip(self._link_labels,
+                                             self._link_buffers)]
 
     def __repr__(self) -> str:
         return (f"Interconnect({self.topology!r}, cycle={self.cycle}, "

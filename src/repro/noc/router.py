@@ -144,5 +144,15 @@ class Router:
         return (sum(b.occupancy for b in self.inputs.values())
                 + sum(b.occupancy for b in self.outputs.values()))
 
+    def occupancy_by_port(self) -> dict[PortKey, tuple[int, int]]:
+        """Per-port ``(input, output)`` buffer occupancy snapshot.
+
+        A read-only probe for the observability layer's counter sampler
+        and for stall diagnostics; never called on the simulation path.
+        """
+        return {port: (self.inputs[port].occupancy,
+                       self.outputs[port].occupancy)
+                for port in self.ports}
+
     def __repr__(self) -> str:
         return f"Router(node={self.node_id}, occupancy={self.occupancy})"

@@ -1,0 +1,83 @@
+"""Observability for the Neurocube simulator (`repro.obs`).
+
+Cycle-level tracing with typed event spans, sampled time-series
+counters, packet-latency histograms, Chrome-trace/CSV exporters and
+per-run JSON manifests — see ``docs/observability.md`` for the event
+taxonomy, the manifest schema, and how to open traces in Perfetto.
+
+The package has three entry points:
+
+* explicit — ``NeurocubeSimulator(config, trace=TraceOptions())``;
+* ambient — ``with TraceSession() as session: ...`` captures every
+  descriptor run in the block (how the runner's ``--trace`` works);
+* CLI — ``tools/ncprof.py record | summary | export | diff``.
+"""
+
+from repro.obs.counters import CounterSeries, LatencyHistogram
+from repro.obs.export import (
+    load_trace,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_counters_csv,
+    write_events_csv,
+    write_trace,
+)
+from repro.obs.manifest import (
+    build_manifest,
+    config_digest,
+    diff_manifests,
+    git_revision,
+    load_manifest,
+    manifest_from_session,
+    write_manifest,
+)
+from repro.obs.session import CapturedRun, TraceSession, current_session
+from repro.obs.tracer import (
+    ALL_KINDS,
+    CACHE_EVICT,
+    CACHE_PARK,
+    MAC_FIRE,
+    NOC_DELIVER,
+    NOC_HOP,
+    PNG_INJECT,
+    SKIP_AHEAD,
+    SPAN_KINDS,
+    VAULT_READ,
+    Trace,
+    TraceOptions,
+    Tracer,
+)
+
+__all__ = [
+    "ALL_KINDS",
+    "CACHE_EVICT",
+    "CACHE_PARK",
+    "CapturedRun",
+    "CounterSeries",
+    "LatencyHistogram",
+    "MAC_FIRE",
+    "NOC_DELIVER",
+    "NOC_HOP",
+    "PNG_INJECT",
+    "SKIP_AHEAD",
+    "SPAN_KINDS",
+    "Trace",
+    "TraceOptions",
+    "TraceSession",
+    "Tracer",
+    "VAULT_READ",
+    "build_manifest",
+    "config_digest",
+    "current_session",
+    "diff_manifests",
+    "git_revision",
+    "load_manifest",
+    "load_trace",
+    "manifest_from_session",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_counters_csv",
+    "write_events_csv",
+    "write_manifest",
+    "write_trace",
+]

@@ -1,0 +1,119 @@
+"""Sampled time-series counters and packet-latency histograms.
+
+The tracer samples a set of named counters every ``sample_interval``
+cycles (per-PE MAC utilisation, per-vault bandwidth, per-link NoC
+occupancy, cache fill, ...) into a :class:`CounterSeries`, and folds
+every delivered packet's inject-to-eject latency into a
+:class:`LatencyHistogram` with power-of-two buckets.  Both structures
+are plain data — picklable across the parallel executor's process
+boundary and JSON-serialisable for the exporters.
+"""
+
+from __future__ import annotations
+
+
+class CounterSeries:
+    """Named time series of ``(cycle, value)`` samples.
+
+    Samples for one counter are appended in cycle order; merging shifts
+    the incoming series by a clock offset, which is how per-pass series
+    (each starting at cycle 0) are stitched into one run-global series.
+    """
+
+    __slots__ = ("samples",)
+
+    def __init__(self,
+                 samples: dict[str, list[tuple[int, float]]] | None = None,
+                 ) -> None:
+        self.samples: dict[str, list[tuple[int, float]]] = samples or {}
+
+    def add(self, name: str, cycle: int, value: float) -> None:
+        """Append one sample to counter ``name``."""
+        self.samples.setdefault(name, []).append((cycle, value))
+
+    def merge_from(self, other: "CounterSeries", offset: int = 0) -> None:
+        """Fold ``other``'s samples in, shifting cycles by ``offset``."""
+        for name, points in other.samples.items():
+            series = self.samples.setdefault(name, [])
+            series.extend((cycle + offset, value)
+                          for cycle, value in points)
+
+    @property
+    def n_samples(self) -> int:
+        """Total samples across all counters."""
+        return sum(len(points) for points in self.samples.values())
+
+    def to_dict(self) -> dict:
+        return {name: [[cycle, value] for cycle, value in points]
+                for name, points in self.samples.items()}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CounterSeries":
+        return cls({name: [(int(c), float(v)) for c, v in points]
+                    for name, points in data.items()})
+
+
+class LatencyHistogram:
+    """Power-of-two-bucketed histogram of packet latencies.
+
+    Bucket ``i`` counts latencies in ``[2**i, 2**(i+1))`` (bucket 0 is
+    ``[0, 2)``).  The exact count and sum are kept alongside, so the
+    mean is not a bucket approximation.
+    """
+
+    __slots__ = ("buckets", "count", "total", "max_value")
+
+    def __init__(self) -> None:
+        self.buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+        self.max_value = 0
+
+    def record(self, latency: int) -> None:
+        """Fold one latency observation in."""
+        bucket = latency.bit_length() - 1 if latency > 1 else 0
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+        self.count += 1
+        self.total += latency
+        if latency > self.max_value:
+            self.max_value = latency
+
+    def merge_from(self, other: "LatencyHistogram") -> None:
+        for bucket, count in other.buckets.items():
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + count
+        self.count += other.count
+        self.total += other.total
+        if other.max_value > self.max_value:
+            self.max_value = other.max_value
+
+    @property
+    def mean(self) -> float:
+        """Exact mean latency in cycles."""
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, fraction: float) -> int:
+        """Upper bound of the bucket containing the given percentile."""
+        if not self.count:
+            return 0
+        threshold = fraction * self.count
+        seen = 0
+        for bucket in sorted(self.buckets):
+            seen += self.buckets[bucket]
+            if seen >= threshold:
+                return 2 ** (bucket + 1) - 1
+        return self.max_value
+
+    def to_dict(self) -> dict:
+        return {"buckets": {str(k): v for k, v in self.buckets.items()},
+                "count": self.count, "total": self.total,
+                "max": self.max_value}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LatencyHistogram":
+        hist = cls()
+        hist.buckets = {int(k): int(v)
+                        for k, v in data.get("buckets", {}).items()}
+        hist.count = int(data.get("count", 0))
+        hist.total = int(data.get("total", 0))
+        hist.max_value = int(data.get("max", 0))
+        return hist

@@ -1,0 +1,95 @@
+"""Ambient trace sessions: capture simulator runs without plumbing.
+
+A :class:`TraceSession` is a context manager that makes tracing ambient:
+while one is active, every :class:`repro.core.NeurocubeSimulator`
+descriptor run (that was not given explicit options) traces itself with
+the session's :class:`~repro.obs.tracer.TraceOptions` and registers its
+merged layer trace here.  The experiment runner's ``--trace`` flag and
+``tools/ncprof.py record`` both work this way, so experiments need no
+tracing parameters of their own.
+
+Sessions nest; the innermost active session wins.  With no session
+active (the default), :func:`current_session` returns None and the
+simulator's tracing hooks stay disabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.obs.tracer import Trace, TraceOptions
+
+_ACTIVE: list["TraceSession"] = []
+
+
+def current_session() -> "TraceSession | None":
+    """The innermost active session, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@dataclass
+class CapturedRun:
+    """One descriptor run captured by a session.
+
+    Attributes:
+        label: the descriptor name.
+        trace: the run's merged trace (global clock local to the run).
+        cycles: simulated cycles.
+        host_seconds: wall-clock host time of the run.
+        stats: the run's :class:`repro.core.metrics.LayerStats` row.
+    """
+
+    label: str
+    trace: Trace
+    cycles: int
+    host_seconds: float
+    stats: object = None
+
+
+@dataclass
+class TraceSession:
+    """Collects every traced descriptor run between ``__enter__``/``exit``.
+
+    Attributes:
+        options: trace options applied to captured runs.
+        runs: captured runs in execution order.
+        config: the last simulator configuration seen (for manifests).
+    """
+
+    options: TraceOptions = field(default_factory=TraceOptions)
+    runs: list[CapturedRun] = field(default_factory=list)
+    config: object = None
+
+    def __enter__(self) -> "TraceSession":
+        _ACTIVE.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _ACTIVE.remove(self)
+
+    def add_run(self, label: str, trace: Trace, cycles: int,
+                host_seconds: float, stats=None, config=None) -> None:
+        """Register one finished descriptor run (simulator callback)."""
+        self.runs.append(CapturedRun(label=label, trace=trace,
+                                     cycles=cycles,
+                                     host_seconds=host_seconds,
+                                     stats=stats))
+        if config is not None:
+            self.config = config
+
+    def merged_trace(self) -> Trace:
+        """All captured runs on one clock, laid end to end in run order."""
+        parts = []
+        offset = 0
+        for run in self.runs:
+            parts.append((offset, run.trace))
+            offset += run.cycles
+        return Trace.merged(parts)
+
+    @property
+    def total_cycles(self) -> int:
+        return sum(run.cycles for run in self.runs)
+
+    @property
+    def total_host_seconds(self) -> float:
+        return sum(run.host_seconds for run in self.runs)

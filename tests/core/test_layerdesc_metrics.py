@@ -126,12 +126,32 @@ class TestRunReport:
         with pytest.raises(ConfigurationError):
             _ = report.throughput_gops
 
+    def test_zero_cycle_report_raises_configuration_error(self):
+        """Zero total cycles must raise ConfigurationError, never leak a
+        ZeroDivisionError (e.g. a report built from zero-work rows)."""
+        report = RunReport(network_name="n", f_clk_hz=1e9,
+                           peak_gops=100.0)
+        report.layers.append(stats(cycles=0.0))
+        with pytest.raises(ConfigurationError, match="zero total cycles"):
+            _ = report.frames_per_second
+        with pytest.raises(ConfigurationError, match="zero total cycles"):
+            _ = report.throughput_gops
+
     def test_to_table_renders(self):
         report = RunReport(network_name="net", f_clk_hz=1e9,
                            peak_gops=100.0)
         report.layers.append(stats(name="conv1"))
         text = report.to_table()
         assert "conv1" in text and "TOTAL" in text
+
+    def test_to_table_has_packet_latency_column(self):
+        report = RunReport(network_name="net", f_clk_hz=1e9,
+                           peak_gops=100.0)
+        report.layers.append(stats(name="conv1",
+                                   mean_packet_latency=12.34))
+        text = report.to_table()
+        assert "pktlat" in text
+        assert "12.3" in text
 
 
 class TestLayerStats:

@@ -1,0 +1,95 @@
+"""Parallel-vs-serial trace equivalence (the tentpole guarantee).
+
+Per-pass traces carry local clocks; the simulator offsets each one by
+the cycles accumulated before its fold, in serial fold order.  A
+parallel run must therefore merge to a trace *identical* to the serial
+run's — same events, same timestamps, same counters, same histogram.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import NeurocubeConfig, NeurocubeSimulator, compile_inference
+from repro.fixedpoint import quantize_float
+from repro.nn import models
+from repro.obs import SKIP_AHEAD, TraceOptions, to_chrome_trace
+
+
+@pytest.fixture(scope="module")
+def conv_runs():
+    """The same multi-map conv layer run serially and with 4 workers."""
+    base = NeurocubeConfig.hmc_15nm()
+    net = models.single_conv_layer(16, 16, 3, in_maps=1, out_maps=4,
+                                   seed=11)
+    x = quantize_float(
+        np.random.default_rng(11).standard_normal((1, 16, 16)),
+        base.qformat)
+    desc = compile_inference(net, base).descriptors[0]
+    layer = net.layers[0]
+    options = TraceOptions(sample_interval=32)
+
+    def run(workers):
+        config = dataclasses.replace(base, sim_workers=workers)
+        return NeurocubeSimulator(config, trace=options).run_descriptor(
+            desc, layer, x)
+
+    return run(1), run(4)
+
+
+class TestParallelSerialEquivalence:
+    def test_results_bit_identical(self, conv_runs):
+        serial, parallel = conv_runs
+        assert serial.cycles == parallel.cycles
+        np.testing.assert_array_equal(serial.output, parallel.output)
+
+    def test_merged_events_identical(self, conv_runs):
+        serial, parallel = conv_runs
+        assert serial.trace.events == parallel.trace.events
+
+    def test_counter_series_identical(self, conv_runs):
+        serial, parallel = conv_runs
+        assert (serial.trace.counters.samples
+                == parallel.trace.counters.samples)
+
+    def test_latency_histograms_identical(self, conv_runs):
+        serial, parallel = conv_runs
+        assert (serial.trace.latency.to_dict()
+                == parallel.trace.latency.to_dict())
+
+    def test_chrome_exports_identical(self, conv_runs):
+        serial, parallel = conv_runs
+        assert (to_chrome_trace(serial.trace)
+                == to_chrome_trace(parallel.trace))
+
+    def test_trace_covers_all_passes(self, conv_runs):
+        serial, _ = conv_runs
+        # The merged trace's clock spans the summed per-pass cycles.
+        assert serial.trace.cycles == serial.cycles
+
+    def test_skip_ahead_jumps_are_explicit_events(self, conv_runs):
+        serial, _ = conv_runs
+        skips = serial.trace.events_of_kind(SKIP_AHEAD)
+        assert skips, "skip-ahead runs must leave explicit trace events"
+        for _, ts, dur, track, args in skips:
+            assert track == "sim"
+            assert dur == args["jump"] >= 1
+            assert 0 <= ts < serial.trace.cycles
+
+    def test_tracing_does_not_change_parallel_results(self, conv_runs):
+        serial, parallel = conv_runs
+        base = NeurocubeConfig.hmc_15nm()
+        net = models.single_conv_layer(16, 16, 3, in_maps=1, out_maps=4,
+                                       seed=11)
+        x = quantize_float(
+            np.random.default_rng(11).standard_normal((1, 16, 16)),
+            base.qformat)
+        desc = compile_inference(net, base).descriptors[0]
+        untraced = NeurocubeSimulator(
+            dataclasses.replace(base, sim_workers=4)).run_descriptor(
+                desc, net.layers[0], x)
+        assert untraced.cycles == serial.cycles == parallel.cycles
+        np.testing.assert_array_equal(untraced.output, serial.output)

@@ -26,7 +26,12 @@ import sys
 
 
 def load_benchmarks(path: str) -> dict[str, dict]:
-    """Read one pytest-benchmark JSON file into {name: stats}."""
+    """Read one pytest-benchmark JSON file.
+
+    Returns ``{name: {"stats": ..., "extra_info": ...}}``.  The
+    ``extra_info`` block (simulator rates recorded by the benchmarks
+    themselves) is informational only and never gated on.
+    """
     try:
         with open(path) as handle:
             data = json.load(handle)
@@ -44,7 +49,8 @@ def load_benchmarks(path: str) -> dict[str, dict]:
         if not name or not isinstance(stats, dict):
             raise SystemExit(
                 f"bench_compare: malformed benchmark entry in {path}")
-        table[name] = stats
+        table[name] = {"stats": stats,
+                       "extra_info": bench.get("extra_info") or {}}
     return table
 
 
@@ -64,8 +70,8 @@ def compare(baseline: dict[str, dict], current: dict[str, dict],
         if name not in baseline:
             print(f"  + {name}: new benchmark, no baseline")
             continue
-        base_value = baseline[name].get(metric)
-        cur_value = current[name].get(metric)
+        base_value = baseline[name]["stats"].get(metric)
+        cur_value = current[name]["stats"].get(metric)
         if base_value is None or cur_value is None:
             raise SystemExit(
                 f"bench_compare: benchmark {name!r} lacks the "
@@ -76,8 +82,11 @@ def compare(baseline: dict[str, dict], current: dict[str, dict],
         ratio = cur_value / base_value
         regressed = ratio > 1.0 + threshold
         marker = "REGRESSION" if regressed else "ok"
+        rate = current[name]["extra_info"].get(
+            "simulated_cycles_per_second")
+        note = f"  [{rate:,.0f} sim cycles/s]" if rate else ""
         print(f"  {name}: {metric} {base_value:.6g}s -> {cur_value:.6g}s "
-              f"({ratio:.2f}x)  {marker}")
+              f"({ratio:.2f}x)  {marker}{note}")
         if regressed:
             regressions.append(name)
     return regressions
