@@ -149,6 +149,37 @@ def test_skip_ahead_overhead(benchmark, record_sim_rate):
     record_sim_rate(benchmark, run_skip)
 
 
+def test_memoized_conv_speedup(benchmark, record_sim_rate):
+    """Timing-mode conv with 16 structurally identical output maps:
+    memoization must deliver at least a 3x wall-clock speedup (one map
+    simulated, fifteen replayed) with bit-identical cycles and folded
+    statistics.  This is the acceptance benchmark for timing-pass
+    memoization — the layer is big enough that the replayed maps, not
+    fixed per-run costs, dominate the unmemoized wall-clock."""
+    base = NeurocubeConfig.hmc_15nm()
+    net = models.single_conv_layer(24, 24, 3, in_maps=1, out_maps=16,
+                                   qformat=None)
+    desc = compile_inference(net, base).descriptors[0]
+
+    plain = NeurocubeSimulator(
+        dataclasses.replace(base, sim_memoize=False))
+    start = time.perf_counter()
+    run_plain = plain.run_descriptor(desc)
+    plain_seconds = time.perf_counter() - start
+
+    memoized = NeurocubeSimulator(base)
+    run_memo = benchmark.pedantic(lambda: memoized.run_descriptor(desc),
+                                  rounds=1, iterations=1)
+    assert run_memo.cycles == run_plain.cycles
+    assert run_memo.packets == run_plain.packets
+    assert run_memo.macs_fired == run_plain.macs_fired
+    assert run_memo.pe_busy_cycles == run_plain.pe_busy_cycles
+    assert run_memo.pe_idle_cycles == run_plain.pe_idle_cycles
+    assert run_memo.inject_stall_cycles == run_plain.inject_stall_cycles
+    assert plain_seconds / run_memo.host_seconds >= 3.0
+    record_sim_rate(benchmark, run_memo)
+
+
 def test_functional_forward_throughput(benchmark):
     """The numpy substrate's forward rate on the 64x64 scene net."""
     net = models.scene_labeling_convnn(height=64, width=64,

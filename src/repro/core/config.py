@@ -65,10 +65,17 @@ class NeurocubeConfig:
             everything in-process.  Overridable via the
             ``NEUROCUBE_SIM_WORKERS`` environment variable — see
             :attr:`effective_sim_workers`.
-        sim_skip_ahead: enable the simulator's quiescence skip-ahead
-            (jump the clock over cycles where every agent is counting
-            down).  Results are identical either way; the knob exists so
-            equivalence tests can compare the two paths.
+        sim_skip_ahead: enable the simulator's event-horizon scheduler
+            (step only the agents that can act each cycle, and jump the
+            clock over stretches where none can).  Results are identical
+            either way; the knob exists so equivalence tests can compare
+            the scheduler against the lock-step reference path.
+        sim_memoize: enable timing-pass memoization — structurally
+            identical :class:`~repro.core.parallel.MapTask` units (conv
+            output maps, pool maps in timing-only mode) are simulated
+            once and the outcome replayed for the duplicates.  Results
+            are identical either way; it never applies to functional or
+            traced runs.
     """
 
     memory_spec: MemorySpec = HMC_INT
@@ -88,6 +95,7 @@ class NeurocubeConfig:
     technology: str = "15nm"
     sim_workers: int = 1
     sim_skip_ahead: bool = True
+    sim_memoize: bool = True
 
     def __post_init__(self) -> None:
         if self.sim_workers < 1:

@@ -119,9 +119,17 @@ class RunReport:
 
     @property
     def simulated_cycles_per_second(self) -> float:
-        """Simulation rate: reference cycles per host wall-clock second."""
+        """Simulation rate: reference cycles per host wall-clock second.
+
+        Raises :class:`ConfigurationError` when no host time was
+        recorded (analytic reports), mirroring
+        :attr:`frames_per_second`'s handling of zero cycles — a silent
+        0.0 reads like an infinitely slow simulator in benchmark output.
+        """
         if self.host_seconds <= 0.0:
-            return 0.0
+            raise ConfigurationError(
+                f"report for {self.network_name!r} has no recorded host "
+                "time; simulation rate is undefined (analytic source?)")
         return self.total_cycles / self.host_seconds
 
     @property

@@ -17,12 +17,18 @@ counts and statistics to a serial one.
 
 The worker count comes from ``NeurocubeConfig.effective_sim_workers``
 (the ``sim_workers`` field, overridable with ``NEUROCUBE_SIM_WORKERS``).
+
+The executor also memoizes on request (``NeurocubeConfig.sim_memoize``):
+in timing-only mode every output map of a layer carries the same
+tensor-free sub-pass chain, so the tasks collapse into one equivalence
+class per :func:`structural_key` — one representative is simulated and
+its outcome replayed, re-indexed, for the duplicates.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from functools import partial
 
 import numpy as np
@@ -114,6 +120,33 @@ class MapOutcome:
     output: np.ndarray | None
 
 
+def _tensor_key(tensor) -> tuple | None:
+    """Hashable identity of an array: shape, dtype and raw bytes."""
+    if tensor is None:
+        return None
+    arr = np.asarray(tensor)
+    return (arr.shape, arr.dtype.str, arr.tobytes())
+
+
+def structural_key(task: MapTask) -> tuple:
+    """Hashable key under which two tasks simulate identically.
+
+    The simulation of a :class:`MapTask` is a deterministic function of
+    its mode and its sub-pass specs (every other input — descriptor,
+    configuration, LUT — is constant across one descriptor's task list),
+    so two tasks with equal keys produce equal cycle counts, statistics
+    and outputs, differing only in :attr:`MapTask.index`.  Tensor
+    contents are part of the key (by raw bytes, not object identity), so
+    memoization stays exact even when per-map kernels are loaded; in
+    timing-only mode the tensors are None and every map of a layer
+    collapses into one equivalence class.
+    """
+    return (task.mode, tuple(
+        (_tensor_key(spec.kernel), _tensor_key(spec.input_tensor),
+         float(spec.bias), bool(spec.final))
+        for spec in task.sub_passes))
+
+
 def snapshot_pass(result) -> PassOutcome:
     """Reduce a ``PassResult`` to its picklable statistics snapshot."""
     stats = result.interconnect.stats
@@ -177,10 +210,42 @@ class ParallelPassExecutor:
 
     def run(self, config: NeurocubeConfig, desc: LayerDescriptor,
             lut: ActivationLUT | None, functional: bool,
-            tasks: list[MapTask], trace=None) -> list[MapOutcome]:
-        """Run all tasks; returns outcomes ordered like ``tasks``."""
+            tasks: list[MapTask], trace=None,
+            memoize: bool = False) -> list[MapOutcome]:
+        """Run all tasks; returns outcomes ordered like ``tasks``.
+
+        With ``memoize`` set, tasks are grouped by
+        :func:`structural_key`, one representative per equivalence class
+        is simulated (serially or over the pool as usual), and the
+        representative's outcome is replayed — re-indexed — for every
+        duplicate.  The caller must only enable this when outcomes are a
+        pure function of the key: untraced runs (a replayed trace would
+        duplicate events on the merged clock) whose outcome carries no
+        out-of-key state.  Fold order is unchanged, so the folded
+        statistics are bit-identical to simulating every task.
+        """
         worker = partial(run_map_task, config, desc, lut, functional,
                          trace=trace)
+        if not memoize or len(tasks) <= 1:
+            return self._execute(worker, tasks)
+        keys = [structural_key(task) for task in tasks]
+        representatives: dict[tuple, int] = {}
+        unique: list[MapTask] = []
+        for task, key in zip(tasks, keys):
+            if key not in representatives:
+                representatives[key] = len(unique)
+                unique.append(task)
+        if len(unique) == len(tasks):
+            return self._execute(worker, tasks)
+        rep_outcomes = self._execute(worker, unique)
+        outcomes = []
+        for task, key in zip(tasks, keys):
+            rep = rep_outcomes[representatives[key]]
+            outcomes.append(rep if rep.index == task.index
+                            else replace(rep, index=task.index))
+        return outcomes
+
+    def _execute(self, worker, tasks: list[MapTask]) -> list[MapOutcome]:
         if self.workers == 1 or len(tasks) <= 1:
             return [worker(task) for task in tasks]
         pool_size = min(self.workers, len(tasks))

@@ -183,15 +183,18 @@ class ProcessingElement:
             self.stats.idle_cycles += 1
 
     def next_event_delta(self) -> int | None:
-        """How the quiescence check should treat this PE.
+        """Cycles until this PE next does visible work.
 
-        Returns 0 when the PE can act right now (write-backs queued, or a
-        complete operand set waiting to fire), the remaining MAC/search
-        countdown when it is busy, and None when it is passive — done, or
-        idle until a packet arrives (which, with an empty NoC, requires
-        some other agent to act first).
+        The event-horizon scheduler's per-agent contract: 0 when the PE
+        can act right now (packets waiting in its router output,
+        write-backs queued, or a complete operand set ready to fire),
+        ``n >= 1`` when its next visible event is the n-th step from now
+        (a MAC/search countdown expiring — the countdown itself is
+        replicated by :meth:`skip`), and None when it is passive — done,
+        or idle until a packet arrives, which requires some other agent
+        to act first.
         """
-        if self._writebacks:
+        if self._writebacks or not self._rx_buffer.empty:
             return 0
         if self._group_idx >= len(self._groups):
             return None

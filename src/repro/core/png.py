@@ -231,6 +231,9 @@ class NeurosequenceGenerator:
         # both matches the lock-step hardware and keeps the PE caches
         # within their 64-entry sub-banks.
         self._horizon = horizon
+        # Bound once: the router output this PNG drains write-backs from
+        # every cycle (mirrors ProcessingElement._rx_buffer).
+        self._rx_buffer = interconnect.routers[node].outputs[Port.MEM]
         self._held: EmissionRecord | None = None
         self._emissions: Iterator[EmissionRecord] | None = None
         self._emissions_exhausted = True
@@ -303,6 +306,27 @@ class NeurosequenceGenerator:
         if self._horizon is None:
             return True
         return self._held.op_id <= self._horizon()
+
+    def next_event_delta(self) -> int | None:
+        """Cycles until this PNG (or its vault) next does visible work.
+
+        The event-horizon scheduler's per-agent contract, mirroring
+        :meth:`ProcessingElement.next_event_delta`: 0 when the PNG can
+        act right now (write-backs waiting in its router output, packets
+        ready to inject, or a vault read it can enqueue within the
+        lock-step horizon), the vault's countdown when only the vault
+        has a pending issue/completion, and None when the pair is fully
+        passive until some other agent acts.
+
+        Between now and the returned delta a skipped PNG has no per-cycle
+        state of its own; fast-forwarding it is exactly
+        ``vault.skip(n)``.
+        """
+        if not self._rx_buffer.empty:
+            return 0
+        if self.can_progress():
+            return 0
+        return self.vault.next_event_delta()
 
     # ------------------------------------------------------------------
     # simulation

@@ -18,6 +18,7 @@ hardware PNG's three-counter FSM visits them.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -59,6 +60,38 @@ class PassPlan:
     lut: ActivationLUT | None
     total_neurons: int = 0
     stream_items: int = field(default=0)
+
+    def structural_hash(self) -> str:
+        """SHA-256 digest of the plan's timing-relevant structure.
+
+        Covers the per-vault emission schedules, the per-PE group
+        shapes, the expected write-back counts and the stream totals —
+        everything that determines packet timing.  Payload data (vault
+        images, biases, weights) is deliberately excluded: it never
+        moves a packet.  Two tasks with equal
+        :func:`repro.core.parallel.structural_key` values build plans
+        with equal hashes, which is the invariant timing-pass
+        memoization relies on (and what its tests pin down).
+        """
+        digest = hashlib.sha256()
+        for channel, records in enumerate(self.vault_emissions):
+            digest.update(f"vault {channel}:{len(records)}\n".encode())
+            for record in records:
+                digest.update(
+                    f"{record.address},{record.dst},{record.mac_id},"
+                    f"{record.op_id},{record.kind.value},"
+                    f"{record.neuron}\n".encode())
+        for pe, groups in enumerate(self.pe_groups):
+            digest.update(f"pe {pe}:{len(groups)}\n".encode())
+            for group in groups:
+                digest.update(
+                    f"{len(group.slots)},{group.n_connections},"
+                    f"{group.mode},{group.weights_resident},"
+                    f"{group.shared_state}\n".encode())
+        digest.update(f"writebacks {self.expected_writebacks}\n".encode())
+        digest.update(
+            f"totals {self.total_neurons},{self.stream_items}\n".encode())
+        return digest.hexdigest()
 
 
 def _chunk(items: list, size: int) -> list[list]:

@@ -8,14 +8,18 @@ activation, write-back — so layer outputs can be checked exactly against
 the :mod:`repro.nn` reference.  In timing mode (no tensors) it moves
 zero payloads through the identical control paths.
 
-Two mechanisms keep multi-pass runs fast without changing a single
+Three mechanisms keep multi-pass runs fast without changing a single
 result (see ``docs/simulator_internals.md``):
 
 * independent passes — conv output maps, pool maps — fan out over the
   :mod:`repro.core.parallel` process pool (``config.sim_workers``);
-* within one pass, quiescent stretches (every PE counting down, every
-  vault mid-latency, the NoC empty) are skipped in one jump instead of
-  being stepped cycle by cycle.
+* within one pass, the event-horizon scheduler steps only the agents
+  that can act each cycle and jumps the clock across stretches where no
+  agent can (every PE counting down, every vault mid-latency, the NoC
+  empty);
+* in timing-only mode, structurally identical passes (conv/pool maps)
+  are simulated once and their outcomes replayed
+  (:mod:`repro.core.parallel` memoization, ``config.sim_memoize``).
 
 Paper-scale layers are far too large to simulate flit by flit in Python;
 the companion :mod:`repro.core.analytic` model is calibrated against this
@@ -44,7 +48,7 @@ from repro.core.parallel import (
 from repro.core.pe import ProcessingElement
 from repro.core.png import NeurosequenceGenerator
 from repro.core.scheduler import PassPlan, build_fc_pass
-from repro.errors import MappingError, SimulationError
+from repro.errors import ConfigurationError, MappingError, SimulationError
 from repro.fixedpoint import to_float
 from repro.memory.vault import VaultChannel
 from repro.nn.activations import ActivationLUT
@@ -192,9 +196,18 @@ class LayerRun:
 
     @property
     def simulated_cycles_per_second(self) -> float:
-        """Simulation rate: reference cycles per host wall-clock second."""
+        """Simulation rate: reference cycles per host wall-clock second.
+
+        Raises :class:`ConfigurationError` when no host time was
+        recorded, mirroring
+        :attr:`RunReport.frames_per_second`'s handling of zero cycles —
+        a silent 0.0 reads like an infinitely slow simulator in
+        benchmark output.
+        """
         if self.host_seconds <= 0.0:
-            return 0.0
+            raise ConfigurationError(
+                f"run of {self.descriptor.name!r} has no recorded host "
+                "time; simulation rate is undefined")
         return self.cycles / self.host_seconds
 
     def to_stats(self) -> LayerStats:
@@ -210,6 +223,103 @@ class LayerRun:
             weight_bytes=desc.layout.weight_bytes,
             duplicated_bytes=desc.layout.duplicated_bytes,
             mean_packet_latency=self.mean_packet_latency)
+
+
+class _EventHorizonScheduler:
+    """Per-agent active-set scheduler for one pass (the skip-ahead path).
+
+    Every agent exposes the same two-method contract:
+
+    * ``next_event_delta()`` — 0 when the agent can act on the current
+      cycle, ``n >= 1`` when its next visible event fires on the n-th
+      step from now (``1`` means it must be stepped *this* cycle), and
+      None when it is passive until some other agent acts;
+    * ``skip(n)`` — replicate exactly what ``n`` provably event-free
+      cycles of stepping would do (clocks, countdowns, statistics).
+
+    The scheduler uses the contract two ways.  Across cycles, the
+    minimum delta over all agents is the event horizon: when it exceeds
+    one, the clock jumps to one cycle before the earliest event — even
+    while vault reads are parked mid-access-latency.  Within a cycle,
+    only agents whose delta is ``<= 1`` are stepped; the rest are
+    fast-forwarded one cycle.  Both halves preserve bit-identity with
+    lock-step stepping (``sim_skip_ahead=False``) because per-agent
+    ``skip`` is exact and the activity tests are evaluated in the same
+    phase order as the lock-step loop: PNG deltas at the top of the
+    cycle (write-backs switched into a MEM output this cycle drain next
+    cycle, as in lock-step), the fabric after the PNGs (so same-cycle
+    injections move), and PE deltas after the fabric (so same-cycle
+    deliveries into a PE's router output are drained this cycle, as in
+    lock-step).
+
+    A PNG and its vault form one agent: ``png.step()`` advances the
+    vault internally, and a PNG whose delta exceeds one has no per-cycle
+    state of its own, so fast-forwarding the pair is ``vault.skip``.
+    """
+
+    def __init__(self, pngs, vaults, pes,
+                 interconnect: Interconnect) -> None:
+        self._pngs = pngs
+        self._vaults = vaults
+        self._pes = pes
+        self._interconnect = interconnect
+
+    def next_event_delta(self) -> int | None:
+        """Cycles until any agent next acts, or None on deadlock.
+
+        Exits early with 0/1 as soon as any agent can act on the current
+        cycle (the common case while packets are in flight); otherwise
+        returns the minimum countdown, or None when every agent is
+        passive — nothing will ever happen again.
+        """
+        if self._interconnect.in_fabric:
+            return 1
+        horizon: int | None = None
+        for pe in self._pes:
+            delta = pe.next_event_delta()
+            if delta is not None:
+                if delta <= 1:
+                    return delta
+                if horizon is None or delta < horizon:
+                    horizon = delta
+        for png in self._pngs:
+            delta = png.next_event_delta()
+            if delta is not None:
+                if delta <= 1:
+                    return delta
+                if horizon is None or delta < horizon:
+                    horizon = delta
+        return horizon
+
+    def skip(self, cycles: int) -> None:
+        """Fast-forward every agent across ``cycles`` event-free cycles."""
+        for vault in self._vaults:
+            vault.skip(cycles)
+        self._interconnect.skip(cycles)
+        for pe in self._pes:
+            pe.skip(cycles)
+
+    def step_active(self) -> None:
+        """Run one cycle, stepping only the agents that can act.
+
+        Mirrors the lock-step phase order — PNGs, fabric, PEs — with
+        each inactive agent fast-forwarded one cycle instead of stepped.
+        The fabric is always "stepped": an empty fabric's step is itself
+        the one-cycle fast-forward (arbiter rotation only).
+        """
+        for png in self._pngs:
+            delta = png.next_event_delta()
+            if delta is not None and delta <= 1:
+                png.step()
+            else:
+                png.vault.skip(1)
+        self._interconnect.step()
+        for pe in self._pes:
+            delta = pe.next_event_delta()
+            if delta is not None and delta <= 1:
+                pe.step()
+            else:
+                pe.skip(1)
 
 
 class NeurocubeSimulator:
@@ -324,36 +434,45 @@ class NeurocubeSimulator:
             # with full search stalls would still finish well inside this.
             work = max(1, plan.stream_items)
             max_cycles = 200 * work + 500_000
-        skip_ahead = config.sim_skip_ahead
+        scheduler = (_EventHorizonScheduler(pngs, vaults, pes, interconnect)
+                     if config.sim_skip_ahead else None)
         cycles = 0
         last_progress = 0
         progress_mark = -1
         while True:
             if all(png.done for png in pngs) and all(pe.done for pe in pes):
                 break
-            if skip_ahead:
-                jump = self._quiescent_cycles(interconnect, pngs, vaults,
-                                              pes)
-                # Stop one cycle short of the earliest event and never
-                # overshoot the stall/ceiling checks, so error timing is
-                # identical to cycle-by-cycle stepping.
-                jump = min(jump,
-                           last_progress + stall_limit - cycles,
-                           max_cycles - cycles)
+            if scheduler is not None:
+                delta = scheduler.next_event_delta()
+                if delta is None:
+                    # No agent will ever act again: a genuine deadlock.
+                    # Jump straight to the stall/ceiling boundary — the
+                    # skipped cycles are provably event-free, so the
+                    # detector fires on the same cycle with the same
+                    # per-agent state as cycle-by-cycle stepping.
+                    jump = min(last_progress + stall_limit - cycles,
+                               max_cycles - cycles)
+                elif delta > 1:
+                    # Stop one cycle short of the earliest event and
+                    # never overshoot the stall/ceiling checks, so error
+                    # timing is identical to cycle-by-cycle stepping.
+                    jump = min(delta - 1,
+                               last_progress + stall_limit - cycles,
+                               max_cycles - cycles)
+                else:
+                    jump = 0
                 if jump > 0:
                     if tracer is not None:
                         tracer.skip_ahead(cycles, jump)
-                    for vault in vaults:
-                        vault.skip(jump)
-                    interconnect.skip(jump)
-                    for pe in pes:
-                        pe.skip(jump)
+                    scheduler.skip(jump)
                     cycles += jump
-            for png in pngs:
-                png.step()
-            interconnect.step()
-            for pe in pes:
-                pe.step()
+                scheduler.step_active()
+            else:
+                for png in pngs:
+                    png.step()
+                interconnect.step()
+                for pe in pes:
+                    pe.step()
             cycles += 1
             if tracer is not None:
                 tracer.on_cycle(cycles)
@@ -373,41 +492,6 @@ class NeurocubeSimulator:
                           png_stats=[png.stats for png in pngs],
                           trace=(tracer.finish(cycles)
                                  if tracer is not None else None))
-
-    @staticmethod
-    def _quiescent_cycles(interconnect: Interconnect, pngs, vaults,
-                          pes) -> int:
-        """Cycles that can be skipped because nothing can act.
-
-        Returns 0 unless every agent is provably inert: the NoC holds no
-        flits, no PE can inject or fire, no PNG can enqueue or inject,
-        and every vault is mid-burst-gap or mid-access-latency.  The
-        returned jump stops one cycle before the earliest countdown
-        expiry so the event cycle itself runs through the normal
-        cycle-by-cycle path.
-        """
-        if interconnect.in_fabric:
-            return 0
-        events = []
-        for pe in pes:
-            delta = pe.next_event_delta()
-            if delta == 0:
-                return 0
-            if delta is not None:
-                events.append(delta)
-        for png in pngs:
-            if png.can_progress():
-                return 0
-        for vault in vaults:
-            delta = vault.next_event_delta()
-            if delta is not None:
-                events.append(delta)
-        if not events:
-            # Nothing will ever happen again: a genuine deadlock.  Fall
-            # through to normal stepping so the stall detector fires with
-            # its usual timing.
-            return 0
-        return min(events) - 1
 
     @staticmethod
     def _stall_detail(interconnect: Interconnect, pngs, vaults,
@@ -527,8 +611,15 @@ class NeurocubeSimulator:
                    tasks: list[MapTask],
                    trace: TraceOptions | None = None) -> list[MapOutcome]:
         executor = ParallelPassExecutor(self.config.effective_sim_workers)
+        # Memoization replays one representative outcome per structural
+        # equivalence class.  Functional runs carry per-map tensors (the
+        # classes rarely collapse, and outputs must be assembled per
+        # map anyway) and traced runs must emit every pass's events, so
+        # both disable it.
+        memoize = (self.config.sim_memoize and not functional
+                   and trace is None)
         return executor.run(self.config, desc, lut, functional, tasks,
-                            trace=trace)
+                            trace=trace, memoize=memoize)
 
     def _pool_tasks(self, desc, layer, input_tensor) -> list[MapTask]:
         """One task per pooled map; every map is a single final pass."""

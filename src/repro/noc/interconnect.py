@@ -142,9 +142,28 @@ class Interconnect:
     # simulation
     # ------------------------------------------------------------------
 
+    def next_event_delta(self) -> int | None:
+        """Cycles until the fabric next does visible work.
+
+        The event-horizon scheduler's per-agent contract: 1 while any
+        packet is resident (a resident packet can move on the very next
+        link/switch stage, so the fabric must be stepped every cycle),
+        None when the fabric is empty — an empty fabric only rotates
+        arbiter priorities, which :meth:`skip` batches exactly.
+        """
+        return 1 if self.in_fabric else None
+
     def step(self) -> None:
         """Advance the fabric one cycle: link stage, then switch stage."""
         self.cycle += 1
+        if not self.in_fabric:
+            # Empty fabric: the link loop cannot move anything and every
+            # switch only rotates its arbiters.  Batch the rotations the
+            # way Router.switch would (it defers them when all inputs
+            # are empty), keeping the lock-step reference path cheap.
+            for router in self.routers:
+                router.advance_idle(1)
+            return
         if self.tracer is None:
             # Hook-free hot path: the traced loop below is identical but
             # pays a label lookup per move, which the untraced fabric

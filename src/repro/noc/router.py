@@ -68,6 +68,8 @@ class Router:
         # the per-cycle cost of an empty router at one integer add.
         self._pending_rotations = 0
         self._input_buffers = list(self.inputs.values())
+        # Hoisted out of switch(): the arbitration round count per cycle.
+        self._max_port_rate = max(self._port_rate.values())
         self.switched_packets = 0
 
     def advance_idle(self, cycles: int) -> None:
@@ -96,7 +98,7 @@ class Router:
         moved = 0
         supplied = {port: 0 for port in self.ports}
         accepted = {port: 0 for port in self.ports}
-        for _ in range(max(self._port_rate.values())):
+        for _ in range(self._max_port_rate):
             # Gather, per output port, the inputs whose head wants it.
             wants: dict[PortKey, list[int]] = {}
             for index, port in enumerate(self.ports):

@@ -10,14 +10,23 @@ from pathlib import Path
 TOOL = Path(__file__).resolve().parents[1] / "tools" / "bench_compare.py"
 
 
-def bench_json(times: dict[str, float]) -> dict:
-    """A minimal pytest-benchmark JSON document with given 'min' times."""
+def bench_json(times: dict[str, float],
+               rates: dict[str, float] | None = None) -> dict:
+    """A minimal pytest-benchmark JSON document with given 'min' times.
+
+    ``rates`` optionally attaches a ``simulated_cycles_per_second``
+    extra_info entry per benchmark.
+    """
+    rates = rates or {}
     return {
         "benchmarks": [
             {"name": name,
              "stats": {"min": seconds, "max": seconds * 1.2,
                        "mean": seconds * 1.1, "median": seconds * 1.05,
-                       "stddev": seconds * 0.01}}
+                       "stddev": seconds * 0.01},
+             **({"extra_info":
+                 {"simulated_cycles_per_second": rates[name]}}
+                if name in rates else {})}
             for name, seconds in times.items()
         ]
     }
@@ -70,6 +79,27 @@ def test_speedup_passes(tmp_path):
     baseline = write(tmp_path, "base.json", bench_json({"test_a": 1.0}))
     current = write(tmp_path, "cur.json", bench_json({"test_a": 0.4}))
     assert run_tool(baseline, current).returncode == 0
+
+
+def test_speedup_factor_is_printed(tmp_path):
+    baseline = write(tmp_path, "base.json", bench_json({"test_a": 1.0}))
+    current = write(tmp_path, "cur.json", bench_json({"test_a": 0.25}))
+    result = run_tool(baseline, current)
+    assert result.returncode == 0
+    assert "4.00x speedup" in result.stdout
+
+
+def test_sim_rate_speedup_is_informational(tmp_path):
+    """A simulator-rate drop is reported but never gates: only the
+    wall-clock metric can fail the run."""
+    baseline = write(tmp_path, "base.json",
+                     bench_json({"test_a": 1.0}, rates={"test_a": 1000.0}))
+    current = write(tmp_path, "cur.json",
+                    bench_json({"test_a": 1.0}, rates={"test_a": 500.0}))
+    result = run_tool(baseline, current)
+    assert result.returncode == 0
+    assert "500 sim cycles/s" in result.stdout
+    assert "0.50x baseline rate" in result.stdout
 
 
 def test_new_and_retired_benchmarks_do_not_gate(tmp_path):

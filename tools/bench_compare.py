@@ -54,13 +54,33 @@ def load_benchmarks(path: str) -> dict[str, dict]:
     return table
 
 
+def _sim_rate_note(base_extra: dict, cur_extra: dict) -> str:
+    """Informational simulator-rate note for one benchmark line.
+
+    Shows the current ``simulated_cycles_per_second`` and, when the
+    baseline recorded one too, the speedup factor against it.  Never
+    gated on: the wall-clock metric is the gate, the simulator rate is
+    the number a human wants to see move.
+    """
+    rate = cur_extra.get("simulated_cycles_per_second")
+    if not rate:
+        return ""
+    base_rate = base_extra.get("simulated_cycles_per_second")
+    if base_rate:
+        return (f"  [{rate:,.0f} sim cycles/s, "
+                f"{rate / base_rate:.2f}x baseline rate]")
+    return f"  [{rate:,.0f} sim cycles/s]"
+
+
 def compare(baseline: dict[str, dict], current: dict[str, dict],
             threshold: float, metric: str) -> list[str]:
     """Return the names of benchmarks regressed past ``threshold``.
 
-    Prints one line per benchmark.  Benchmarks present on only one side
-    are reported but never fail the gate — new benchmarks have no
-    baseline yet and retired ones no longer matter.
+    Prints one line per benchmark with the wall-clock speedup factor
+    against the baseline (>1 faster, <1 slower; the gate fires when it
+    drops below ``1 / (1 + threshold)``).  Benchmarks present on only
+    one side are reported but never fail the gate — new benchmarks have
+    no baseline yet and retired ones no longer matter.
     """
     regressions: list[str] = []
     for name in sorted(set(baseline) | set(current)):
@@ -79,14 +99,12 @@ def compare(baseline: dict[str, dict], current: dict[str, dict],
         if base_value <= 0:
             print(f"  ? {name}: non-positive baseline {metric}, skipped")
             continue
-        ratio = cur_value / base_value
-        regressed = ratio > 1.0 + threshold
+        regressed = cur_value / base_value > 1.0 + threshold
         marker = "REGRESSION" if regressed else "ok"
-        rate = current[name]["extra_info"].get(
-            "simulated_cycles_per_second")
-        note = f"  [{rate:,.0f} sim cycles/s]" if rate else ""
+        note = _sim_rate_note(baseline[name]["extra_info"],
+                              current[name]["extra_info"])
         print(f"  {name}: {metric} {base_value:.6g}s -> {cur_value:.6g}s "
-              f"({ratio:.2f}x)  {marker}{note}")
+              f"({base_value / cur_value:.2f}x speedup)  {marker}{note}")
         if regressed:
             regressions.append(name)
     return regressions
