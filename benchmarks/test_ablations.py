@@ -46,7 +46,7 @@ def test_ablation_burst_duty(benchmark):
     # Throughput is non-increasing in the gap, and the conv layers stay
     # compute-bound down to the paper's 0.5 duty: the design point sits
     # at the knee.
-    assert all(a >= b for a, b in zip(gops, gops[1:]))
+    assert all(a >= b for a, b in zip(gops, gops[1:], strict=False))
     assert gops[3] > 0.9 * gops[0]  # gap 8 (duty 0.5) barely costs
     assert gops[5] < 0.85 * gops[0]  # duty 1/3 falls off the knee
 
@@ -75,7 +75,7 @@ def test_ablation_macs_per_pe(benchmark):
              for n in rows}
     assert peaks == {160.0}  # Eq. 3: peak invariant in n_mac
     gops = list(rows.values())
-    assert all(a >= b for a, b in zip(gops, gops[1:]))
+    assert all(a >= b for a, b in zip(gops, gops[1:], strict=False))
     assert rows[64] < 0.8 * rows[16]  # raggedness bites at 64 lanes
 
 

@@ -1,0 +1,236 @@
+"""nclint — AST-based simulator-invariant linter engine.
+
+Generic lint engines (ruff, flake8) check Python style; they cannot
+express the invariants this simulator's correctness rests on — that no
+wall-clock or random call hides inside a cycle-model module, that the
+observability layer is only reachable through the tracer-hook protocol,
+or that every agent implementing ``next_event_delta`` also implements
+``skip``.  ``nclint`` checks exactly those: each rule is a small plugin
+registered under an ``NC1xx`` code, run over the :mod:`ast` of every
+source file.
+
+The engine is dependency-free (stdlib ``ast`` only).  Rules live in
+:mod:`repro.analysis.rules`; importing that module populates the
+registry.  Use :func:`lint_paths` for files/trees, :func:`lint_source`
+for in-memory sources (the fixture tests lint seeded-violation snippets
+without touching disk).
+
+Suppression: a violation is waived when its line — or a comment line
+directly above it — carries ``# nclint: allow(NCxxx) <reason>``.  The
+pragma names specific codes; there is no blanket waiver.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass
+from pathlib import Path
+
+#: Packages whose modules form the deterministic cycle model.  Rules
+#: scoped to the cycle model apply to any module under these roots.
+CYCLE_MODEL_PACKAGES = ("repro.core", "repro.noc", "repro.memory")
+
+_PRAGMA_RE = re.compile(r"#.*\bnclint:\s*allow\(([A-Z0-9,\s]+)\)")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule violation at a source location."""
+
+    code: str
+    message: str
+    path: str
+    line: int
+    column: int = 0
+
+    def format(self) -> str:
+        return (f"{self.path}:{self.line}:{self.column + 1}: "
+                f"{self.code} {self.message}")
+
+
+@dataclass(frozen=True)
+class ModuleContext:
+    """Everything a rule sees about one module under lint."""
+
+    module: str
+    path: str
+    tree: ast.Module
+    lines: tuple[str, ...]
+
+    def in_cycle_model(self) -> bool:
+        return any(self.module == pkg or self.module.startswith(pkg + ".")
+                   for pkg in CYCLE_MODEL_PACKAGES)
+
+    def in_package(self, package: str) -> bool:
+        return (self.module == package
+                or self.module.startswith(package + "."))
+
+
+class Rule:
+    """Base class for lint rules.
+
+    Subclasses set :attr:`code` (``NC1xx``), :attr:`title` and
+    :attr:`rationale`, and implement :meth:`check` yielding
+    ``(line, column, message)`` triples.  :meth:`applies_to` scopes the
+    rule; the default is cycle-model modules only.
+    """
+
+    code: str = ""
+    title: str = ""
+    rationale: str = ""
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return ctx.in_cycle_model()
+
+    def check(self, ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
+        raise NotImplementedError
+
+
+#: Registered rules by code, populated by the :func:`register` decorator.
+RULES: dict[str, Rule] = {}
+
+
+def register(rule_cls: type[Rule]) -> type[Rule]:
+    """Class decorator adding a rule instance to the registry."""
+    rule = rule_cls()
+    if not rule.code:
+        raise ValueError(f"{rule_cls.__name__} has no code")
+    if rule.code in RULES:
+        raise ValueError(f"duplicate rule code {rule.code}")
+    RULES[rule.code] = rule
+    return rule_cls
+
+
+def _ensure_rules_loaded() -> None:
+    if not RULES:
+        from repro.analysis import rules  # noqa: F401  (registration)
+
+
+def _suppressed(ctx: ModuleContext, line: int, code: str) -> bool:
+    """True when an ``nclint: allow(...)`` pragma waives ``code`` here.
+
+    Checks the violation's own line, then walks upward over directly
+    preceding comment-only lines (a pragma often cannot fit within the
+    line-length budget of the statement it waives).
+    """
+    candidates = []
+    if 0 < line <= len(ctx.lines):
+        candidates.append(ctx.lines[line - 1])
+    above = line - 2
+    while above >= 0 and ctx.lines[above].lstrip().startswith("#"):
+        candidates.append(ctx.lines[above])
+        above -= 1
+    for text in candidates:
+        match = _PRAGMA_RE.search(text)
+        if match and code in {c.strip() for c in match.group(1).split(",")}:
+            return True
+    return False
+
+
+def lint_source(source: str, module: str,
+                path: str = "<string>",
+                select: Iterable[str] | None = None) -> list[Violation]:
+    """Lint one in-memory module; returns violations sorted by line.
+
+    A module that does not parse cannot be checked against any rule, so
+    a syntax error is itself reported as a violation (code ``NC100``)
+    rather than aborting the whole run.
+    """
+    _ensure_rules_loaded()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as error:
+        return [Violation(code="NC100",
+                          message=f"file does not parse: {error.msg} "
+                                  f"(syntax error)",
+                          path=path, line=error.lineno or 1,
+                          column=(error.offset or 1) - 1)]
+    ctx = ModuleContext(module=module, path=path, tree=tree,
+                        lines=tuple(source.splitlines()))
+    wanted = set(select) if select is not None else None
+    violations: list[Violation] = []
+    for code, rule in sorted(RULES.items()):
+        if wanted is not None and code not in wanted:
+            continue
+        if not rule.applies_to(ctx):
+            continue
+        for line, column, message in rule.check(ctx):
+            if _suppressed(ctx, line, code):
+                continue
+            violations.append(Violation(code=code, message=message,
+                                        path=path, line=line,
+                                        column=column))
+    return sorted(violations, key=lambda v: (v.line, v.column, v.code))
+
+
+def module_name_for(path: Path) -> str:
+    """Infer the dotted module name of a source file.
+
+    Walks the path's parts for the last ``repro`` component (the package
+    root under ``src/``) and joins from there; files outside the package
+    (tools, tests) fall back to their stem.
+    """
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return ".".join(parts[index:])
+    return parts[-1] if parts else ""
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(p for p in path.rglob("*.py")
+                              if "__pycache__" not in p.parts)
+        else:
+            yield path
+
+
+def lint_paths(paths: Iterable[str | Path],
+               select: Iterable[str] | None = None,
+               ) -> tuple[list[Violation], int]:
+    """Lint files/trees; returns ``(violations, files_checked)``."""
+    violations: list[Violation] = []
+    checked = 0
+    for path in iter_python_files(paths):
+        source = path.read_text()
+        violations.extend(lint_source(
+            source, module_name_for(path), path=str(path), select=select))
+        checked += 1
+    return violations, checked
+
+
+def rule_catalogue() -> list[dict]:
+    """The registered rules as JSON-compatible records."""
+    _ensure_rules_loaded()
+    return [{"code": code, "title": rule.title,
+             "rationale": rule.rationale}
+            for code, rule in sorted(RULES.items())]
+
+
+def report_dict(violations: list[Violation], files_checked: int) -> dict:
+    """JSON-compatible lint report (the CI artifact format)."""
+    counts: dict[str, int] = {}
+    for violation in violations:
+        counts[violation.code] = counts.get(violation.code, 0) + 1
+    return {
+        "kind": "nclint-report",
+        "files_checked": files_checked,
+        "violation_count": len(violations),
+        "counts_by_code": counts,
+        "violations": [vars(v) for v in violations],
+        "rules": rule_catalogue(),
+    }
+
+
+def write_report(report: dict, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")

@@ -35,6 +35,35 @@ from repro.nn.layers.pool import _Pool2D
 from repro.nn.network import Network
 
 
+#: Process-wide default for the compilers' ``validate=`` hook.  The
+#: experiment runner's ``--validate`` flag flips it so every compile it
+#: triggers — however deep in an experiment — is statically verified.
+_DEFAULT_VALIDATE = False
+
+
+def set_default_validate(enabled: bool) -> None:
+    """Set the default for ``compile_inference(validate=None)`` et al."""
+    global _DEFAULT_VALIDATE
+    _DEFAULT_VALIDATE = bool(enabled)
+
+
+def _maybe_validate(program: NeurocubeProgram, config: NeurocubeConfig,
+                    validate: bool | None) -> NeurocubeProgram:
+    """Run the static plan verifier over a freshly compiled program.
+
+    Raises :class:`repro.errors.PlanCheckError` on any violation.  The
+    verifier is imported lazily — :mod:`repro.analysis` depends on the
+    core plan types, so a module-level import would be circular.
+    """
+    if validate is None:
+        validate = _DEFAULT_VALIDATE
+    if validate:
+        from repro.analysis.nccheck import check_program
+
+        check_program(program, config)
+    return program
+
+
 def conv_map_block(in_maps: int, kernel: int,
                    weight_memory_items: int) -> tuple[int, int]:
     """Input-map blocking so each sub-pass's kernel fits the weight
@@ -225,7 +254,8 @@ def descriptors_for_layer(layer, index: int, config: NeurocubeConfig,
 
 
 def compile_inference(network: Network, config: NeurocubeConfig,
-                      duplicate: bool = True) -> NeurocubeProgram:
+                      duplicate: bool = True,
+                      validate: bool | None = None) -> NeurocubeProgram:
     """Compile a network's forward pass into a PNG program.
 
     Args:
@@ -233,6 +263,11 @@ def compile_inference(network: Network, config: NeurocubeConfig,
         config: the target Neurocube.
         duplicate: use the duplication layouts of Fig. 10c/10d (True) or
             the memory-lean layouts of Fig. 10b/10e (False).
+        validate: statically verify every descriptor's plan with
+            :mod:`repro.analysis.nccheck` before returning, raising
+            :class:`repro.errors.PlanCheckError` on the first malformed
+            one; None (the default) follows
+            :func:`set_default_validate`.
     """
     descriptors = []
     for index, layer in enumerate(network.layers):
@@ -240,13 +275,15 @@ def compile_inference(network: Network, config: NeurocubeConfig,
             descriptors_for_layer(layer, index, config, duplicate))
     if not descriptors:
         raise MappingError(f"network {network.name!r} lowered to nothing")
-    return NeurocubeProgram(
+    program = NeurocubeProgram(
         network_name=network.name, descriptors=tuple(descriptors),
         duplicate=duplicate, training=False)
+    return _maybe_validate(program, config, validate)
 
 
 def compile_training(network: Network, config: NeurocubeConfig,
-                     duplicate: bool = True) -> NeurocubeProgram:
+                     duplicate: bool = True,
+                     validate: bool | None = None) -> NeurocubeProgram:
     """Compile one training step (forward + backward + update).
 
     The backward-data pass of a layer moves exactly as many MACs as its
@@ -256,7 +293,9 @@ def compile_training(network: Network, config: NeurocubeConfig,
     contributes a routing-only backward-data pass.  The first
     compute layer skips backward-data (no upstream gradient is needed).
     """
-    forward = compile_inference(network, config, duplicate)
+    # The forward descriptors are re-validated as part of the training
+    # program below; skip the inner hook so they are not checked twice.
+    forward = compile_inference(network, config, duplicate, validate=False)
     descriptors = list(forward.descriptors)
     first_index = forward.descriptors[0].layer_index
     for desc in reversed(forward.descriptors):
@@ -288,6 +327,7 @@ def compile_training(network: Network, config: NeurocubeConfig,
                 n_mac=config.n_mac, in_height=1, in_width=weights,
                 kernel=0, layout=update_layout, weights_resident=False,
                 is_weighted=True, activation="identity"))
-    return NeurocubeProgram(
+    program = NeurocubeProgram(
         network_name=f"{network.name}/train",
         descriptors=tuple(descriptors), duplicate=duplicate, training=True)
+    return _maybe_validate(program, config, validate)

@@ -178,6 +178,26 @@ class NeurocubeConfig:
         return self.weight_memory_bits // self.qformat.total_bits
 
     @property
+    def emission_window(self) -> int:
+        """The emission-horizon window in operations.
+
+        How many operations ahead of the slowest PE the neurosequence
+        generators may run — bounded by what the PE cache can park: one
+        op's packets (up to ``2 * n_mac`` items) must fit in its
+        sub-bank, or head-of-line blocking can deadlock the mesh.  With
+        the paper's 64-entry sub-banks this is the full 16 sub-banks;
+        undersized caches degrade toward strict lock-step (window 0:
+        only current-op packets in flight).  Shared by the simulator's
+        run-pass horizon and :mod:`repro.analysis.nccheck`'s static
+        sub-bank occupancy bound — one definition, two enforcement
+        points.
+        """
+        items_per_op = 2 * self.n_mac
+        ops_per_subbank = self.cache_entries_per_subbank // items_per_op
+        return min(self.cache_subbanks,
+                   ops_per_subbank * self.cache_subbanks)
+
+    @property
     def effective_sim_workers(self) -> int:
         """The pass-executor worker count, after the env override.
 
@@ -185,13 +205,17 @@ class NeurocubeConfig:
         :attr:`sim_workers` field, so a CI job or sweep driver can fan
         out without rebuilding configurations.
         """
+        # Host-side worker-count override only; the value never reaches
+        # the cycle model, so determinism of simulated results holds.
+        # nclint: allow(NC106) host-side worker override
         raw = os.environ.get(SIM_WORKERS_ENV)
         if raw:
             try:
                 value = int(raw)
-            except ValueError:
+            except ValueError as error:
                 raise ConfigurationError(
-                    f"{SIM_WORKERS_ENV}={raw!r} is not an integer")
+                    f"{SIM_WORKERS_ENV}={raw!r} is not an integer"
+                    ) from error
             if value < 1:
                 raise ConfigurationError(
                     f"{SIM_WORKERS_ENV} must be >= 1, got {value}")
@@ -218,24 +242,24 @@ class NeurocubeConfig:
     # ------------------------------------------------------------------
 
     @classmethod
-    def hmc_15nm(cls, **overrides) -> "NeurocubeConfig":
+    def hmc_15nm(cls, **overrides) -> NeurocubeConfig:
         """The paper's 15nm FinFET design point: 16 vaults at 5 GHz."""
         return cls(**{**dict(f_pe_hz=F_PE_15NM_HZ, technology="15nm"),
                       **overrides})
 
     @classmethod
-    def hmc_28nm(cls, **overrides) -> "NeurocubeConfig":
+    def hmc_28nm(cls, **overrides) -> NeurocubeConfig:
         """The paper's 28nm design point: 16 vaults at 300 MHz."""
         return cls(**{**dict(f_pe_hz=F_PE_28NM_HZ, technology="28nm"),
                       **overrides})
 
     @classmethod
-    def ddr3(cls, n_channels: int = 2, **overrides) -> "NeurocubeConfig":
+    def ddr3(cls, n_channels: int = 2, **overrides) -> NeurocubeConfig:
         """The Fig. 15a comparison point: DDR3 channels feeding 16 PEs."""
         return cls(**{**dict(memory_spec=DDR3, n_channels=n_channels,
                              f_pe_hz=F_PE_15NM_HZ, technology="15nm"),
                       **overrides})
 
-    def with_(self, **overrides) -> "NeurocubeConfig":
+    def with_(self, **overrides) -> NeurocubeConfig:
         """A copy with the given fields replaced."""
         return replace(self, **overrides)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Iterator
+from collections.abc import Iterator
 
 from repro.errors import ConfigurationError
 from repro.memory.layout import LayoutPlan

@@ -231,7 +231,7 @@ class ParallelPassExecutor:
         keys = [structural_key(task) for task in tasks]
         representatives: dict[tuple, int] = {}
         unique: list[MapTask] = []
-        for task, key in zip(tasks, keys):
+        for task, key in zip(tasks, keys, strict=True):
             if key not in representatives:
                 representatives[key] = len(unique)
                 unique.append(task)
@@ -239,7 +239,7 @@ class ParallelPassExecutor:
             return self._execute(worker, tasks)
         rep_outcomes = self._execute(worker, unique)
         outcomes = []
-        for task, key in zip(tasks, keys):
+        for task, key in zip(tasks, keys, strict=True):
             rep = rep_outcomes[representatives[key]]
             outcomes.append(rep if rep.index == task.index
                             else replace(rep, index=task.index))

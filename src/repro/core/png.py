@@ -20,8 +20,8 @@ Two layers of modelling live here:
 from __future__ import annotations
 
 from collections import deque
+from collections.abc import Callable, Iterator
 from dataclasses import dataclass
-from typing import Callable, Iterator
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.memory.vault import VaultChannel
@@ -327,6 +327,17 @@ class NeurosequenceGenerator:
         if self.can_progress():
             return 0
         return self.vault.next_event_delta()
+
+    def skip(self, cycles: int) -> None:
+        """Fast-forward ``cycles`` event-free cycles.
+
+        A PNG whose :meth:`next_event_delta` exceeds one has no
+        per-cycle state of its own (no ready packets, nothing to issue
+        within the horizon, an empty MEM output) — the only clocked
+        state in the pair is the vault's, so fast-forwarding the pair
+        is exactly the vault's skip.
+        """
+        self.vault.skip(cycles)
 
     # ------------------------------------------------------------------
     # simulation

@@ -27,7 +27,7 @@ from repro.core.config import NeurocubeConfig
 from repro.core.layerdesc import LayerDescriptor
 from repro.core.pe import GroupPlan, GroupSlot
 from repro.core.png import EmissionRecord
-from repro.errors import MappingError
+from repro.errors import ConfigurationError, MappingError
 from repro.fixedpoint import from_float
 from repro.memory.layout import ConvLayout, FullLayout, Rect, partition_grid
 from repro.nn.activations import ActivationLUT
@@ -60,6 +60,40 @@ class PassPlan:
     lut: ActivationLUT | None
     total_neurons: int = 0
     stream_items: int = field(default=0)
+
+    def __post_init__(self) -> None:
+        """Reject structurally inconsistent plans at construction.
+
+        These are shape-level invariants every consumer (the simulator,
+        the parallel executor, :mod:`repro.analysis.nccheck`) assumes;
+        violating them would otherwise surface as an IndexError deep in
+        a worker process.  Semantic well-formedness (producer/consumer
+        matching, address ranges, routes) is nccheck's job — it needs a
+        constructed plan to inspect.
+        """
+        n_channels = len(self.vault_data)
+        if len(self.vault_emissions) != n_channels:
+            raise ConfigurationError(
+                f"PassPlan has {len(self.vault_emissions)} emission "
+                f"schedules for {n_channels} vault images; every "
+                f"channel needs exactly one schedule")
+        if len(self.expected_writebacks) != n_channels:
+            raise ConfigurationError(
+                f"PassPlan has {len(self.expected_writebacks)} "
+                f"write-back counts for {n_channels} channels")
+        for channel, count in enumerate(self.expected_writebacks):
+            if count < 0:
+                raise ConfigurationError(
+                    f"PassPlan expects {count} write-backs on channel "
+                    f"{channel}; counts must be non-negative")
+        if self.total_neurons < 0:
+            raise ConfigurationError(
+                f"PassPlan.total_neurons must be non-negative, got "
+                f"{self.total_neurons}")
+        if self.stream_items < 0:
+            raise ConfigurationError(
+                f"PassPlan.stream_items must be non-negative, got "
+                f"{self.stream_items}")
 
     def structural_hash(self) -> str:
         """SHA-256 digest of the plan's timing-relevant structure.

@@ -312,7 +312,7 @@ class _EventHorizonScheduler:
             if delta is not None and delta <= 1:
                 png.step()
             else:
-                png.vault.skip(1)
+                png.skip(1)
         self._interconnect.step()
         for pe in self._pes:
             delta = pe.next_event_delta()
@@ -352,7 +352,8 @@ class NeurocubeSimulator:
     def run_pass(self, plan: PassPlan,
                  max_cycles: int | None = None,
                  stall_limit: int = 1_000_000,
-                 trace: TraceOptions | None = None) -> PassResult:
+                 trace: TraceOptions | None = None,
+                 validate: bool = False) -> PassResult:
         """Run one PNG pass to layer-done.
 
         Args:
@@ -366,8 +367,19 @@ class NeurocubeSimulator:
                 the frozen trace rides back on the result.  The untraced
                 path stays hook-free: each instrumentation site is one
                 ``is not None`` test.
+            validate: statically verify the plan first
+                (:func:`repro.analysis.nccheck.check_plan`); a
+                malformed plan raises
+                :class:`repro.errors.PlanCheckError` before any cycle
+                is simulated instead of deadlocking mid-run.
         """
         config = self.config
+        if validate:
+            # Imported lazily: repro.analysis depends on the core plan
+            # types, so a module-level import would be circular.
+            from repro.analysis.nccheck import check_plan
+
+            check_plan(plan, config, label="pass plan")
         tracer = Tracer(trace) if trace is not None else None
         interconnect = Interconnect(
             self._topology(), buffer_depth=config.noc_buffer_depth,
@@ -391,16 +403,10 @@ class NeurocubeSimulator:
         pes: list[ProcessingElement] = []
 
         # Emission-horizon window: how many operations ahead of the
-        # slowest PE the generators may run.  Bounded by what the cache
-        # can park — one op's packets (up to 2*n_mac items) must fit in
-        # its sub-bank, or head-of-line blocking can deadlock the mesh.
-        # With the paper's 64-entry sub-banks the window is the full 16
-        # sub-banks; with undersized caches it degrades toward strict
-        # lock-step (window 0: only current-op packets in flight).
-        items_per_op = 2 * config.n_mac
-        ops_per_subbank = config.cache_entries_per_subbank // items_per_op
-        window = min(config.cache_subbanks,
-                     ops_per_subbank * config.cache_subbanks)
+        # slowest PE the generators may run.  The geometry lives on the
+        # config (one definition) because nccheck's static sub-bank
+        # occupancy bound (NC203) enforces the same window.
+        window = config.emission_window
 
         def horizon() -> float:
             """Lock-step bound: no PNG emits ops more than ``window``
@@ -515,7 +521,7 @@ class NeurocubeSimulator:
                 f"idle={pe.stats.idle_cycles} "
                 f"writebacks_queued={len(pe._writebacks)} "
                 f"cached={cache} done={pe.done}")
-        for png, vault in zip(pngs, vaults):
+        for png, vault in zip(pngs, vaults, strict=True):
             held = png._held.op_id if png._held is not None else None
             lines.append(
                 f"  PNG @node {png.node}: "
@@ -547,6 +553,8 @@ class NeurocubeSimulator:
                 the activation); None runs timing-only.
             input_tensor: the layer input, unbatched; None -> timing-only.
         """
+        # Host wall-clock only (LayerRun.host_seconds); never feeds any
+        # simulated result.  nclint: allow(NC101) host-side timing
         started = time.perf_counter()
         functional = layer is not None and input_tensor is not None
         session = current_session()
@@ -599,6 +607,7 @@ class NeurocubeSimulator:
             search_stall_cycles=accum.search_stall_cycles,
             cache_peak=accum.cache_peak,
             inject_stall_cycles=accum.inject_stall_cycles,
+            # nclint: allow(NC101) host-side timing
             host_seconds=time.perf_counter() - started,
             trace=(Trace.merged(trace_parts) if trace_parts else None))
         if session is not None:

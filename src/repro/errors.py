@@ -28,6 +28,20 @@ class MappingError(ReproError):
     """
 
 
+class PlanCheckError(ReproError):
+    """A compiled plan failed static verification (``nccheck``).
+
+    Raised by the ``validate=`` fail-fast hooks before any cycle is
+    simulated.  Carries the individual
+    :class:`repro.analysis.nccheck.PlanViolation` records so callers
+    can inspect per-check findings programmatically.
+    """
+
+    def __init__(self, message: str, violations: tuple = ()) -> None:
+        super().__init__(message)
+        self.violations = tuple(violations)
+
+
 class SimulationError(ReproError):
     """The cycle-level simulator reached an inconsistent state.
 

@@ -35,7 +35,7 @@ class BarChart:
     categories: list[str] = field(default_factory=list)
     series: dict[str, list[float]] = field(default_factory=dict)
 
-    def add_series(self, name: str, values) -> "BarChart":
+    def add_series(self, name: str, values) -> BarChart:
         """Add one series; every series must match the category count."""
         values = [float(v) for v in values]
         if self.categories and len(values) != len(self.categories):

@@ -46,6 +46,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="trace cycle-simulator runs; writes per-experiment "
              "trace_<id>.json and manifest_<id>.json")
     run_parser.add_argument(
+        "--validate", action="store_true",
+        help="statically verify every compiled PNG program "
+             "(repro.analysis.nccheck) before simulation; a malformed "
+             "plan fails fast with a PlanCheckError instead of "
+             "deadlocking mid-run")
+    run_parser.add_argument(
         "--trace-dir", default=".",
         help="directory for --trace output files (default: cwd)")
     sub.add_parser(
@@ -93,6 +99,10 @@ def main(argv: list[str] | None = None) -> int:
     ids = (sorted(EXPERIMENTS) if args.ids == ["all"] else args.ids)
     as_json = getattr(args, "json", False)
     tracing = getattr(args, "trace", False)
+    if getattr(args, "validate", False):
+        from repro.core.compiler import set_default_validate
+
+        set_default_validate(True)
     collected = {}
     for exp_id in ids:
         experiment = get_experiment(exp_id)

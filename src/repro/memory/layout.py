@@ -58,7 +58,7 @@ class Rect:
     def contains(self, x: int, y: int) -> bool:
         return self.x0 <= x < self.x1 and self.y0 <= y < self.y1
 
-    def expanded(self, halo: int, width: int, height: int) -> "Rect":
+    def expanded(self, halo: int, width: int, height: int) -> Rect:
         """Grow by ``halo`` pixels on every side, clipped to the image."""
         return Rect(max(0, self.x0 - halo), max(0, self.y0 - halo),
                     min(width, self.x1 + halo), min(height, self.y1 + halo))

@@ -56,7 +56,7 @@ class MemorySystem:
 
     @classmethod
     def hmc(cls, channels: int = 16, store_items: int = 0,
-            tccd_gap_cycles: int = DEFAULT_TCCD_GAP_CYCLES) -> "MemorySystem":
+            tccd_gap_cycles: int = DEFAULT_TCCD_GAP_CYCLES) -> MemorySystem:
         """The paper's HMC-Internal configuration: 16 vaults at 5 GHz I/O."""
         return cls(HMC_INT, channels=channels,
                    io_clock_hz=HMC_VAULT_IO_CLOCK_HZ,

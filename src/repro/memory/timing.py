@@ -75,7 +75,7 @@ class ChannelTiming:
                   reference_clock_hz: float | None = None,
                   burst_length: int = DEFAULT_BURST_LENGTH,
                   tccd_gap_cycles: int = DEFAULT_TCCD_GAP_CYCLES,
-                  ) -> "ChannelTiming":
+                  ) -> ChannelTiming:
         """Build channel timing from a Table I specification.
 
         Args:

@@ -7,7 +7,7 @@ clock cycle."
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from collections.abc import Iterable, Sequence
 
 from repro.errors import ConfigurationError
 

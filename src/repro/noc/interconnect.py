@@ -174,7 +174,8 @@ class Interconnect:
                     self.stats.link_traversals += 1
         else:
             for label, (output, target) in zip(self._link_labels,
-                                               self._link_buffers):
+                                               self._link_buffers,
+                                               strict=True):
                 if not output.empty and target.has_space:
                     target.push(output.pop())
                     self.stats.link_traversals += 1
@@ -226,7 +227,8 @@ class Interconnect:
         """
         return [(label, out.occupancy + inp.occupancy)
                 for label, (out, inp) in zip(self._link_labels,
-                                             self._link_buffers)]
+                                             self._link_buffers,
+                                             strict=True)]
 
     def __repr__(self) -> str:
         return (f"Interconnect({self.topology!r}, cycle={self.cycle}, "

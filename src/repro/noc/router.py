@@ -11,7 +11,7 @@ two-stage (switch + link) pipeline.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.noc.arbiter import RotatingPriorityArbiter

@@ -56,7 +56,7 @@ class Mesh2D(Topology):
         self.n_nodes = rows * cols
 
     @classmethod
-    def for_nodes(cls, n_nodes: int) -> "Mesh2D":
+    def for_nodes(cls, n_nodes: int) -> Mesh2D:
         """Near-square mesh for ``n_nodes`` (must factorise)."""
         from repro.memory.layout import grid_dimensions
 

@@ -48,7 +48,7 @@ class CounterSeries:
                 for name, points in self.samples.items()}
 
     @classmethod
-    def from_dict(cls, data: dict) -> "CounterSeries":
+    def from_dict(cls, data: dict) -> CounterSeries:
         return cls({name: [(int(c), float(v)) for c, v in points]
                     for name, points in data.items()})
 
@@ -109,7 +109,7 @@ class LatencyHistogram:
                 "max": self.max_value}
 
     @classmethod
-    def from_dict(cls, data: dict) -> "LatencyHistogram":
+    def from_dict(cls, data: dict) -> LatencyHistogram:
         hist = cls()
         hist.buckets = {int(k): int(v)
                         for k, v in data.get("buckets", {}).items()}

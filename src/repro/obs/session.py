@@ -22,7 +22,7 @@ from repro.obs.tracer import Trace, TraceOptions
 _ACTIVE: list["TraceSession"] = []
 
 
-def current_session() -> "TraceSession | None":
+def current_session() -> TraceSession | None:
     """The innermost active session, or None."""
     return _ACTIVE[-1] if _ACTIVE else None
 
@@ -60,7 +60,7 @@ class TraceSession:
     runs: list[CapturedRun] = field(default_factory=list)
     config: object = None
 
-    def __enter__(self) -> "TraceSession":
+    def __enter__(self) -> TraceSession:
         _ACTIVE.append(self)
         return self
 

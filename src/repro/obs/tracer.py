@@ -18,7 +18,7 @@ and simulated results are bit-identical either way.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable
+from collections.abc import Callable, Iterable
 
 from repro.obs.counters import CounterSeries, LatencyHistogram
 
@@ -118,7 +118,7 @@ class Trace:
     # -- merging --------------------------------------------------------
 
     @classmethod
-    def merged(cls, parts: Iterable[tuple[int, "Trace"]]) -> "Trace":
+    def merged(cls, parts: Iterable[tuple[int, Trace]]) -> Trace:
         """Stitch per-pass traces into one global-clock trace.
 
         Args:
@@ -150,7 +150,7 @@ class Trace:
                 "latency": self.latency.to_dict()}
 
     @classmethod
-    def from_dict(cls, data: dict) -> "Trace":
+    def from_dict(cls, data: dict) -> Trace:
         if data.get("kind") != "neurocube-trace":
             raise ValueError(
                 "not a neurocube trace (missing kind='neurocube-trace')")

@@ -87,7 +87,7 @@ class TestParallelEquivalence:
             parallel_config).run_network(net, x)
         np.testing.assert_array_equal(out_serial, out_parallel)
         assert rep_serial.total_cycles == rep_parallel.total_cycles
-        for row_s, row_p in zip(rep_serial.layers, rep_parallel.layers):
+        for row_s, row_p in zip(rep_serial.layers, rep_parallel.layers, strict=True):
             assert row_s == row_p
 
     def test_executor_preserves_task_order(self, config):

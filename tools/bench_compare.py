@@ -1,141 +1,19 @@
 #!/usr/bin/env python3
-"""Benchmark regression gate for CI.
+"""Checkout shim for the ``bench_compare`` CLI.
 
-Compares a fresh ``pytest-benchmark --benchmark-json`` result against a
-committed baseline and exits nonzero when any shared benchmark regressed
-by more than the threshold (default 30%).
-
-Usage::
-
-    python tools/bench_compare.py baseline.json current.json \
-        [--threshold 0.30] [--metric min]
-
-The ``min`` statistic is the default comparison metric: it is the least
-noisy of pytest-benchmark's aggregates (the fastest observed round is a
-lower bound on the true cost, largely immune to scheduler jitter), which
-matters when the baseline and the CI runner are different machines.
-
-Exit codes: 0 all good, 1 regression found, 2 malformed input.
+The implementation lives in :mod:`repro.bench_compare` (installed as
+the ``bench_compare`` console script); this wrapper makes
+``python tools/bench_compare.py`` work from an uninstalled checkout.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
+import pathlib
 import sys
 
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
-def load_benchmarks(path: str) -> dict[str, dict]:
-    """Read one pytest-benchmark JSON file.
-
-    Returns ``{name: {"stats": ..., "extra_info": ...}}``.  The
-    ``extra_info`` block (simulator rates recorded by the benchmarks
-    themselves) is informational only and never gated on.
-    """
-    try:
-        with open(path) as handle:
-            data = json.load(handle)
-    except (OSError, json.JSONDecodeError) as error:
-        raise SystemExit(f"bench_compare: cannot read {path}: {error}")
-    benchmarks = data.get("benchmarks")
-    if not isinstance(benchmarks, list):
-        raise SystemExit(
-            f"bench_compare: {path} has no 'benchmarks' list — is it a "
-            f"pytest-benchmark JSON file?")
-    table: dict[str, dict] = {}
-    for bench in benchmarks:
-        name = bench.get("name")
-        stats = bench.get("stats")
-        if not name or not isinstance(stats, dict):
-            raise SystemExit(
-                f"bench_compare: malformed benchmark entry in {path}")
-        table[name] = {"stats": stats,
-                       "extra_info": bench.get("extra_info") or {}}
-    return table
-
-
-def _sim_rate_note(base_extra: dict, cur_extra: dict) -> str:
-    """Informational simulator-rate note for one benchmark line.
-
-    Shows the current ``simulated_cycles_per_second`` and, when the
-    baseline recorded one too, the speedup factor against it.  Never
-    gated on: the wall-clock metric is the gate, the simulator rate is
-    the number a human wants to see move.
-    """
-    rate = cur_extra.get("simulated_cycles_per_second")
-    if not rate:
-        return ""
-    base_rate = base_extra.get("simulated_cycles_per_second")
-    if base_rate:
-        return (f"  [{rate:,.0f} sim cycles/s, "
-                f"{rate / base_rate:.2f}x baseline rate]")
-    return f"  [{rate:,.0f} sim cycles/s]"
-
-
-def compare(baseline: dict[str, dict], current: dict[str, dict],
-            threshold: float, metric: str) -> list[str]:
-    """Return the names of benchmarks regressed past ``threshold``.
-
-    Prints one line per benchmark with the wall-clock speedup factor
-    against the baseline (>1 faster, <1 slower; the gate fires when it
-    drops below ``1 / (1 + threshold)``).  Benchmarks present on only
-    one side are reported but never fail the gate — new benchmarks have
-    no baseline yet and retired ones no longer matter.
-    """
-    regressions: list[str] = []
-    for name in sorted(set(baseline) | set(current)):
-        if name not in current:
-            print(f"  - {name}: in baseline only (retired?)")
-            continue
-        if name not in baseline:
-            print(f"  + {name}: new benchmark, no baseline")
-            continue
-        base_value = baseline[name]["stats"].get(metric)
-        cur_value = current[name]["stats"].get(metric)
-        if base_value is None or cur_value is None:
-            raise SystemExit(
-                f"bench_compare: benchmark {name!r} lacks the "
-                f"{metric!r} statistic")
-        if base_value <= 0:
-            print(f"  ? {name}: non-positive baseline {metric}, skipped")
-            continue
-        regressed = cur_value / base_value > 1.0 + threshold
-        marker = "REGRESSION" if regressed else "ok"
-        note = _sim_rate_note(baseline[name]["extra_info"],
-                              current[name]["extra_info"])
-        print(f"  {name}: {metric} {base_value:.6g}s -> {cur_value:.6g}s "
-              f"({base_value / cur_value:.2f}x speedup)  {marker}{note}")
-        if regressed:
-            regressions.append(name)
-    return regressions
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        description="Fail when benchmarks regress against a baseline.")
-    parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument("current", help="freshly measured JSON")
-    parser.add_argument("--threshold", type=float, default=0.30,
-                        help="allowed fractional slowdown "
-                             "(default 0.30 = 30%%)")
-    parser.add_argument("--metric", default="min",
-                        choices=("min", "max", "mean", "median", "stddev"),
-                        help="pytest-benchmark statistic to compare "
-                             "(default: min)")
-    args = parser.parse_args(argv)
-
-    baseline = load_benchmarks(args.baseline)
-    current = load_benchmarks(args.current)
-    print(f"bench_compare: threshold +{args.threshold:.0%} on "
-          f"'{args.metric}'")
-    regressions = compare(baseline, current, args.threshold, args.metric)
-    if regressions:
-        print(f"bench_compare: {len(regressions)} regression(s): "
-              f"{', '.join(regressions)}")
-        return 1
-    print("bench_compare: no regressions")
-    return 0
-
+from repro.bench_compare import compare, load_benchmarks, main  # noqa: E402,F401
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Checkout shim for the ``nccheck`` CLI.
+
+The implementation lives in :mod:`repro.analysis.cli` (installed as the
+``nccheck`` console script); this wrapper makes
+``python tools/nccheck.py`` work from an uninstalled checkout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.analysis.cli import nccheck_main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(nccheck_main())

@@ -1,212 +1,19 @@
 #!/usr/bin/env python3
-"""ncprof — Neurocube simulator profiling CLI.
+"""Checkout shim for the ``ncprof`` CLI.
 
-Front end for :mod:`repro.obs`: records traced simulator runs, prints
-trace summaries, exports Perfetto-loadable Chrome trace JSON or CSV time
-series, and diffs run manifests across commits.
-
-Usage::
-
-    python tools/ncprof.py record [--out DIR] [--label NAME]
-                                  [--size N] [--workers N]
-                                  [--sample-interval N] [--no-counters]
-    python tools/ncprof.py summary trace_or_manifest.json
-    python tools/ncprof.py export trace.json --format chrome|csv
-                                  [--out PATH]
-    python tools/ncprof.py diff manifest_a.json manifest_b.json
-
-``record`` simulates a small traced conv layer end to end and writes the
-native trace plus its manifest — the CI observability smoke path.  Run
-it from a checkout with ``PYTHONPATH=src`` (or the package installed).
+The implementation lives in :mod:`repro.obs.ncprof` (installed as the
+``ncprof`` console script); this wrapper makes ``python tools/ncprof.py``
+work from an uninstalled checkout.
 """
 
 from __future__ import annotations
 
-import argparse
-import json
-import os
 import pathlib
 import sys
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
 
-from repro.obs import (  # noqa: E402
-    Trace,
-    TraceOptions,
-    TraceSession,
-    diff_manifests,
-    load_manifest,
-    load_trace,
-    manifest_from_session,
-    write_chrome_trace,
-    write_counters_csv,
-    write_events_csv,
-    write_manifest,
-    write_trace,
-)
-
-
-def cmd_record(args: argparse.Namespace) -> int:
-    """Run a small traced conv layer; write trace + manifest."""
-    import dataclasses
-
-    import numpy as np
-
-    from repro.core import NeurocubeConfig, NeurocubeSimulator
-    from repro.nn import models
-
-    config = NeurocubeConfig.hmc_15nm()
-    if args.workers is not None:
-        config = dataclasses.replace(config, sim_workers=args.workers)
-    net = models.single_conv_layer(args.size, args.size, 3, qformat=None)
-    options = TraceOptions(counters=not args.no_counters,
-                           sample_interval=args.sample_interval)
-    with TraceSession(options=options) as session:
-        NeurocubeSimulator(config).run_network(
-            net, np.zeros((1, args.size, args.size)))
-    out_dir = pathlib.Path(args.out)
-    out_dir.mkdir(parents=True, exist_ok=True)
-    trace_path = out_dir / f"trace_{args.label}.json"
-    manifest_path = out_dir / f"manifest_{args.label}.json"
-    write_trace(session.merged_trace(), str(trace_path))
-    manifest = manifest_from_session(args.label, session)
-    write_manifest(manifest, str(manifest_path))
-    print(f"ncprof: recorded {session.total_cycles} cycles over "
-          f"{len(session.runs)} layer run(s)")
-    print(f"ncprof: wrote {trace_path}")
-    print(f"ncprof: wrote {manifest_path}")
-    return 0
-
-
-def _load_any(path: str) -> tuple[Trace | None, dict | None]:
-    """Load ``path`` as a native trace or a manifest, whichever it is."""
-    with open(path) as handle:
-        data = json.load(handle)
-    kind = data.get("kind")
-    if kind == "neurocube-trace":
-        return Trace.from_dict(data), None
-    if kind == "neurocube-manifest":
-        return None, data
-    raise SystemExit(
-        f"ncprof: {path} is neither a neurocube trace nor a manifest "
-        f"(kind={kind!r})")
-
-
-def _print_trace_summary(trace: Trace) -> None:
-    print(f"trace: {trace.cycles} cycles, {len(trace.events)} events, "
-          f"{trace.dropped_events} dropped")
-    counts = trace.kind_counts()
-    if counts:
-        width = max(len(kind) for kind in counts)
-        for kind, count in counts.items():
-            print(f"  {kind:<{width}}  {count}")
-    if trace.latency.count:
-        print(f"packet latency: {trace.latency.count} delivered, "
-              f"mean {trace.latency.mean:.1f}, "
-              f"p90 {trace.latency.percentile(0.90)}, "
-              f"max {trace.latency.max_value} cycles")
-    if trace.counters.samples:
-        print(f"counters: {len(trace.counters.samples)} series, "
-              f"{trace.counters.n_samples} samples")
-
-
-def _print_manifest_summary(manifest: dict) -> None:
-    totals = manifest.get("totals", {})
-    print(f"manifest: {manifest.get('label')} "
-          f"(config {manifest.get('config_hash')}, "
-          f"git {manifest.get('git_rev')})")
-    print(f"  {totals.get('layers', 0)} layer(s), "
-          f"{totals.get('cycles', 0):.0f} cycles, "
-          f"{totals.get('packets', 0):.0f} packets, "
-          f"{totals.get('host_seconds', 0):.3f}s host")
-    for row in manifest.get("layers", []):
-        print(f"  {row.get('name')}: {row.get('kind')} "
-              f"{float(row.get('cycles', 0)):.0f} cycles, "
-              f"{float(row.get('packets', 0)):.0f} packets")
-    summary = manifest.get("trace_summary")
-    if summary:
-        print(f"  trace: {summary.get('cycles')} cycles, "
-              f"events {summary.get('events')}, "
-              f"mean latency {summary.get('mean_packet_latency', 0):.1f}")
-
-
-def cmd_summary(args: argparse.Namespace) -> int:
-    trace, manifest = _load_any(args.path)
-    if trace is not None:
-        _print_trace_summary(trace)
-    else:
-        _print_manifest_summary(manifest)
-    return 0
-
-
-def cmd_export(args: argparse.Namespace) -> int:
-    trace = load_trace(args.path)
-    stem, _ = os.path.splitext(args.path)
-    if args.format == "chrome":
-        out = args.out or f"{stem}.chrome.json"
-        write_chrome_trace(trace, out)
-        print(f"ncprof: wrote {out} "
-              f"(load in https://ui.perfetto.dev or chrome://tracing)")
-    else:
-        base = args.out or stem
-        counters_out = f"{base}.counters.csv"
-        events_out = f"{base}.events.csv"
-        rows = write_counters_csv(trace, counters_out)
-        print(f"ncprof: wrote {counters_out} ({rows} rows)")
-        rows = write_events_csv(trace, events_out)
-        print(f"ncprof: wrote {events_out} ({rows} rows)")
-    return 0
-
-
-def cmd_diff(args: argparse.Namespace) -> int:
-    print(diff_manifests(load_manifest(args.a), load_manifest(args.b)))
-    return 0
-
-
-def main(argv: list[str] | None = None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="ncprof", description="Neurocube simulator profiling CLI.")
-    sub = parser.add_subparsers(dest="command", required=True)
-
-    record = sub.add_parser(
-        "record", help="run a small traced conv layer, write "
-                       "trace+manifest")
-    record.add_argument("--out", default=".",
-                        help="output directory (default: cwd)")
-    record.add_argument("--label", default="smoke",
-                        help="run label used in output file names")
-    record.add_argument("--size", type=int, default=24,
-                        help="conv layer input height/width (default 24)")
-    record.add_argument("--workers", type=int, default=None,
-                        help="override sim_workers")
-    record.add_argument("--sample-interval", type=int, default=64,
-                        help="cycles between counter samples")
-    record.add_argument("--no-counters", action="store_true",
-                        help="record events only")
-    record.set_defaults(func=cmd_record)
-
-    summary = sub.add_parser(
-        "summary", help="print a trace or manifest summary")
-    summary.add_argument("path", help="trace_*.json or manifest_*.json")
-    summary.set_defaults(func=cmd_summary)
-
-    export = sub.add_parser(
-        "export", help="convert a native trace to Chrome JSON or CSV")
-    export.add_argument("path", help="native trace_*.json")
-    export.add_argument("--format", required=True,
-                        choices=("chrome", "csv"))
-    export.add_argument("--out", default=None,
-                        help="output path (chrome) or basename (csv)")
-    export.set_defaults(func=cmd_export)
-
-    diff = sub.add_parser("diff", help="compare two run manifests")
-    diff.add_argument("a", help="baseline manifest")
-    diff.add_argument("b", help="current manifest")
-    diff.set_defaults(func=cmd_diff)
-
-    args = parser.parse_args(argv)
-    return args.func(args)
-
+from repro.obs.ncprof import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())
