@@ -23,3 +23,23 @@ def record_sim_rate():
         benchmark.extra_info["simulated_cycles_per_second"] = float(
             run.simulated_cycles_per_second)
     return record
+
+
+@pytest.fixture
+def record_fault_counters():
+    """Record a run's nonzero fault counters into the benchmark JSON.
+
+    Takes anything carrying a ``fault_stats``
+    (:class:`repro.faults.FaultStats` or None) — a ``LayerRun`` or a
+    whole-network ``RunReport`` is folded by the caller first.  Attaches
+    a ``fault_counters`` dict to ``extra_info``; ``bench_compare``
+    prints it as an informational column, never as a gate.
+    """
+    def record(benchmark, fault_stats):
+        if fault_stats is None:
+            return
+        counters = {name: value
+                    for name, value in fault_stats.as_dict().items()
+                    if value}
+        benchmark.extra_info["fault_counters"] = counters
+    return record

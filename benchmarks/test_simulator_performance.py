@@ -180,6 +180,38 @@ def test_memoized_conv_speedup(benchmark, record_sim_rate):
     record_sim_rate(benchmark, run_memo)
 
 
+def test_fault_injection_overhead(benchmark, record_sim_rate,
+                                  record_fault_counters):
+    """Seeded vault-jitter campaign on the smoke conv layer.
+
+    Two invariants ride on this benchmark: a rate-0 injector must be
+    cycle-invisible (the hooks may not perturb the fault-free path), and
+    a seeded campaign's counters are deterministic — they land in the
+    BENCH JSON via ``record_fault_counters`` where ``bench_compare``
+    prints them informationally.
+    """
+    from repro.faults import FaultConfig
+
+    config = NeurocubeConfig.hmc_15nm()
+    net = models.single_conv_layer(24, 24, 3, qformat=None)
+    desc = compile_inference(net, config).descriptors[0]
+
+    clean = NeurocubeSimulator(config).run_descriptor(desc)
+    idle = NeurocubeSimulator(
+        config, faults=FaultConfig(seed=5)).run_descriptor(desc)
+    assert idle.cycles == clean.cycles
+
+    faults = FaultConfig(seed=5, vault_jitter_rate=0.02,
+                         vault_jitter_max=6)
+    simulator = NeurocubeSimulator(config, faults=faults)
+    run = benchmark.pedantic(lambda: simulator.run_descriptor(desc),
+                             rounds=1, iterations=1)
+    assert run.fault_stats is not None
+    assert run.fault_stats.jitter_events > 0
+    record_sim_rate(benchmark, run)
+    record_fault_counters(benchmark, run.fault_stats)
+
+
 def test_functional_forward_throughput(benchmark):
     """The numpy substrate's forward rate on the 64x64 scene net."""
     net = models.scene_labeling_convnn(height=64, width=64,

@@ -346,3 +346,57 @@ class NoBareAsserts(Rule):
                 yield (node.lineno, node.col_offset,
                        f"bare assert in cycle-model module {ctx.module}; "
                        f"raise a typed repro.errors exception instead")
+
+
+#: Module roots whose import anywhere in the cycle model means ambient,
+#: order-dependent entropy.  ``repro.faults`` provides the counter-based
+#: :class:`repro.faults.rng.DeterministicRNG` instead.
+_AMBIENT_RNG_MODULES = ("random", "numpy.random")
+
+
+@register
+class NoAmbientRNG(Rule):
+    """NC108: fault injection must use the counter-based RNG."""
+
+    code = "NC108"
+    title = "no ambient RNG imports in cycle-model modules"
+    rationale = (
+        "Stateful generators (random.Random, numpy.random) draw in "
+        "execution order, which differs between serial, parallel and "
+        "skip-ahead runs, and their hidden state would have to ride in "
+        "every checkpoint.  Fault injection and any other stochastic "
+        "modelling must go through repro.faults.rng.DeterministicRNG, "
+        "whose draws are pure functions of (seed, site key).")
+
+    def check(self, ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
+        # Plain and dotted imports (``import random``,
+        # ``import numpy.random as npr``) plus from-imports of the
+        # module itself or any name out of it
+        # (``from random import gauss``, ``from numpy import random``).
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if any(alias.name == root
+                           or alias.name.startswith(root + ".")
+                           for root in _AMBIENT_RNG_MODULES):
+                        yield (node.lineno, node.col_offset,
+                               f"ambient RNG import '{alias.name}' in "
+                               f"cycle-model module {ctx.module}; use "
+                               f"repro.faults.rng.DeterministicRNG")
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:
+                    continue
+                if any(node.module == root
+                       or node.module.startswith(root + ".")
+                       for root in _AMBIENT_RNG_MODULES):
+                    yield (node.lineno, node.col_offset,
+                           f"from-import of ambient RNG module "
+                           f"'{node.module}' in cycle-model module "
+                           f"{ctx.module}; use "
+                           f"repro.faults.rng.DeterministicRNG")
+                elif node.module == "numpy" and any(
+                        alias.name == "random" for alias in node.names):
+                    yield (node.lineno, node.col_offset,
+                           f"from-import of numpy.random in cycle-model "
+                           f"module {ctx.module}; use "
+                           f"repro.faults.rng.DeterministicRNG")

@@ -74,6 +74,26 @@ def _sim_rate_note(base_extra: dict, cur_extra: dict) -> str:
     return f"  [{rate:,.0f} sim cycles/s]"
 
 
+def _fault_note(cur_extra: dict) -> str:
+    """Informational fault/retry-counter note for one benchmark line.
+
+    Fault-injection benchmarks attach a ``fault_counters`` dict (the
+    nonzero :class:`repro.faults.FaultStats` counters, e.g. ``retries``
+    or ``packets_lost``) to ``extra_info``.  Like the simulator rate,
+    these are printed for the human reading the log and never gated on:
+    a seeded fault campaign's counters are deterministic, so a change
+    here means the fault model changed, not that the code got slower.
+    """
+    counters = cur_extra.get("fault_counters")
+    if not isinstance(counters, dict) or not counters:
+        return ""
+    shown = ", ".join(f"{name}={value}"
+                      for name, value in sorted(counters.items()) if value)
+    if not shown:
+        return ""
+    return f"  [faults: {shown}]"
+
+
 def compare(baseline: dict[str, dict], current: dict[str, dict],
             threshold: float, metric: str) -> list[str]:
     """Return the names of benchmarks regressed past ``threshold``.
@@ -105,6 +125,7 @@ def compare(baseline: dict[str, dict], current: dict[str, dict],
         marker = "REGRESSION" if regressed else "ok"
         note = _sim_rate_note(baseline[name]["extra_info"],
                               current[name]["extra_info"])
+        note += _fault_note(current[name]["extra_info"])
         print(f"  {name}: {metric} {base_value:.6g}s -> {cur_value:.6g}s "
               f"({base_value / cur_value:.2f}x speedup)  {marker}{note}")
         if regressed:

@@ -12,6 +12,7 @@ import os
 from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError
+from repro.faults.config import FaultConfig
 from repro.fixedpoint import Q_1_7_8, QFormat
 from repro.memory.specs import (
     DDR3,
@@ -75,7 +76,12 @@ class NeurocubeConfig:
             output maps, pool maps in timing-only mode) are simulated
             once and the outcome replayed for the duplicates.  Results
             are identical either way; it never applies to functional or
-            traced runs.
+            traced runs (nor to runs with active fault injection, where
+            structurally identical passes see different fault salts).
+        faults: optional :class:`repro.faults.FaultConfig` — when set,
+            every pass runs with deterministic fault injection and the
+            retry/timeout protocols (see docs/fault_injection.md).
+            None disables the machinery entirely (the hook-free path).
     """
 
     memory_spec: MemorySpec = HMC_INT
@@ -96,6 +102,7 @@ class NeurocubeConfig:
     sim_workers: int = 1
     sim_skip_ahead: bool = True
     sim_memoize: bool = True
+    faults: FaultConfig | None = None
 
     def __post_init__(self) -> None:
         if self.sim_workers < 1:

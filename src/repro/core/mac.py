@@ -54,5 +54,13 @@ class MACUnit:
         """Accumulator quantised to the storage format (the write-back)."""
         return int(from_float(self._acc, self.fmt))
 
+    def state_dict(self) -> dict:
+        """Picklable snapshot for checkpointing."""
+        return {"acc": self._acc, "operations": self.operations}
+
+    def load_state(self, state: dict) -> None:
+        self._acc = state["acc"]
+        self.operations = state["operations"]
+
     def __repr__(self) -> str:
         return f"MACUnit(id={self.mac_id}, acc={self._acc:.6f})"

@@ -65,6 +65,12 @@ class RunReport:
         source: "cycle" or "analytic".
         host_seconds: wall-clock host time the simulation took (0.0 for
             analytic reports, which are effectively instantaneous).
+        degraded: :class:`repro.faults.DegradedResult` records from all
+            simulated layers, in execution order — non-empty only when
+            fault injection forced graceful degradation (lost packets,
+            watchdog force-fires, forgiven write-backs); the affected
+            outputs are approximate, and the report says so instead of
+            silently presenting them as exact.
     """
 
     network_name: str
@@ -73,6 +79,7 @@ class RunReport:
     layers: list[LayerStats] = field(default_factory=list)
     source: str = "analytic"
     host_seconds: float = 0.0
+    degraded: list = field(default_factory=list)
 
     @property
     def total_ops(self) -> int:
@@ -200,4 +207,13 @@ class RunReport:
             f"{self.frames_per_second:.2f} frames/s, "
             f"{self.total_bytes / 1e6:.1f} MB "
             f"(+{100 * self.memory_overhead:.1f}% duplication)")
+        if self.degraded:
+            kinds: dict[str, int] = {}
+            for record in self.degraded:
+                kinds[record.kind] = kinds.get(record.kind, 0) + 1
+            summary = ", ".join(f"{kind}={count}"
+                                for kind, count in sorted(kinds.items()))
+            rows.append(
+                f"DEGRADED: {len(self.degraded)} fault-degraded results "
+                f"({summary}); affected outputs are approximate")
         return "\n".join(rows)

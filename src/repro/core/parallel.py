@@ -35,6 +35,7 @@ import numpy as np
 
 from repro.core.config import NeurocubeConfig
 from repro.core.layerdesc import LayerDescriptor
+from repro.faults.rng import pass_salt
 from repro.nn.activations import ActivationLUT
 
 
@@ -94,6 +95,10 @@ class PassOutcome:
             at 0) when tracing was enabled, else None.  The parent
             offsets it into the run-global clock while folding, so
             parallel and serial runs merge to identical traces.
+        fault_stats: the pass's :class:`repro.faults.FaultStats` when a
+            fault injector was active, else None.
+        degraded: the pass's :class:`repro.faults.DegradedResult`
+            records (both are plain picklable dataclasses).
     """
 
     cycles: int
@@ -103,6 +108,8 @@ class PassOutcome:
     pe_stats: tuple
     png_stats: tuple
     trace: object | None = None
+    fault_stats: object | None = None
+    degraded: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -155,12 +162,15 @@ def snapshot_pass(result) -> PassOutcome:
         lateral=stats.lateral, total_latency=stats.total_latency,
         pe_stats=tuple(result.pe_stats),
         png_stats=tuple(result.png_stats),
-        trace=result.trace)
+        trace=result.trace,
+        fault_stats=result.fault_stats,
+        degraded=result.degraded)
 
 
 def run_map_task(config: NeurocubeConfig, desc: LayerDescriptor,
                  lut: ActivationLUT | None, functional: bool,
-                 task: MapTask, trace=None) -> MapOutcome:
+                 task: MapTask, trace=None, faults=None, checkpoint=None,
+                 label_base: str = "") -> MapOutcome:
     """Run one map's sub-pass chain to completion (worker entry point).
 
     Sub-passes run serially: sub-pass 0 preloads the spec's bias, later
@@ -172,6 +182,14 @@ def run_map_task(config: NeurocubeConfig, desc: LayerDescriptor,
     turns on per-pass tracing inside the worker; each pass's trace rides
     back on its :class:`PassOutcome` with a local clock the parent
     offsets into the run-global one.
+
+    ``faults``/``checkpoint`` (picklable
+    :class:`repro.faults.FaultConfig` / ``CheckpointSpec``, or None)
+    thread fault injection and checkpointing into every sub-pass.  Both
+    the fault salt and the checkpoint label derive from the task's
+    *logical* identity — ``(label_base, task.index, sub-pass)`` — never
+    from worker identity, so serial, parallel and resumed runs inject
+    identical faults and share one checkpoint namespace.
     """
     # Imported here, not at module top: the simulator imports this
     # module for the task/outcome types.
@@ -179,19 +197,24 @@ def run_map_task(config: NeurocubeConfig, desc: LayerDescriptor,
     from repro.core.simulator import NeurocubeSimulator
 
     simulator = NeurocubeSimulator(config)
+    degraded_ok = faults is not None and faults.any_rate
     partial_sums: np.ndarray | None = None
     passes = []
-    for spec in task.sub_passes:
+    for j, spec in enumerate(task.sub_passes):
         bias = (spec.bias if partial_sums is None
                 else partial_sums.ravel())
         plan = build_conv_pass(desc, config, spec.input_tensor,
                                spec.kernel, bias,
                                lut if spec.final else None, mode=task.mode)
-        result = simulator.run_pass(plan, trace=trace)
+        result = simulator.run_pass(
+            plan, trace=trace, faults=faults,
+            fault_salt=pass_salt(task.index, j),
+            checkpoint=checkpoint,
+            pass_label=f"{label_base}.m{task.index}.s{j}")
         passes.append(snapshot_pass(result))
         if functional:
-            partial_sums = simulator.assemble_output(desc, plan,
-                                                     result.outputs)
+            partial_sums = simulator.assemble_output(
+                desc, plan, result.outputs, missing_ok=degraded_ok)
     return MapOutcome(index=task.index, passes=tuple(passes),
                       output=partial_sums)
 
@@ -211,7 +234,8 @@ class ParallelPassExecutor:
     def run(self, config: NeurocubeConfig, desc: LayerDescriptor,
             lut: ActivationLUT | None, functional: bool,
             tasks: list[MapTask], trace=None,
-            memoize: bool = False) -> list[MapOutcome]:
+            memoize: bool = False, faults=None, checkpoint=None,
+            label_base: str = "") -> list[MapOutcome]:
         """Run all tasks; returns outcomes ordered like ``tasks``.
 
         With ``memoize`` set, tasks are grouped by
@@ -225,7 +249,8 @@ class ParallelPassExecutor:
         statistics are bit-identical to simulating every task.
         """
         worker = partial(run_map_task, config, desc, lut, functional,
-                         trace=trace)
+                         trace=trace, faults=faults, checkpoint=checkpoint,
+                         label_base=label_base)
         if not memoize or len(tasks) <= 1:
             return self._execute(worker, tasks)
         keys = [structural_key(task) for task in tasks]

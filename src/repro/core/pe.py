@@ -13,13 +13,13 @@ the MAC computation.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.config import NeurocubeConfig
 from repro.core.mac import MACUnit
 from repro.errors import ConfigurationError, ProtocolError
 from repro.noc.interconnect import Interconnect
-from repro.noc.packet import Packet, PacketKind
+from repro.noc.packet import Packet, PacketKind, packet_crc
 from repro.noc.routing import Port
 
 
@@ -93,14 +93,31 @@ class ProcessingElement:
     emission at the three PE observability points — MAC fires, cache
     parks, cache recoveries; None keeps those sites to a single pointer
     comparison each.
+
+    ``injector`` (a :class:`repro.faults.FaultInjector`, optional) arms
+    the resilience machinery: stuck-at faults on outgoing MAC results,
+    CRC stamps on write-backs, and the per-PE watchdog that force-fires
+    an operation whose operand packet was recorded permanently lost —
+    zero-filling the missing operands and marking the group's neurons
+    degraded instead of wedging the pass.
     """
 
     def __init__(self, pe_id: int, config: NeurocubeConfig,
-                 interconnect: Interconnect, tracer=None) -> None:
+                 interconnect: Interconnect, tracer=None,
+                 injector=None) -> None:
         self.pe_id = pe_id
         self.config = config
         self.interconnect = interconnect
         self._tracer = tracer
+        self._injector = injector
+        self._stamp_crc = injector is not None and injector.config.crc
+        self._watchdog = (injector.config.watchdog_cycles
+                          if injector is not None else 0)
+        # Consecutive cycles stalled waiting for operands; feeds the
+        # watchdog and the stall diagnostics.  Accrued identically by
+        # step() and skip(), reset whenever an operand lands or an
+        # operation fires.
+        self._waiting_cycles = 0
         self.macs = [MACUnit(config.qformat, mac_id=i)
                      for i in range(config.n_mac)]
         self._groups: list[GroupPlan] = []
@@ -181,6 +198,14 @@ class ProcessingElement:
             self._fire()
         else:
             self.stats.idle_cycles += 1
+            self._waiting_cycles += 1
+            injector = self._injector
+            if (injector is not None and self._watchdog
+                    and self._waiting_cycles >= self._watchdog
+                    and injector.has_losses
+                    and injector.loss_matches(self.pe_id,
+                                              self.op_counter)):
+                self._force_fire()
 
     def next_event_delta(self) -> int | None:
         """Cycles until this PE next does visible work.
@@ -202,6 +227,14 @@ class ProcessingElement:
             return self._busy
         if self._operands_ready():
             return 0
+        injector = self._injector
+        if (injector is not None and self._watchdog
+                and injector.has_losses
+                and injector.loss_matches(self.pe_id, self.op_counter)):
+            # A recorded loss matches the stalled operation: the
+            # watchdog expiry is a scheduled event, so skip-ahead never
+            # coasts past the force-fire cycle.
+            return max(0, self._watchdog - self._waiting_cycles)
         return None
 
     def skip(self, cycles: int) -> None:
@@ -219,6 +252,7 @@ class ProcessingElement:
             self.stats.busy_cycles += cycles
         elif not self._operands_ready():
             self.stats.idle_cycles += cycles
+            self._waiting_cycles += cycles
 
     # -- packet intake --------------------------------------------------
 
@@ -227,6 +261,16 @@ class ProcessingElement:
         taken = 0
         while taken < self.interconnect.local_rate and not buffer.empty:
             packet = buffer.peek()
+            if (self._injector is not None
+                    and packet.op_id < self.op_counter):
+                # Under fault injection a packet can arrive after the
+                # watchdog already force-fired its operation (it sat out
+                # link backoffs).  Protocol order is otherwise intact;
+                # discard it instead of treating it as a plan bug.
+                self.interconnect.eject(self.pe_id, Port.PE, limit=1)
+                self._injector.stats.late_packets += 1
+                taken += 1
+                continue
             if not self._placeable(packet):
                 return  # backpressure: leave it in the router
             self.interconnect.eject(self.pe_id, Port.PE, limit=1)
@@ -246,6 +290,7 @@ class ProcessingElement:
     def _place(self, packet: Packet) -> None:
         if packet.kind not in (PacketKind.WEIGHT, PacketKind.STATE):
             raise ProtocolError(f"PE {self.pe_id} received {packet}")
+        self._waiting_cycles = 0
         if packet.op_id < self.op_counter:
             raise ProtocolError(
                 f"PE {self.pe_id} received stale {packet} at op "
@@ -316,10 +361,40 @@ class ProcessingElement:
                                   self.op_counter)
         self._busy = self.config.n_mac - 1
         self.stats.busy_cycles += 1
+        self._waiting_cycles = 0
         if self._busy == 0:
             self._advance_op()
         else:
             self._advance_pending = True
+
+    def _force_fire(self) -> None:
+        """Watchdog expiry: fire with the missing operands zero-filled.
+
+        Only reachable when a recorded permanent packet loss matches the
+        stalled operation — the data can never arrive, so the PE trades
+        accuracy for forward progress, records the group's neurons as
+        degraded, and resolves the matched ledger entries.
+        """
+        group = self._groups[self._group_idx]
+        injector = self._injector
+        if group.shared_state and self._shared_state is None:
+            self._shared_state = 0
+        for lane in range(len(group.slots)):
+            if not group.shared_state and lane not in self._state_slots:
+                self._state_slots[lane] = 0
+            if (group.mode == "mac" and not group.weights_resident
+                    and lane not in self._weight_slots):
+                self._weight_slots[lane] = 0
+        injector.stats.watchdog_fires += 1
+        injector.record_degraded(
+            "watchdog_fire", self.interconnect.cycle,
+            f"PE {self.pe_id}: watchdog fired at op={self.op_counter} "
+            f"after {self._waiting_cycles} stalled cycles; missing "
+            f"operands zeroed",
+            neurons=tuple(slot.neuron for slot in group.slots
+                          if slot.neuron is not None))
+        injector.resolve_losses(self.pe_id, self.op_counter)
+        self._fire()
 
     def _lane_state(self, group: GroupPlan, lane: int) -> int:
         if group.shared_state:
@@ -384,12 +459,22 @@ class ProcessingElement:
     # -- write-back -----------------------------------------------------
 
     def _emit_writebacks(self, group: GroupPlan) -> None:
+        injector = self._injector
         for lane, slot in enumerate(group.slots):
+            payload = self.macs[lane].result_raw
+            crc = None
+            if injector is not None:
+                payload = injector.apply_stuck(self.pe_id, lane, payload)
+                if self._stamp_crc:
+                    crc = packet_crc(self.pe_id, slot.home_vault, lane,
+                                     self._group_idx % 256,
+                                     PacketKind.WRITEBACK,
+                                     payload & 0xFFFF)
             self._writebacks.append(Packet(
                 src=self.pe_id, dst=slot.home_vault, mac_id=lane,
                 op_id=self._group_idx, kind=PacketKind.WRITEBACK,
-                payload=self.macs[lane].result_raw, neuron=slot.neuron,
-                inject_cycle=self.interconnect.cycle))
+                payload=payload, neuron=slot.neuron,
+                inject_cycle=self.interconnect.cycle, crc=crc))
 
     def _inject_writebacks(self) -> None:
         sent = 0
@@ -399,3 +484,43 @@ class ProcessingElement:
             self.interconnect.inject(self.pe_id, self._writebacks.popleft(),
                                      Port.PE)
             sent += 1
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Picklable snapshot; restored onto a freshly programmed PE.
+
+        The group schedule itself is rebuilt by the caller (it is part
+        of the pass plan, not of the clocked state).
+        """
+        return {
+            "macs": [mac.state_dict() for mac in self.macs],
+            "group_idx": self._group_idx,
+            "conn": self._conn,
+            "busy": self._busy,
+            "advance_pending": self._advance_pending,
+            "writebacks": tuple(self._writebacks),
+            "cache": [list(bank) for bank in self._cache],
+            "weight_slots": dict(self._weight_slots),
+            "state_slots": dict(self._state_slots),
+            "shared_state": self._shared_state,
+            "waiting_cycles": self._waiting_cycles,
+            "stats": replace(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        for mac, payload in zip(self.macs, state["macs"], strict=True):
+            mac.load_state(payload)
+        self._group_idx = state["group_idx"]
+        self._conn = state["conn"]
+        self._busy = state["busy"]
+        self._advance_pending = state["advance_pending"]
+        self._writebacks = deque(state["writebacks"])
+        self._cache = [list(bank) for bank in state["cache"]]
+        self._weight_slots = dict(state["weight_slots"])
+        self._state_slots = dict(state["state_slots"])
+        self._shared_state = state["shared_state"]
+        self._waiting_cycles = state["waiting_cycles"]
+        self.stats = replace(state["stats"])

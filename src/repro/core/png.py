@@ -21,13 +21,13 @@ from __future__ import annotations
 
 from collections import deque
 from collections.abc import Callable, Iterator
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.errors import ConfigurationError, ProtocolError
 from repro.memory.vault import VaultChannel
 from repro.nn.activations import ActivationLUT
 from repro.noc.interconnect import Interconnect
-from repro.noc.packet import Packet, PacketKind
+from repro.noc.packet import Packet, PacketKind, packet_crc
 from repro.noc.routing import Port
 
 
@@ -212,18 +212,26 @@ class NeurosequenceGenerator:
         tracer: optional :class:`repro.obs.Tracer`; when set, every
             successful injection emits a ``png.inject`` event.  None (the
             default) keeps the injection loop hook-free.
+        injector: optional :class:`repro.faults.FaultInjector`; when
+            set, items read from DRAM may arrive with flipped bits (the
+            per-item addresses are known here, at packetise time), the
+            PNG stamps outgoing packets with a CRC-8 when the protocol
+            asks for it, and write-backs recorded as permanently lost
+            are forgiven instead of wedging the layer-done signal.
     """
 
     def __init__(self, vault: VaultChannel, node: int,
                  interconnect: Interconnect,
                  max_outstanding: int = 16,
                  horizon: Callable[[], float] | None = None,
-                 tracer=None) -> None:
+                 tracer=None, injector=None) -> None:
         self.vault = vault
         self.node = node
         self.interconnect = interconnect
         self.max_outstanding = max_outstanding
         self._tracer = tracer
+        self._injector = injector
+        self._stamp_crc = injector is not None and injector.config.crc
         # All PNGs walk one layer's FSM in lock-step (Fig. 8c: the host
         # starts computation only "after all 16 PNGs are configured").
         # The horizon callback bounds the op-skew between generators so a
@@ -237,6 +245,10 @@ class NeurosequenceGenerator:
         self._held: EmissionRecord | None = None
         self._emissions: Iterator[EmissionRecord] | None = None
         self._emissions_exhausted = True
+        # Records pulled off the emission iterator so far — the resume
+        # path uses it to fast-forward a freshly programmed schedule to
+        # the checkpointed position (iterators themselves cannot pickle).
+        self._consumed = 0
         self._ready: deque[Packet] = deque()
         self._expected_writebacks = 0
         self._lut: ActivationLUT | None = None
@@ -268,6 +280,7 @@ class NeurosequenceGenerator:
         self._emissions = iter(emissions)
         self._held = None
         self._emissions_exhausted = False
+        self._consumed = 0
         self._expected_writebacks = expected_writebacks
         self._lut = lut
         self._writeback_sink = writeback_sink
@@ -326,6 +339,12 @@ class NeurosequenceGenerator:
             return 0
         if self.can_progress():
             return 0
+        if (self._injector is not None and self._injector.has_losses
+                and self._injector.has_lost_writebacks(self.node)):
+            # A write-back bound for this PNG was recorded permanently
+            # lost: forgiving it is an immediate event, so skip-ahead
+            # never coasts past the degradation.
+            return 0
         return self.vault.next_event_delta()
 
     def skip(self, cycles: int) -> None:
@@ -356,6 +375,8 @@ class NeurosequenceGenerator:
             self._packetise(read)
         self._inject_ready()
         self._drain_writebacks()
+        if self._injector is not None and self._injector.has_losses:
+            self._forgive_lost_writebacks()
 
     def _issue_requests(self) -> None:
         """Pack emission records into word-granularity vault reads.
@@ -392,10 +413,12 @@ class NeurosequenceGenerator:
         if self._emissions_exhausted:
             return None
         try:
-            return next(self._emissions)
+            record = next(self._emissions)
         except StopIteration:
             self._emissions_exhausted = True
             return None
+        self._consumed += 1
+        return record
 
     def _read_item(self, address: int) -> int:
         """Fetch one raw item from the backing store (0 in timing mode)."""
@@ -405,13 +428,29 @@ class NeurosequenceGenerator:
         return int(data[address])
 
     def _packetise(self, read) -> None:
-        for record in read.tag:
+        injector = self._injector
+        for slot, record in enumerate(read.tag):
+            payload = self._read_item(record.address)
+            crc = None
+            if injector is not None:
+                if record.address >= 0:
+                    # DRAM bit-flips land here: the per-item address and
+                    # the read's issue cycle key the fault site, so the
+                    # same read draws the same fault in every execution
+                    # mode.  Synthesised items (address -1) never
+                    # touched DRAM and cannot flip.
+                    payload = injector.corrupt_item(
+                        self.vault.vault_id, read.issued_cycle,
+                        record.address, slot, payload)
+                if self._stamp_crc:
+                    crc = packet_crc(self.vault.vault_id, record.dst,
+                                     record.mac_id, record.op_id % 256,
+                                     record.kind, payload & 0xFFFF)
             self._ready.append(Packet(
                 src=self.vault.vault_id, dst=record.dst,
                 mac_id=record.mac_id, op_id=record.op_id, kind=record.kind,
-                payload=self._read_item(record.address),
-                neuron=record.neuron,
-                inject_cycle=self.interconnect.cycle))
+                payload=payload, neuron=record.neuron,
+                inject_cycle=self.interconnect.cycle, crc=crc))
 
     def _inject_ready(self) -> None:
         rate = self.interconnect.local_rate
@@ -427,6 +466,23 @@ class NeurosequenceGenerator:
             if self._tracer is not None:
                 self._tracer.png_inject(self.interconnect.cycle,
                                         self.vault.vault_id, packet)
+
+    def _forgive_lost_writebacks(self) -> None:
+        """Account write-backs the NoC recorded as permanently lost.
+
+        Without this the layer-done signal would wait forever for data
+        that can no longer arrive.  The expected count is decremented,
+        the output neuron keeps no value (functional assembly fills a
+        zero), and the degradation is put on record.
+        """
+        injector = self._injector
+        for loss in injector.take_lost_writebacks(self.node):
+            self._expected_writebacks -= 1
+            injector.stats.writebacks_forgiven += 1
+            injector.record_degraded(
+                "writeback_forgiven", self.interconnect.cycle,
+                f"PNG node {self.node}: {loss.describe()}",
+                neurons=(loss.neuron,) if loss.neuron is not None else ())
 
     def _drain_writebacks(self) -> None:
         for packet in self.interconnect.eject(
@@ -446,3 +502,34 @@ class NeurosequenceGenerator:
                 raise ProtocolError(
                     f"PNG at node {self.node} received more write-backs "
                     f"than programmed")
+
+    # ------------------------------------------------------------------
+    # checkpointing
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Picklable snapshot (the vault snapshots separately).
+
+        The emission iterator itself cannot pickle; its position is the
+        ``consumed`` counter, which :meth:`load_state` replays against a
+        freshly programmed (identical) schedule.
+        """
+        return {
+            "held": self._held,
+            "consumed": self._consumed,
+            "emissions_exhausted": self._emissions_exhausted,
+            "ready": tuple(self._ready),
+            "expected_writebacks": self._expected_writebacks,
+            "stats": replace(self.stats),
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore a snapshot onto a freshly programmed PNG."""
+        for _ in range(state["consumed"]):
+            next(self._emissions)
+        self._consumed = state["consumed"]
+        self._held = state["held"]
+        self._emissions_exhausted = state["emissions_exhausted"]
+        self._ready = deque(state["ready"])
+        self._expected_writebacks = state["expected_writebacks"]
+        self.stats = replace(state["stats"])

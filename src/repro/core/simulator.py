@@ -29,7 +29,7 @@ simulator on scaled-down layers (see :mod:`repro.core.calibration`).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -49,6 +49,13 @@ from repro.core.pe import ProcessingElement
 from repro.core.png import NeurosequenceGenerator
 from repro.core.scheduler import PassPlan, build_fc_pass
 from repro.errors import ConfigurationError, MappingError, SimulationError
+from repro.faults.checkpoint import CheckpointSpec, CheckpointStore
+from repro.faults.config import FaultConfig
+from repro.faults.injector import FaultInjector, FaultStats
+from repro.faults.session import (
+    current_checkpoint_session,
+    current_fault_session,
+)
 from repro.fixedpoint import to_float
 from repro.memory.vault import VaultChannel
 from repro.nn.activations import ActivationLUT
@@ -71,6 +78,10 @@ class PassResult:
         pe_stats: per-PE statistics (fires, stalls, cache peaks).
         png_stats: per-PNG statistics (injections, stalls).
         trace: the pass's :class:`repro.obs.Trace` when tracing was on.
+        fault_stats: :class:`repro.faults.FaultStats` when a fault
+            injector was active (even at all-zero rates), else None.
+        degraded: :class:`repro.faults.DegradedResult` records for
+            outputs the retry/watchdog protocols had to degrade.
     """
 
     cycles: int
@@ -79,6 +90,8 @@ class PassResult:
     pe_stats: list
     png_stats: list
     trace: Trace | None = None
+    fault_stats: FaultStats | None = None
+    degraded: tuple = ()
 
 
 def _build_sampler(pes, vaults, interconnect):
@@ -137,12 +150,19 @@ class _RunAccumulator:
     search_stall_cycles: int = 0
     cache_peak: int = 0
     inject_stall_cycles: int = 0
+    fault_stats: FaultStats | None = None
+    degraded: list = field(default_factory=list)
 
     def fold(self, outcome: PassOutcome) -> None:
         """Fold one pass's snapshot in; call in serial pass order so the
         accumulated statistics are identical for serial and parallel
         runs."""
         self.cycles += outcome.cycles
+        if outcome.fault_stats is not None:
+            if self.fault_stats is None:
+                self.fault_stats = FaultStats()
+            self.fault_stats.merge(outcome.fault_stats)
+        self.degraded.extend(outcome.degraded)
         self.packets += outcome.delivered
         self.lateral += outcome.lateral
         self.latency += outcome.total_latency
@@ -177,6 +197,10 @@ class LayerRun:
         host_seconds: wall-clock host time the simulation took.
         trace: merged run trace (all passes on one clock) when tracing
             was enabled, else None.
+        fault_stats: folded :class:`repro.faults.FaultStats` across all
+            passes when fault injection was active, else None.
+        degraded: all passes' :class:`repro.faults.DegradedResult`
+            records, in serial fold order.
     """
 
     descriptor: LayerDescriptor
@@ -193,6 +217,8 @@ class LayerRun:
     inject_stall_cycles: int = 0
     host_seconds: float = 0.0
     trace: Trace | None = None
+    fault_stats: FaultStats | None = None
+    degraded: tuple = ()
 
     @property
     def simulated_cycles_per_second(self) -> float:
@@ -333,12 +359,24 @@ class NeurocubeSimulator:
             in which case its options apply and finished runs register
             with the session.  Tracing never changes simulated results:
             cycle counts and outputs are bit-identical either way.
+        faults: :class:`repro.faults.FaultConfig` enabling deterministic
+            fault injection on every pass.  Resolution order:
+            this argument, then ``config.faults``, then an ambient
+            :class:`repro.faults.FaultSession`.  None everywhere runs
+            entirely injector-free (the seed-baseline fast path).
+        checkpoint: :class:`repro.faults.CheckpointSpec` enabling
+            periodic per-pass snapshots and/or resume; falls back to an
+            ambient :class:`repro.faults.CheckpointSession`.
     """
 
     def __init__(self, config: NeurocubeConfig,
-                 trace: TraceOptions | None = None) -> None:
+                 trace: TraceOptions | None = None,
+                 faults: FaultConfig | None = None,
+                 checkpoint: CheckpointSpec | None = None) -> None:
         self.config = config
         self.trace_options = trace
+        self.faults = faults
+        self.checkpoint = checkpoint
 
     def _topology(self):
         if self.config.noc_topology == "fully_connected":
@@ -353,7 +391,11 @@ class NeurocubeSimulator:
                  max_cycles: int | None = None,
                  stall_limit: int = 1_000_000,
                  trace: TraceOptions | None = None,
-                 validate: bool = False) -> PassResult:
+                 validate: bool = False,
+                 faults: FaultConfig | None = None,
+                 fault_salt: int = 0,
+                 checkpoint: CheckpointSpec | None = None,
+                 pass_label: str = "pass") -> PassResult:
         """Run one PNG pass to layer-done.
 
         Args:
@@ -372,6 +414,17 @@ class NeurocubeSimulator:
                 malformed plan raises
                 :class:`repro.errors.PlanCheckError` before any cycle
                 is simulated instead of deadlocking mid-run.
+            faults: when set, a fresh :class:`repro.faults.FaultInjector`
+                is threaded through every agent — even at all-zero
+                rates, so the rate-0 machinery path can be tested for
+                bit-identity against the injector-free path.
+            fault_salt: pass-identity salt for the injector's transient
+                fault keys (see :func:`repro.faults.pass_salt`).
+            checkpoint: when set, snapshots are saved to its store every
+                ``every`` cycles under ``pass_label``; with ``resume``
+                the newest snapshot is restored before cycling.
+            pass_label: stable label for this pass's checkpoints; must
+                identify the pass across execution modes.
         """
         config = self.config
         if validate:
@@ -381,11 +434,15 @@ class NeurocubeSimulator:
 
             check_plan(plan, config, label="pass plan")
         tracer = Tracer(trace) if trace is not None else None
+        injector = (FaultInjector(faults, salt=fault_salt, tracer=tracer)
+                    if faults is not None else None)
         interconnect = Interconnect(
             self._topology(), buffer_depth=config.noc_buffer_depth,
-            local_rate=config.items_per_word, tracer=tracer)
+            local_rate=config.items_per_word, tracer=tracer,
+            injector=injector)
         vaults = [VaultChannel(config.channel_timing, vault_id=v,
-                               data=plan.vault_data[v], tracer=tracer)
+                               data=plan.vault_data[v], tracer=tracer,
+                               injector=injector)
                   for v in range(config.n_channels)]
         outputs: dict = {}
 
@@ -422,14 +479,14 @@ class NeurocubeSimulator:
             png = NeurosequenceGenerator(
                 vaults[v], node=config.pe_of_channel(v),
                 interconnect=interconnect, horizon=horizon,
-                tracer=tracer)
+                tracer=tracer, injector=injector)
             png.program(iter(plan.vault_emissions[v]),
                         plan.expected_writebacks[v], lut=plan.lut,
                         writeback_sink=make_sink(v))
             pngs.append(png)
         for p in range(config.n_pe):
             pe = ProcessingElement(p, config, interconnect,
-                                   tracer=tracer)
+                                   tracer=tracer, injector=injector)
             pe.program(plan.pe_groups[p])
             pes.append(pe)
         if tracer is not None and tracer.options.counters:
@@ -445,6 +502,22 @@ class NeurocubeSimulator:
         cycles = 0
         last_progress = 0
         progress_mark = -1
+        store: CheckpointStore | None = None
+        every = 0
+        if checkpoint is not None:
+            store = CheckpointStore(checkpoint.directory)
+            every = checkpoint.every
+            if checkpoint.resume:
+                resume_cycle = store.latest(pass_label)
+                if resume_cycle is not None:
+                    state = store.load(pass_label, resume_cycle)
+                    self._restore_pass(state, interconnect, vaults, pngs,
+                                       pes, injector, outputs)
+                    cycles = state["cycles"]
+                    last_progress = state["last_progress"]
+                    progress_mark = state["progress_mark"]
+                    if tracer is not None:
+                        tracer.sim_checkpoint(cycles, "resume", pass_label)
         while True:
             if all(png.done for png in pngs) and all(pe.done for pe in pes):
                 break
@@ -467,6 +540,14 @@ class NeurocubeSimulator:
                                max_cycles - cycles)
                 else:
                     jump = 0
+                if jump > 0 and every:
+                    # Never jump across a checkpoint boundary: land one
+                    # cycle short so the boundary cycle is *stepped* and
+                    # saved exactly like lock-step would.  Skip-ahead is
+                    # bit-identical to stepping, so the clamp only adds
+                    # stepped cycles, never changes results.
+                    jump = min(jump,
+                               (cycles // every + 1) * every - cycles - 1)
                 if jump > 0:
                     if tracer is not None:
                         tracer.skip_ahead(cycles, jump)
@@ -486,6 +567,12 @@ class NeurocubeSimulator:
             if done_now != progress_mark:
                 progress_mark = done_now
                 last_progress = cycles
+            if store is not None and every and cycles % every == 0:
+                store.save(pass_label, cycles, self._pass_state(
+                    cycles, last_progress, progress_mark, interconnect,
+                    vaults, pngs, pes, injector, outputs))
+                if tracer is not None:
+                    tracer.sim_checkpoint(cycles, "save", pass_label)
             if cycles - last_progress > stall_limit or cycles > max_cycles:
                 raise SimulationError(
                     f"pass stalled: {done_now}/{plan.total_neurons} "
@@ -497,7 +584,50 @@ class NeurocubeSimulator:
                           pe_stats=[pe.stats for pe in pes],
                           png_stats=[png.stats for png in pngs],
                           trace=(tracer.finish(cycles)
-                                 if tracer is not None else None))
+                                 if tracer is not None else None),
+                          fault_stats=(injector.stats
+                                       if injector is not None else None),
+                          degraded=(tuple(injector.degraded)
+                                    if injector is not None else ()))
+
+    @staticmethod
+    def _pass_state(cycles: int, last_progress: int, progress_mark: int,
+                    interconnect, vaults, pngs, pes, injector,
+                    outputs: dict) -> dict:
+        """Assemble one pass's picklable checkpoint snapshot."""
+        return {
+            "cycles": cycles,
+            "last_progress": last_progress,
+            "progress_mark": progress_mark,
+            "interconnect": interconnect.state_dict(),
+            "vaults": [vault.state_dict() for vault in vaults],
+            "pngs": [png.state_dict() for png in pngs],
+            "pes": [pe.state_dict() for pe in pes],
+            "injector": (injector.state_dict()
+                         if injector is not None else None),
+            "outputs": dict(outputs),
+        }
+
+    @staticmethod
+    def _restore_pass(state: dict, interconnect, vaults, pngs, pes,
+                      injector, outputs: dict) -> None:
+        """Restore a snapshot onto freshly built (programmed) agents.
+
+        Mutable state captured by closures — the shared ``outputs``
+        dict, each vault's data array — is restored *in place* so the
+        live object graph matches the uninterrupted run's at this cycle.
+        """
+        interconnect.load_state(state["interconnect"])
+        for vault, payload in zip(vaults, state["vaults"], strict=True):
+            vault.load_state(payload)
+        for png, payload in zip(pngs, state["pngs"], strict=True):
+            png.load_state(payload)
+        for pe, payload in zip(pes, state["pes"], strict=True):
+            pe.load_state(payload)
+        if injector is not None and state["injector"] is not None:
+            injector.load_state(state["injector"])
+        outputs.clear()
+        outputs.update(state["outputs"])
 
     @staticmethod
     def _stall_detail(interconnect: Interconnect, pngs, vaults,
@@ -505,9 +635,11 @@ class NeurocubeSimulator:
         """Per-agent diagnostic block appended to stall errors.
 
         Gives CI logs enough to localise a wedged pass without a
-        debugger: which PEs stopped advancing their OP-counters, and
-        which PNGs are blocked on backpressure, the horizon, or missing
-        write-backs.
+        debugger: which PEs stopped advancing their OP-counters (and how
+        long each has been waiting against its watchdog), which PNGs are
+        blocked on backpressure, the horizon, or missing write-backs,
+        and — under fault injection — any pending link retry/backoff
+        state or recorded permanent packet losses.
         """
         lines = [f"  noc: injected={interconnect.stats.injected} "
                  f"delivered={interconnect.stats.delivered} "
@@ -520,7 +652,8 @@ class NeurocubeSimulator:
                 f"busy={pe._busy} macs={pe.stats.macs_fired} "
                 f"idle={pe.stats.idle_cycles} "
                 f"writebacks_queued={len(pe._writebacks)} "
-                f"cached={cache} done={pe.done}")
+                f"cached={cache} done={pe.done} "
+                f"waiting={pe._waiting_cycles}")
         for png, vault in zip(pngs, vaults, strict=True):
             held = png._held.op_id if png._held is not None else None
             lines.append(
@@ -531,6 +664,10 @@ class NeurocubeSimulator:
                 f"held_op={held} "
                 f"exhausted={png._emissions_exhausted} "
                 f"awaiting_writebacks={png._expected_writebacks}")
+        retry = interconnect.retry_diagnostics()
+        if retry:
+            lines.append("  pending retry/timeout state:")
+            lines.extend("    " + line for line in retry)
         return "\n".join(lines)
 
     # ------------------------------------------------------------------
@@ -561,6 +698,20 @@ class NeurocubeSimulator:
         trace_options = self.trace_options
         if trace_options is None and session is not None:
             trace_options = session.options
+        fault_session = current_fault_session()
+        faults = self.faults if self.faults is not None else self.config.faults
+        if faults is None and fault_session is not None:
+            faults = fault_session.config
+        checkpoint = self.checkpoint
+        if checkpoint is None:
+            checkpoint_session = current_checkpoint_session()
+            if checkpoint_session is not None:
+                checkpoint = checkpoint_session.spec
+        # Degraded mode: with nonzero fault rates some neurons may never
+        # write back (exhausted retries on their write-back path);
+        # assemble_output zero-fills them instead of raising, and the
+        # losses show up as DegradedResult records on the run.
+        degraded_ok = faults is not None and faults.any_rate
         lut = None
         if layer is not None:
             act = layer.activation
@@ -573,11 +724,15 @@ class NeurocubeSimulator:
         trace_parts: list[tuple[int, Trace]] = []
         if desc.kind == "fc":
             plan = self._fc_plan(desc, layer, input_tensor, lut)
-            result = self.run_pass(plan, trace=trace_options)
+            result = self.run_pass(plan, trace=trace_options,
+                                   faults=faults, fault_salt=0,
+                                   checkpoint=checkpoint,
+                                   pass_label=f"{desc.name}.fc")
             if result.trace is not None:
                 trace_parts.append((accum.cycles, result.trace))
             accum.fold(snapshot_pass(result))
-            output = (self.assemble_output(desc, plan, result.outputs)
+            output = (self.assemble_output(desc, plan, result.outputs,
+                                           missing_ok=degraded_ok)
                       if functional else None)
         else:
             if desc.kind == "pool":
@@ -585,7 +740,9 @@ class NeurocubeSimulator:
             else:
                 tasks = self._conv_tasks(desc, layer, input_tensor)
             outcomes = self._run_tasks(desc, lut, functional, tasks,
-                                       trace=trace_options)
+                                       trace=trace_options,
+                                       faults=faults,
+                                       checkpoint=checkpoint)
             for outcome in outcomes:
                 for pass_outcome in outcome.passes:
                     if pass_outcome.trace is not None:
@@ -609,26 +766,38 @@ class NeurocubeSimulator:
             inject_stall_cycles=accum.inject_stall_cycles,
             # nclint: allow(NC101) host-side timing
             host_seconds=time.perf_counter() - started,
-            trace=(Trace.merged(trace_parts) if trace_parts else None))
+            trace=(Trace.merged(trace_parts) if trace_parts else None),
+            fault_stats=accum.fault_stats,
+            degraded=tuple(accum.degraded))
         if session is not None:
             session.add_run(desc.name, run.trace, run.cycles,
                             run.host_seconds, stats=run.to_stats(),
                             config=self.config)
+        if fault_session is not None and run.fault_stats is not None:
+            fault_session.add_run(desc.name, run.fault_stats,
+                                  run.degraded)
         return run
 
     def _run_tasks(self, desc: LayerDescriptor, lut, functional: bool,
                    tasks: list[MapTask],
-                   trace: TraceOptions | None = None) -> list[MapOutcome]:
+                   trace: TraceOptions | None = None,
+                   faults: FaultConfig | None = None,
+                   checkpoint: CheckpointSpec | None = None,
+                   ) -> list[MapOutcome]:
         executor = ParallelPassExecutor(self.config.effective_sim_workers)
         # Memoization replays one representative outcome per structural
         # equivalence class.  Functional runs carry per-map tensors (the
         # classes rarely collapse, and outputs must be assembled per
         # map anyway) and traced runs must emit every pass's events, so
-        # both disable it.
+        # both disable it — as do nonzero fault rates, where structurally
+        # identical passes carry different fault salts and therefore see
+        # different fault patterns.
         memoize = (self.config.sim_memoize and not functional
-                   and trace is None)
+                   and trace is None
+                   and (faults is None or not faults.any_rate))
         return executor.run(self.config, desc, lut, functional, tasks,
-                            trace=trace, memoize=memoize)
+                            trace=trace, memoize=memoize, faults=faults,
+                            checkpoint=checkpoint, label_base=desc.name)
 
     def _pool_tasks(self, desc, layer, input_tensor) -> list[MapTask]:
         """One task per pooled map; every map is a single final pass."""
@@ -685,11 +854,16 @@ class NeurocubeSimulator:
         return build_fc_pass(desc, self.config, vector, weights, biases,
                              lut)
 
-    def assemble_output(self, desc, plan: PassPlan,
-                        outputs: dict) -> np.ndarray:
-        """Collect write-backs into a flat/2D output array (real values)."""
+    def assemble_output(self, desc, plan: PassPlan, outputs: dict,
+                        missing_ok: bool = False) -> np.ndarray:
+        """Collect write-backs into a flat/2D output array (real values).
+
+        With ``missing_ok`` (degraded fault-injection runs) neurons that
+        never wrote back stay zero instead of raising — their loss is
+        already recorded as a :class:`repro.faults.DegradedResult`.
+        """
         missing = plan.total_neurons - len(outputs)
-        if missing:
+        if missing and not missing_ok:
             raise SimulationError(
                 f"{desc.name}: {missing} neurons never wrote back")
         flat = np.zeros(plan.total_neurons, dtype=np.int64)
@@ -739,5 +913,6 @@ class NeurocubeSimulator:
             run = self.run_descriptor(desc, layer, current)
             report.layers.append(run.to_stats())
             report.host_seconds += run.host_seconds
+            report.degraded.extend(run.degraded)
             current = run.output
         return current, report

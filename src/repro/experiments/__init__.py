@@ -22,6 +22,7 @@ from repro.experiments import (  # noqa: E402  (registration imports)
     fig14_nn_params,
     fig15_memory_noc,
     fig17_thermal,
+    fig_resilience,
     table1_memory_specs,
     table2_hardware,
     table3_comparison,
@@ -40,6 +41,7 @@ __all__ = [
     "fig14_nn_params",
     "fig15_memory_noc",
     "fig17_thermal",
+    "fig_resilience",
     "table1_memory_specs",
     "table2_hardware",
     "table3_comparison",

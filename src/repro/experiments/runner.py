@@ -14,6 +14,17 @@ performs is traced, and a ``manifest_<id>.json`` (plus a
 ``trace_<id>.json`` when any runs were captured) lands in the trace
 directory.  Experiments that never touch the cycle simulator still get a
 manifest recording that zero runs were captured.
+
+With ``--faults SPEC`` (``key=value,...`` pairs of
+:class:`repro.faults.FaultConfig` fields, e.g.
+``seed=3,dram_bitflip_rate=1e-4,ecc=secded``), each experiment runs
+inside an ambient :class:`repro.faults.FaultSession`: every cycle-
+simulated descriptor run injects deterministic faults and a summary of
+the fault counters is printed to stderr.  ``--checkpoint-every N``
+(with ``--checkpoint-dir``) snapshots every pass periodically, and
+``--resume-from DIR`` resumes each pass from its newest snapshot —
+together they let a long sweep survive a crash and continue
+bit-identically.
 """
 
 from __future__ import annotations
@@ -54,6 +65,21 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--trace-dir", default=".",
         help="directory for --trace output files (default: cwd)")
+    run_parser.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject deterministic faults into every cycle-simulated "
+             "run; SPEC is key=value pairs of FaultConfig fields, e.g. "
+             "'seed=3,dram_bitflip_rate=1e-4,ecc=secded'")
+    run_parser.add_argument(
+        "--checkpoint-every", type=int, default=0, metavar="N",
+        help="snapshot every pass every N simulated cycles (0: off)")
+    run_parser.add_argument(
+        "--checkpoint-dir", default="checkpoints",
+        help="directory for checkpoint snapshots (default: checkpoints)")
+    run_parser.add_argument(
+        "--resume-from", default=None, metavar="DIR",
+        help="resume each pass from its newest snapshot in DIR "
+             "(passes without one start from cycle 0)")
     sub.add_parser(
         "report",
         help="regenerate the paper-vs-measured summary (EXPERIMENTS.md "
@@ -103,13 +129,21 @@ def main(argv: list[str] | None = None) -> int:
         from repro.core.compiler import set_default_validate
 
         set_default_validate(True)
+    faults = None
+    fault_spec = getattr(args, "faults", None)
+    if fault_spec is not None:
+        from repro.faults import FaultConfig
+
+        faults = FaultConfig.from_spec(fault_spec)
+    checkpoint = _checkpoint_spec(args)
     collected = {}
     for exp_id in ids:
         experiment = get_experiment(exp_id)
         if tracing:
-            result = _run_traced(experiment, args.trace_dir)
+            result = _run_traced(experiment, args.trace_dir,
+                                 faults=faults, checkpoint=checkpoint)
         else:
-            result = experiment.run()
+            result = _run_sessioned(experiment, faults, checkpoint)
         if as_json:
             collected[exp_id] = serialize(result)
         else:
@@ -121,7 +155,50 @@ def main(argv: list[str] | None = None) -> int:
     return 0
 
 
-def _run_traced(experiment, trace_dir: str):
+def _checkpoint_spec(args):
+    """Build a CheckpointSpec from the CLI flags, or None."""
+    every = getattr(args, "checkpoint_every", 0)
+    resume_from = getattr(args, "resume_from", None)
+    if not every and resume_from is None:
+        return None
+    from repro.faults import CheckpointSpec
+
+    directory = (resume_from if resume_from is not None
+                 else getattr(args, "checkpoint_dir", "checkpoints"))
+    return CheckpointSpec(directory=directory, every=every,
+                          resume=resume_from is not None)
+
+
+def _fault_summary(exp_id: str, session) -> None:
+    """Print a fault session's folded counters to stderr."""
+    stats = session.total_stats()
+    nonzero = {name: value for name, value in stats.as_dict().items()
+               if value}
+    degraded = sum(len(run.degraded) for run in session.runs)
+    print(f"[faults] {exp_id}: {len(session.runs)} runs, "
+          f"counters {nonzero or '{}'}, {degraded} degraded results",
+          file=sys.stderr)
+
+
+def _run_sessioned(experiment, faults, checkpoint):
+    """Run one experiment inside the ambient fault/checkpoint sessions."""
+    import contextlib
+
+    from repro.faults import CheckpointSession, FaultSession
+
+    with contextlib.ExitStack() as stack:
+        fault_session = None
+        if faults is not None:
+            fault_session = stack.enter_context(FaultSession(faults))
+        if checkpoint is not None:
+            stack.enter_context(CheckpointSession(checkpoint))
+        result = experiment.run()
+        if fault_session is not None:
+            _fault_summary(experiment.exp_id, fault_session)
+    return result
+
+
+def _run_traced(experiment, trace_dir: str, faults=None, checkpoint=None):
     """Run one experiment inside a trace session; write its artifacts."""
     from repro.obs import (
         TraceSession,
@@ -133,7 +210,7 @@ def _run_traced(experiment, trace_dir: str):
     out_dir = pathlib.Path(trace_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     with TraceSession() as session:
-        result = experiment.run()
+        result = _run_sessioned(experiment, faults, checkpoint)
     manifest = manifest_from_session(experiment.exp_id, session)
     manifest_path = out_dir / f"manifest_{experiment.exp_id}.json"
     write_manifest(manifest, str(manifest_path))

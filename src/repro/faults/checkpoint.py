@@ -1,0 +1,123 @@
+"""Cycle-checkpointing: periodic simulator snapshots + resume.
+
+A long soak run should survive a crash.  :class:`CheckpointStore` keeps
+a directory of pickled per-pass snapshots, one file per (pass label,
+cycle); ``run_pass`` saves one every :attr:`CheckpointSpec.every` cycles
+and, when resuming, loads the newest snapshot for its label and fast-
+forwards past the simulated prefix.
+
+Snapshots hold explicit per-agent ``state_dict()`` payloads, not pickled
+agent graphs — the live graph is full of closures (routing lambdas, PNG
+sinks over the shared ``outputs`` dict) that cannot pickle and would
+drag the whole simulator along.  ``load_state`` restores mutable state
+*in place* wherever closures capture it (the outputs dict, vault data),
+so a resumed pass is the same object graph the uninterrupted run had at
+that cycle: the remainder replays bit-identically.
+
+Pass labels are stable across execution modes (they derive from the
+descriptor name and the map/sub-pass index, never from worker identity),
+so a serial resume can pick up a parallel run's checkpoints and vice
+versa.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError, SimulationError
+
+#: Snapshot file-format version; bump on layout changes.
+CHECKPOINT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class CheckpointSpec:
+    """Checkpoint policy for a run.
+
+    Attributes:
+        directory: where snapshot files live.
+        every: snapshot period in simulated cycles (per pass).
+        resume: when True, each pass first looks for its newest
+            snapshot in ``directory`` and resumes from it; passes with
+            no snapshot start from cycle 0 as usual.
+    """
+
+    directory: str
+    every: int = 0
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.every < 0:
+            raise ConfigurationError(
+                f"checkpoint period must be >= 0, got {self.every}")
+        if not self.every and not self.resume:
+            raise ConfigurationError(
+                "checkpoint spec needs a period (every > 0), resume=True, "
+                "or both")
+
+
+class CheckpointStore:
+    """A directory of pickled pass snapshots, ``{label}@{cycle}.pkl``.
+
+    Writes are atomic (temp file + ``os.replace``) so a crash mid-save
+    never leaves a truncated snapshot for resume to trip over.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, label: str, cycle: int) -> Path:
+        if "@" in label or "/" in label:
+            raise ConfigurationError(
+                f"checkpoint label {label!r} must not contain '@' or '/'")
+        return self.directory / f"{label}@{cycle:012d}.pkl"
+
+    def save(self, label: str, cycle: int, state: dict) -> Path:
+        """Atomically write one snapshot; returns its path."""
+        path = self._path(label, cycle)
+        payload = {"version": CHECKPOINT_VERSION, "label": label,
+                   "cycle": cycle, "state": state}
+        tmp = path.with_suffix(".tmp")
+        with tmp.open("wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+        return path
+
+    def checkpoints(self, label: str) -> list[int]:
+        """Snapshot cycles available for a pass label, ascending."""
+        prefix = f"{label}@"
+        cycles = []
+        for path in self.directory.glob(f"{prefix}*.pkl"):
+            stem = path.name[len(prefix):-len(".pkl")]
+            if stem.isdigit():
+                cycles.append(int(stem))
+        return sorted(cycles)
+
+    def latest(self, label: str) -> int | None:
+        """The newest snapshot cycle for a label, or None."""
+        cycles = self.checkpoints(label)
+        return cycles[-1] if cycles else None
+
+    def load(self, label: str, cycle: int) -> dict:
+        """Load one snapshot's state dict (validates version + header)."""
+        path = self._path(label, cycle)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError as error:
+            raise SimulationError(
+                f"no checkpoint {label!r} @ cycle {cycle} in "
+                f"{self.directory}") from error
+        if payload.get("version") != CHECKPOINT_VERSION:
+            raise SimulationError(
+                f"checkpoint {path} has version {payload.get('version')}, "
+                f"expected {CHECKPOINT_VERSION}")
+        if payload.get("label") != label or payload.get("cycle") != cycle:
+            raise SimulationError(
+                f"checkpoint {path} header mismatch: "
+                f"{payload.get('label')!r}@{payload.get('cycle')}")
+        return payload["state"]

@@ -1,0 +1,402 @@
+"""The fault injector: deterministic fault models + degradation records.
+
+One :class:`FaultInjector` serves one simulated pass.  The simulator
+threads it through the agents exactly like the tracer — an optional
+duck-typed reference, every call site behind a single ``is not None``
+test — so the fault-free path stays hook-free and bit-identical to a run
+with no injector at all.
+
+Every draw goes through :class:`repro.faults.rng.DeterministicRNG`,
+keyed by integer site tuples (site constant, agent id, cycle, address),
+so the injected fault set is a pure function of (seed, salt, config):
+identical across serial, parallel, skip-ahead and resumed execution.
+
+The injector also owns the pass's *degradation ledger*: packets whose
+retry budget is exhausted are recorded as :class:`LostPacket` entries,
+watchdog force-fires and forgiven write-backs become
+:class:`DegradedResult` records, and the aggregated :class:`FaultStats`
+counters ride back to the caller on the pass outcome.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+from repro.faults.config import FaultConfig
+from repro.faults.rng import DeterministicRNG
+
+#: Bits per fixed-point item (matches ``repro.memory.vault.ITEM_BITS``).
+ITEM_BITS = 16
+
+# Integer site constants: the first key of every RNG draw.  Never reuse
+# a constant across models — distinct sites must see independent draws.
+SITE_DRAM = 1
+SITE_DRAM_BITS = 2
+SITE_LINK = 3
+SITE_LINK_BIT = 4
+SITE_JITTER = 5
+SITE_JITTER_SPAN = 6
+SITE_MAC = 7
+
+
+def _flip_bits(raw: int, bits: tuple[int, ...]) -> int:
+    """XOR the given bit positions of a signed 16-bit raw value."""
+    unsigned = raw & 0xFFFF
+    for bit in bits:
+        unsigned ^= 1 << bit
+    return unsigned - 0x10000 if unsigned & 0x8000 else unsigned
+
+
+@dataclass
+class FaultStats:
+    """Picklable fault/resilience counters for one pass (or a fold).
+
+    All counters are exact and deterministic for a given (seed, salt,
+    config) — the CI smoke job pins them for a seeded run.
+    """
+
+    dram_flip_events: int = 0
+    dram_bits_flipped: int = 0
+    ecc_corrected: int = 0
+    ecc_detected: int = 0
+    corrupted_items: int = 0
+    link_corruptions: int = 0
+    link_drops: int = 0
+    link_silent_corruptions: int = 0
+    retries: int = 0
+    packets_lost: int = 0
+    jitter_events: int = 0
+    jitter_cycles: int = 0
+    stuck_lanes: int = 0
+    stuck_applied: int = 0
+    watchdog_fires: int = 0
+    writebacks_forgiven: int = 0
+    late_packets: int = 0
+
+    def merge(self, other: FaultStats) -> None:
+        """Fold another pass's counters in (serial fold order)."""
+        for f in fields(self):
+            setattr(self, f.name,
+                    getattr(self, f.name) + getattr(other, f.name))
+
+    def as_dict(self) -> dict[str, int]:
+        """JSON-compatible counter dict (stable field order)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    @property
+    def any_injected(self) -> bool:
+        """True when any fault actually fired."""
+        return any(getattr(self, f.name) for f in fields(self))
+
+
+@dataclass(frozen=True)
+class LostPacket:
+    """A packet dropped after exhausting its link retry budget.
+
+    Kept on the injector's loss ledger so the PE watchdog and the PNG
+    write-back forgiveness can match it — the protocols only ever react
+    to *recorded* permanent losses, never to packets that are merely
+    slow (backoff-delayed), which is what keeps rate-0 behaviour exact.
+    """
+
+    cycle: int
+    src: int
+    dst: int
+    kind: str
+    op_id: int
+    neuron: object
+    link: str
+
+    def describe(self) -> str:
+        return (f"{self.kind} {self.src}->{self.dst} op={self.op_id} "
+                f"lost on link {self.link} @cycle {self.cycle}")
+
+
+@dataclass(frozen=True)
+class DegradedResult:
+    """One graceful-degradation event recorded on a run.
+
+    Attributes:
+        kind: "packet_lost", "watchdog_fire" or "writeback_forgiven".
+        cycle: pass-local cycle the degradation was recorded.
+        detail: human-readable description for reports and stall logs.
+        neurons: output-neuron tags whose values are degraded (possibly
+            empty for pure transport losses).
+    """
+
+    kind: str
+    cycle: int
+    detail: str
+    neurons: tuple = ()
+
+
+class FaultInjector:
+    """Deterministic fault models + loss ledger for one pass.
+
+    Args:
+        config: the fault configuration (rates, protocol knobs).
+        salt: pass-identity salt mixed into every *transient* fault key
+            so different conv maps / sub-passes see independent fault
+            patterns while staying reproducible (the salt derives from
+            the map/sub-pass index, not from execution order).
+            Permanent faults (stuck MAC lanes) deliberately ignore the
+            salt: a broken lane is broken in every pass.
+        tracer: optional :class:`repro.obs.Tracer`; every injected fault
+            emits a ``fault.inject`` event when set.
+    """
+
+    def __init__(self, config: FaultConfig, salt: int = 0,
+                 tracer=None) -> None:
+        self.config = config
+        self.salt = int(salt)
+        self.rng = DeterministicRNG(config.seed)
+        self._tracer = tracer
+        self.stats = FaultStats()
+        self.degraded: list[DegradedResult] = []
+        self._losses: list[LostPacket] = []
+        self._stuck: dict[tuple[int, int], tuple[int, int] | None] = {}
+        # Probability that a 16-bit item has >= 1 flipped bit, and the
+        # conditional thresholds for exactly-1 / exactly-2 flips, from
+        # the per-bit rate (binomial).  Precomputed once so the per-item
+        # hot path costs a single uniform draw in the common no-fault
+        # case.
+        p = config.dram_bitflip_rate
+        if p > 0.0:
+            p0 = (1.0 - p) ** ITEM_BITS
+            p1 = ITEM_BITS * p * (1.0 - p) ** (ITEM_BITS - 1)
+            p2 = (ITEM_BITS * (ITEM_BITS - 1) / 2.0
+                  * p * p * (1.0 - p) ** (ITEM_BITS - 2))
+            self._p_any = 1.0 - p0
+            self._c1 = p1 / self._p_any
+            self._c2 = (p1 + p2) / self._p_any
+        else:
+            self._p_any = 0.0
+            self._c1 = self._c2 = 1.0
+
+    # ------------------------------------------------------------------
+    # DRAM read bit-flips (+ ECC model)
+    # ------------------------------------------------------------------
+
+    def corrupt_item(self, vault_id: int, issue_cycle: int, address: int,
+                     slot: int, raw: int) -> int:
+        """Maybe flip bits of one item read from a vault.
+
+        Keyed by (vault, issue cycle, address, word slot): the identical
+        read in any execution mode draws the identical fault.  The ECC
+        model is per 16-bit item (a simplification of word-level SECDED,
+        documented in docs/fault_injection.md): 1 flip corrected, 2
+        detected (re-read at zero modelled cost), >= 3 silent.
+        """
+        if self._p_any <= 0.0:
+            return raw
+        u = self.rng.uniform(self.salt, SITE_DRAM, vault_id, issue_cycle,
+                             address, slot)
+        if u >= self._p_any:
+            return raw
+        pick = self.rng.uniform(self.salt, SITE_DRAM_BITS, vault_id,
+                                issue_cycle, address, slot)
+        n_flips = 1 if pick < self._c1 else (2 if pick < self._c2 else 3)
+        bits: list[int] = []
+        for index in range(n_flips):
+            bit = self.rng.randint(ITEM_BITS, self.salt, SITE_DRAM_BITS,
+                                   vault_id, issue_cycle, address, slot,
+                                   index + 1)
+            while bit in bits:  # distinct positions via linear probing
+                bit = (bit + 1) % ITEM_BITS
+            bits.append(bit)
+        self.stats.dram_flip_events += 1
+        self.stats.dram_bits_flipped += n_flips
+        if self.config.ecc == "secded":
+            if n_flips == 1:
+                self.stats.ecc_corrected += 1
+                self._emit_fault(issue_cycle, "dram.ecc_corrected",
+                                 f"vault/{vault_id}",
+                                 {"addr": address, "bits": n_flips})
+                return raw
+            if n_flips == 2:
+                self.stats.ecc_detected += 1
+                self._emit_fault(issue_cycle, "dram.ecc_detected",
+                                 f"vault/{vault_id}",
+                                 {"addr": address, "bits": n_flips})
+                return raw
+        self.stats.corrupted_items += 1
+        self._emit_fault(issue_cycle, "dram.bitflip", f"vault/{vault_id}",
+                         {"addr": address, "bits": n_flips})
+        return _flip_bits(raw, tuple(bits))
+
+    # ------------------------------------------------------------------
+    # vault latency jitter
+    # ------------------------------------------------------------------
+
+    def read_extra_latency(self, vault_id: int, issue_cycle: int,
+                           address: int) -> int:
+        """Extra access-latency cycles for one vault read (0 = none)."""
+        config = self.config
+        if not self.rng.bernoulli(config.vault_jitter_rate, self.salt,
+                                  SITE_JITTER, vault_id, issue_cycle,
+                                  address):
+            return 0
+        extra = 1 + self.rng.randint(config.vault_jitter_max, self.salt,
+                                     SITE_JITTER_SPAN, vault_id,
+                                     issue_cycle, address)
+        self.stats.jitter_events += 1
+        self.stats.jitter_cycles += extra
+        self._emit_fault(issue_cycle, "vault.jitter", f"vault/{vault_id}",
+                         {"addr": address, "extra": extra})
+        return extra
+
+    # ------------------------------------------------------------------
+    # NoC link transients
+    # ------------------------------------------------------------------
+
+    @property
+    def noc_active(self) -> bool:
+        """True when the link stage must take its fault/retry path."""
+        return self.config.noc_active
+
+    def link_fault(self, link_index: int, cycle: int) -> str | None:
+        """Fault outcome for one link traversal attempt.
+
+        Returns "drop", "corrupt" or None; one draw per attempt, keyed
+        (link, cycle) — at most one packet crosses a link per cycle, so
+        the key is unique per attempt and retransmissions of the same
+        packet on later cycles draw independently.
+        """
+        config = self.config
+        u = self.rng.uniform(self.salt, SITE_LINK, link_index, cycle)
+        if u < config.noc_drop_rate:
+            return "drop"
+        if u < config.noc_drop_rate + config.noc_corrupt_rate:
+            return "corrupt"
+        return None
+
+    def corrupt_payload(self, link_index: int, cycle: int,
+                        raw: int) -> int:
+        """Flip one payload bit (the undetected-corruption path)."""
+        bit = self.rng.randint(ITEM_BITS, self.salt, SITE_LINK_BIT,
+                               link_index, cycle)
+        return _flip_bits(raw, (bit,))
+
+    # ------------------------------------------------------------------
+    # stuck-at MAC faults (permanent; salt-independent)
+    # ------------------------------------------------------------------
+
+    def stuck_fault(self, pe_id: int, lane: int) -> tuple[int, int] | None:
+        """The (bit, value) stuck fault of a MAC lane, or None.
+
+        A permanent hardware fault: drawn once per (PE, lane) from the
+        seed alone (no salt, no cycle), so the same physical lane is
+        broken — identically — in every pass of the run.
+        """
+        key = (pe_id, lane)
+        cached = self._stuck.get(key, -1)
+        if cached != -1:
+            return cached
+        fault: tuple[int, int] | None = None
+        if self.rng.bernoulli(self.config.mac_stuck_rate,
+                              SITE_MAC, pe_id, lane):
+            bit = self.rng.randint(ITEM_BITS, SITE_MAC, pe_id, lane, 1)
+            value = self.rng.randint(2, SITE_MAC, pe_id, lane, 2)
+            fault = (bit, value)
+            self.stats.stuck_lanes += 1
+        self._stuck[key] = fault
+        return fault
+
+    def apply_stuck(self, pe_id: int, lane: int, raw: int) -> int:
+        """Force a lane's stuck bit onto an outgoing result value."""
+        fault = self.stuck_fault(pe_id, lane)
+        if fault is None:
+            return raw
+        bit, value = fault
+        unsigned = raw & 0xFFFF
+        forced = (unsigned | (1 << bit)) if value else (unsigned
+                                                        & ~(1 << bit))
+        if forced != unsigned:
+            self.stats.stuck_applied += 1
+        return forced - 0x10000 if forced & 0x8000 else forced
+
+    # ------------------------------------------------------------------
+    # loss ledger + degradation records
+    # ------------------------------------------------------------------
+
+    def record_loss(self, cycle: int, packet, link: str) -> LostPacket:
+        """Register a packet dropped after exhausting its retry budget."""
+        loss = LostPacket(cycle=cycle, src=packet.src, dst=packet.dst,
+                          kind=packet.kind.value, op_id=packet.op_id,
+                          neuron=packet.neuron, link=link)
+        self._losses.append(loss)
+        self.stats.packets_lost += 1
+        self.record_degraded("packet_lost", cycle, loss.describe(),
+                             neurons=(packet.neuron,)
+                             if packet.neuron is not None else ())
+        return loss
+
+    def record_degraded(self, kind: str, cycle: int, detail: str,
+                        neurons: tuple = ()) -> None:
+        """Append one degradation record to the pass ledger."""
+        self.degraded.append(DegradedResult(kind=kind, cycle=cycle,
+                                            detail=detail,
+                                            neurons=neurons))
+
+    @property
+    def has_losses(self) -> bool:
+        """Cheap gate for the watchdog paths (False at rate 0, always)."""
+        return bool(self._losses)
+
+    def pending_losses(self) -> tuple[LostPacket, ...]:
+        """Unresolved losses, for diagnostics (stall reports)."""
+        return tuple(self._losses)
+
+    def loss_matches(self, pe_id: int, op_id: int) -> bool:
+        """True when a lost WEIGHT/STATE packet targets (pe, op)."""
+        return any(loss.dst == pe_id and loss.op_id == op_id
+                   and loss.kind in ("weight", "state")
+                   for loss in self._losses)
+
+    def resolve_losses(self, pe_id: int, op_id: int) -> None:
+        """Drop ledger entries a watchdog force-fire just compensated."""
+        self._losses = [loss for loss in self._losses
+                        if not (loss.dst == pe_id and loss.op_id == op_id
+                                and loss.kind in ("weight", "state"))]
+
+    def has_lost_writebacks(self, node: int) -> bool:
+        """True when a lost WRITEBACK was headed for this PNG node."""
+        return any(loss.dst == node and loss.kind == "writeback"
+                   for loss in self._losses)
+
+    def take_lost_writebacks(self, node: int) -> list[LostPacket]:
+        """Remove and return the lost write-backs destined to a node."""
+        taken = [loss for loss in self._losses
+                 if loss.dst == node and loss.kind == "writeback"]
+        if taken:
+            self._losses = [loss for loss in self._losses
+                            if not (loss.dst == node
+                                    and loss.kind == "writeback")]
+        return taken
+
+    # ------------------------------------------------------------------
+    # tracer hook + checkpoint support
+    # ------------------------------------------------------------------
+
+    def _emit_fault(self, cycle: int, model: str, track: str,
+                    args: dict) -> None:
+        if self._tracer is not None:
+            self._tracer.fault_inject(cycle, model, track, args)
+
+    def state_dict(self) -> dict:
+        """Picklable ledger/counter state for a checkpoint.
+
+        The RNG needs no state (it is a pure function of seed x site);
+        only the counters, the loss ledger and the degradation records
+        accumulate.
+        """
+        return {"stats": FaultStats(**self.stats.as_dict()),
+                "degraded": list(self.degraded),
+                "losses": list(self._losses),
+                "stuck": dict(self._stuck)}
+
+    def load_state(self, state: dict) -> None:
+        self.stats = FaultStats(**state["stats"].as_dict())
+        self.degraded = list(state["degraded"])
+        self._losses = list(state["losses"])
+        self._stuck = dict(state["stuck"])

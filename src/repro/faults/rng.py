@@ -1,0 +1,105 @@
+"""Counter-based deterministic RNG for fault injection.
+
+Fault injection must not perturb the simulator's bit-identity contract:
+serial, parallel, skip-ahead and resumed runs of the same configuration
+must inject *exactly* the same faults at the same sites.  A stateful
+generator (``random.Random``, ``numpy.random``) cannot give that — the
+draw sequence depends on execution order, which differs between a serial
+run and a process-pool worker, and its hidden state would have to ride
+along in every checkpoint.
+
+:class:`DeterministicRNG` is therefore counter-based (splitmix64): every
+draw is a pure function of ``seed x site-key``, where the site key is a
+tuple of integers identifying the injection site (site constant, agent
+id, cycle, address...).  There is no hidden state, so:
+
+* the same (seed, site) always yields the same draw, regardless of how
+  many other draws happened before it or in which process;
+* checkpoints need not store RNG state at all;
+* skip-ahead cannot drift the stream, because skipped cycles perform no
+  actions and therefore no draws.
+
+Site keys are integers only — never Python ``hash()`` of strings, which
+is salted per interpreter run (``PYTHONHASHSEED``) and would silently
+break cross-run reproducibility.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+_MASK64 = (1 << 64) - 1
+_GOLDEN = 0x9E3779B97F4A7C15
+_MIX1 = 0xBF58476D1CE4E5B9
+_MIX2 = 0x94D049BB133111EB
+#: 2**53 — draws are reduced to IEEE-double-exact uniforms in [0, 1).
+_DOUBLE_DENOM = float(1 << 53)
+
+
+def splitmix64(x: int) -> int:
+    """One splitmix64 output step on a 64-bit state (pure function)."""
+    x = (x + _GOLDEN) & _MASK64
+    x ^= x >> 30
+    x = (x * _MIX1) & _MASK64
+    x ^= x >> 27
+    x = (x * _MIX2) & _MASK64
+    x ^= x >> 31
+    return x
+
+
+def pass_salt(map_index: int, sub_pass: int = 0) -> int:
+    """Stable per-pass salt from the (map, sub-pass) identity.
+
+    Mixed into every transient fault draw so structurally identical
+    passes (conv output maps) see independent fault patterns.  Derived
+    from the pass's *logical* identity, never from execution order, so
+    serial, parallel and resumed runs agree on every pass's salt.
+    """
+    return splitmix64(splitmix64(int(map_index) + 1) ^ (int(sub_pass) + 1))
+
+
+class DeterministicRNG:
+    """Stateless keyed RNG: each draw is ``f(seed, *key_ints)``.
+
+    Args:
+        seed: the run-level fault seed (any int; reduced mod 2**64).
+    """
+
+    __slots__ = ("seed",)
+
+    def __init__(self, seed: int) -> None:
+        self.seed = int(seed) & _MASK64
+
+    def _mix(self, keys: tuple[int, ...]) -> int:
+        """64-bit digest of the seed and the site key chain."""
+        x = splitmix64(self.seed)
+        for key in keys:
+            x = splitmix64(x ^ (int(key) & _MASK64))
+        return x
+
+    def raw64(self, *keys: int) -> int:
+        """The raw 64-bit draw for a site key."""
+        return self._mix(keys)
+
+    def uniform(self, *keys: int) -> float:
+        """Uniform double in [0, 1) for a site key (53-bit mantissa)."""
+        return (self._mix(keys) >> 11) / _DOUBLE_DENOM
+
+    def bernoulli(self, p: float, *keys: int) -> bool:
+        """One biased coin flip; ``p <= 0`` never draws (fast path)."""
+        if p <= 0.0:
+            return False
+        if p >= 1.0:
+            return True
+        return self.uniform(*keys) < p
+
+    def randint(self, n: int, *keys: int) -> int:
+        """Uniform int in [0, n).  Modulo reduction of a 64-bit draw;
+        the bias is < n / 2**64, irrelevant for the small ``n`` (bit
+        positions, jitter spans) used at injection sites."""
+        if n < 1:
+            raise ConfigurationError(f"randint needs n >= 1, got {n}")
+        return self._mix(keys) % n
+
+    def __repr__(self) -> str:
+        return f"DeterministicRNG(seed={self.seed:#x})"

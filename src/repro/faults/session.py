@@ -1,0 +1,93 @@
+"""Ambient fault and checkpoint sessions.
+
+Mirrors :class:`repro.obs.session.TraceSession`: a context manager that
+makes a fault configuration (or checkpoint policy) ambient, so the
+experiment runner's ``--faults`` / ``--checkpoint-every`` flags work
+without threading parameters through every experiment.  While a
+:class:`FaultSession` is active, every descriptor run that was not given
+an explicit fault config injects with the session's; finished runs
+register their fault counters and degradation records here.
+
+Sessions are resolved *once*, at descriptor-run entry, into explicit
+arguments — ambient state never crosses the process-pool boundary, so a
+parallel run behaves identically to a serial one.
+
+Sessions nest; the innermost active session wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.faults.checkpoint import CheckpointSpec
+from repro.faults.config import FaultConfig
+from repro.faults.injector import DegradedResult, FaultStats
+
+_ACTIVE_FAULTS: list["FaultSession"] = []
+_ACTIVE_CHECKPOINTS: list["CheckpointSession"] = []
+
+
+def current_fault_session() -> FaultSession | None:
+    """The innermost active fault session, or None."""
+    return _ACTIVE_FAULTS[-1] if _ACTIVE_FAULTS else None
+
+
+def current_checkpoint_session() -> CheckpointSession | None:
+    """The innermost active checkpoint session, or None."""
+    return _ACTIVE_CHECKPOINTS[-1] if _ACTIVE_CHECKPOINTS else None
+
+
+@dataclass
+class CapturedFaults:
+    """Fault outcome of one descriptor run captured by a session."""
+
+    label: str
+    stats: FaultStats
+    degraded: tuple[DegradedResult, ...]
+
+
+@dataclass
+class FaultSession:
+    """Makes a :class:`FaultConfig` ambient and collects run outcomes.
+
+    Attributes:
+        config: fault configuration applied to captured runs.
+        runs: fault outcomes in execution order.
+    """
+
+    config: FaultConfig = field(default_factory=FaultConfig)
+    runs: list[CapturedFaults] = field(default_factory=list)
+
+    def __enter__(self) -> FaultSession:
+        _ACTIVE_FAULTS.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _ACTIVE_FAULTS.remove(self)
+
+    def add_run(self, label: str, stats: FaultStats,
+                degraded: tuple[DegradedResult, ...]) -> None:
+        """Register one finished descriptor run (simulator callback)."""
+        self.runs.append(CapturedFaults(label=label, stats=stats,
+                                        degraded=degraded))
+
+    def total_stats(self) -> FaultStats:
+        """All captured runs' counters folded in run order."""
+        total = FaultStats()
+        for run in self.runs:
+            total.merge(run.stats)
+        return total
+
+
+@dataclass
+class CheckpointSession:
+    """Makes a :class:`CheckpointSpec` ambient for descriptor runs."""
+
+    spec: CheckpointSpec
+
+    def __enter__(self) -> CheckpointSession:
+        _ACTIVE_CHECKPOINTS.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _ACTIVE_CHECKPOINTS.remove(self)

@@ -52,10 +52,15 @@ class VaultChannel:
         tracer: optional :class:`repro.obs.Tracer`; when set, every word
             read issue emits a ``vault.read`` span covering the access
             latency.  None (the default) keeps the issue loop hook-free.
+        injector: optional :class:`repro.faults.FaultInjector`; when
+            set, issued reads may complete late (latency jitter).  DRAM
+            bit-flips are applied downstream, at the PNG's packetise
+            step, where per-item addresses are known.
     """
 
     def __init__(self, timing: ChannelTiming, vault_id: int = 0,
-                 data: np.ndarray | None = None, tracer=None) -> None:
+                 data: np.ndarray | None = None, tracer=None,
+                 injector=None) -> None:
         if timing.word_bits % ITEM_BITS:
             raise ConfigurationError(
                 f"word size {timing.word_bits} not a multiple of the "
@@ -63,6 +68,7 @@ class VaultChannel:
         self.timing = timing
         self.vault_id = vault_id
         self.tracer = tracer
+        self.injector = injector
         self.data = None if data is None else np.asarray(data, dtype=np.int64)
         self.items_per_word = timing.word_bits // ITEM_BITS
         self.cycle = 0
@@ -205,6 +211,12 @@ class VaultChannel:
             self._issue_credit -= 1.0
             address, tag = self._queue.popleft()
             completed = self.cycle + self.timing.access_latency_cycles
+            if self.injector is not None:
+                # Latency jitter: the read completes late.  Completion
+                # stays in issue order (the head of the in-flight queue
+                # gates the pop loop), so jitter is purely a delay.
+                completed += self.injector.read_extra_latency(
+                    self.vault_id, self.cycle, address)
             self._in_flight.append(CompletedRead(
                 address=address, items=self._read_items(address), tag=tag,
                 issued_cycle=self.cycle, completed_cycle=completed))
@@ -234,6 +246,39 @@ class VaultChannel:
             out.extend(self.step())
         raise SimulationError(
             f"vault {self.vault_id} did not drain within {max_cycles} cycles")
+
+    def state_dict(self) -> dict:
+        """Picklable snapshot for checkpointing.
+
+        The backing data array is copied (write-backs mutate it), and
+        restored *in place* on load — PNG sinks and readers hold a
+        reference to the live array.
+        """
+        return {
+            "cycle": self.cycle,
+            "queue": tuple(self._queue),
+            "in_flight": tuple(self._in_flight),
+            "burst_pos": self._burst_pos,
+            "gap_remaining": self._gap_remaining,
+            "issue_credit": self._issue_credit,
+            "words_served": self.words_served,
+            "busy_cycles": self.busy_cycles,
+            "stall_cycles": self.stall_cycles,
+            "data": None if self.data is None else self.data.copy(),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.cycle = state["cycle"]
+        self._queue = deque(state["queue"])
+        self._in_flight = deque(state["in_flight"])
+        self._burst_pos = state["burst_pos"]
+        self._gap_remaining = state["gap_remaining"]
+        self._issue_credit = state["issue_credit"]
+        self.words_served = state["words_served"]
+        self.busy_cycles = state["busy_cycles"]
+        self.stall_cycles = state["stall_cycles"]
+        if state["data"] is not None and self.data is not None:
+            self.data[:] = state["data"]
 
     def write_items(self, address: int, items) -> None:
         """Store raw items into the backing array (write-back path).

@@ -50,6 +50,14 @@ class RotatingPriorityArbiter:
         """The input currently holding top priority."""
         return self._head
 
+    def state_dict(self) -> dict:
+        """Picklable snapshot for checkpointing."""
+        return {"head": self._head, "grants": self.grants}
+
+    def load_state(self, state: dict) -> None:
+        self._head = state["head"]
+        self.grants = state["grants"]
+
     def grant(self, requests: Iterable[int] | Sequence[bool]) -> int | None:
         """Pick the winning input for this cycle, or None if no requests.
 

@@ -69,6 +69,18 @@ class CreditedBuffer:
                 f"pop on empty buffer {self.label or id(self)}")
         return self._fifo.popleft()
 
+    def state_dict(self) -> dict:
+        """Picklable snapshot (packets are frozen dataclasses)."""
+        return {"fifo": tuple(self._fifo),
+                "peak_occupancy": self.peak_occupancy,
+                "total_pushed": self.total_pushed}
+
+    def load_state(self, state: dict) -> None:
+        self._fifo.clear()
+        self._fifo.extend(state["fifo"])
+        self.peak_occupancy = state["peak_occupancy"]
+        self.total_pushed = state["total_pushed"]
+
     def __len__(self) -> int:
         return len(self._fifo)
 

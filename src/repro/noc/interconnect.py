@@ -14,7 +14,7 @@ mirror image from the output buffers.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.noc.buffer import DEFAULT_DEPTH
@@ -37,6 +37,8 @@ class NocStats:
         total_latency: sum over delivered packets of (eject - inject)
             cycles, for mean-latency reporting.
         rejected_injections: injection attempts bounced for lack of space.
+        dropped: packets permanently lost in the fabric (link retry
+            budget exhausted under fault injection; always 0 otherwise).
     """
 
     injected: int = 0
@@ -45,6 +47,7 @@ class NocStats:
     link_traversals: int = 0
     total_latency: int = 0
     rejected_injections: int = 0
+    dropped: int = 0
     _cycle: int = field(default=0, repr=False)
 
     @property
@@ -64,11 +67,18 @@ class Interconnect:
 
     def __init__(self, topology: Topology,
                  buffer_depth: int = DEFAULT_DEPTH,
-                 local_rate: int = 2, tracer=None) -> None:
+                 local_rate: int = 2, tracer=None,
+                 injector=None) -> None:
         self.topology = topology
         self.cycle = 0
         self.local_rate = local_rate
         self.tracer = tracer
+        # Optional repro.faults.FaultInjector.  The faulted link stage
+        # only replaces the plain one when link fault rates are nonzero,
+        # so a rate-0 injector leaves the cycle behaviour untouched.
+        self.injector = injector
+        self._links_faulted = (injector is not None
+                               and injector.noc_active)
         self.stats = NocStats()
         self.routers = [
             Router(node, topology.link_ports(node),
@@ -91,6 +101,11 @@ class Interconnect:
         self._link_labels = [
             f"{src.node_id}->{dst.node_id}"
             for src, _, dst, _ in self._links]
+        # Link retry protocol state (fault injection only): per link,
+        # retransmissions already consumed by the head packet, and the
+        # cycle its next transmission attempt is allowed (backoff).
+        self._link_retries = [0] * len(self._links)
+        self._link_blocked_until = [0] * len(self._links)
 
     def _route_fn(self, node: int):
         return lambda packet: self.topology.next_port(node, packet)
@@ -164,7 +179,9 @@ class Interconnect:
             for router in self.routers:
                 router.advance_idle(1)
             return
-        if self.tracer is None:
+        if self._links_faulted:
+            self._step_links_faulted()
+        elif self.tracer is None:
             # Hook-free hot path: the traced loop below is identical but
             # pays a label lookup per move, which the untraced fabric
             # must not.
@@ -182,6 +199,84 @@ class Interconnect:
                     self.tracer.noc_hop(self.cycle, label)
         for router in self.routers:
             router.switch()
+
+    def _step_links_faulted(self) -> None:
+        """One link-stage cycle under the CRC/retry/timeout protocol.
+
+        Per link and cycle, at most one transmission attempt; the fault
+        RNG keys each attempt by (link index, cycle), so retransmissions
+        on later cycles draw independently.  A corrupted flit is caught
+        by the receiver's CRC check (when the packet is stamped) and a
+        dropped flit by the sender's ack timeout; both leave the packet
+        at the head of the upstream buffer and schedule a retransmission
+        after exponential backoff.  A packet that exhausts its retry
+        budget is removed and recorded on the injector's loss ledger —
+        the fabric degrades instead of wedging.
+        """
+        injector = self.injector
+        config = injector.config
+        for index, (output, target) in enumerate(self._link_buffers):
+            if output.empty or not target.has_space:
+                continue
+            if self.cycle < self._link_blocked_until[index]:
+                continue
+            fault = injector.link_fault(index, self.cycle)
+            if fault is None:
+                target.push(output.pop())
+                self.stats.link_traversals += 1
+                self._link_retries[index] = 0
+                if self.tracer is not None:
+                    self.tracer.noc_hop(self.cycle,
+                                        self._link_labels[index])
+                continue
+            label = self._link_labels[index]
+            packet = output.peek()
+            if fault == "corrupt":
+                injector.stats.link_corruptions += 1
+                corrupted = replace(
+                    packet, payload=injector.corrupt_payload(
+                        index, self.cycle, packet.payload))
+                if corrupted.crc_ok():
+                    # No CRC stamp (crc=False): the corruption is
+                    # undetectable and the damaged payload propagates.
+                    target.push(corrupted)
+                    output.pop()
+                    self.stats.link_traversals += 1
+                    injector.stats.link_silent_corruptions += 1
+                    self._link_retries[index] = 0
+                    if self.tracer is not None:
+                        self.tracer.fault_inject(
+                            self.cycle, "noc.silent_corrupt",
+                            f"noc/{label}", {"op": packet.op_id})
+                    continue
+            else:
+                injector.stats.link_drops += 1
+            # Detected failure: corrupt caught by the receiver CRC, drop
+            # by the sender's ack timeout (one extra backoff period).
+            consumed = self._link_retries[index]
+            if consumed >= config.max_retries:
+                output.pop()
+                self.stats.dropped += 1
+                self._link_retries[index] = 0
+                injector.record_loss(self.cycle, packet, label)
+                if self.tracer is not None:
+                    self.tracer.noc_retry(self.cycle, label,
+                                          {"op": packet.op_id,
+                                           "outcome": "lost",
+                                           "retries": consumed})
+                continue
+            self._link_retries[index] = consumed + 1
+            injector.stats.retries += 1
+            backoff = config.retry_backoff * (2 ** consumed)
+            if fault == "drop":
+                backoff += config.retry_backoff
+            self._link_blocked_until[index] = self.cycle + backoff
+            if self.tracer is not None:
+                self.tracer.noc_retry(self.cycle, label,
+                                      {"op": packet.op_id,
+                                       "outcome": fault,
+                                       "retry": consumed + 1,
+                                       "backoff": backoff})
 
     def skip(self, cycles: int) -> None:
         """Advance ``cycles`` empty-fabric cycles at once.
@@ -203,10 +298,53 @@ class Interconnect:
         """Packets currently inside the fabric, O(1).
 
         Every packet enters through :meth:`inject` and leaves through
-        :meth:`eject`, so the difference of those counters is the live
-        population (equal to :attr:`occupancy`, without walking buffers).
+        :meth:`eject` — or, under fault injection, is removed as lost —
+        so the counter difference is the live population (equal to
+        :attr:`occupancy`, without walking buffers).
         """
-        return self.stats.injected - self.stats.delivered
+        return (self.stats.injected - self.stats.delivered
+                - self.stats.dropped)
+
+    def retry_diagnostics(self) -> list[str]:
+        """Human-readable pending retry/backoff state, for stall reports.
+
+        Lets a fault-induced stall be distinguished from a plan bug: a
+        link mid-backoff or a recorded permanent loss shows up here.
+        """
+        lines: list[str] = []
+        for index, label in enumerate(self._link_labels):
+            retries = self._link_retries[index]
+            blocked = self._link_blocked_until[index]
+            if retries or blocked > self.cycle:
+                head = (repr(self._link_buffers[index][0].peek())
+                        if not self._link_buffers[index][0].empty
+                        else "<empty>")
+                lines.append(
+                    f"link {label}: retries={retries} "
+                    f"blocked_until={blocked} head={head}")
+        if self.injector is not None:
+            lines.extend(f"lost: {loss.describe()}"
+                         for loss in self.injector.pending_losses())
+        return lines
+
+    def state_dict(self) -> dict:
+        """Picklable snapshot of the whole fabric for checkpointing."""
+        return {
+            "cycle": self.cycle,
+            "stats": replace(self.stats),
+            "routers": [router.state_dict() for router in self.routers],
+            "link_retries": list(self._link_retries),
+            "link_blocked_until": list(self._link_blocked_until),
+        }
+
+    def load_state(self, state: dict) -> None:
+        self.cycle = state["cycle"]
+        self.stats = replace(state["stats"])
+        for router, payload in zip(self.routers, state["routers"],
+                                   strict=True):
+            router.load_state(payload)
+        self._link_retries = list(state["link_retries"])
+        self._link_blocked_until = list(state["link_blocked_until"])
 
     @property
     def busy(self) -> bool:

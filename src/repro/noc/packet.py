@@ -17,6 +17,9 @@ from repro.errors import ConfigurationError
 #: Router datapath / flit width in bits (Table II "Router" row).
 FLIT_BITS = 36
 
+#: CRC-8/ATM generator polynomial (x^8 + x^2 + x + 1).
+CRC8_POLY = 0x07
+
 _sequence = itertools.count()
 
 
@@ -29,6 +32,33 @@ class PacketKind(enum.Enum):
     STATE = "state"
     #: a computed output state returning from a PE to its home PNG.
     WRITEBACK = "writeback"
+
+
+#: Stable 2-bit wire encoding of the packet kind for the CRC input.
+_KIND_CODE = {PacketKind.WEIGHT: 0, PacketKind.STATE: 1,
+              PacketKind.WRITEBACK: 2}
+
+
+def packet_crc(src: int, dst: int, mac_id: int, op_id: int,
+               kind: PacketKind, payload: int) -> int:
+    """CRC-8 over a packet's wire fields (header + 16-bit payload).
+
+    Used by the fault-injection link protocol: the sender stamps the
+    packet at creation, the receiving link port recomputes and compares.
+    CRC-8 detects every single-bit payload corruption, so with
+    ``crc=True`` a corrupted flit always turns into a retry rather than
+    silent data corruption.
+    """
+    data = bytes((src & 0xF, dst & 0xF, mac_id & 0xF, op_id & 0xFF,
+                  _KIND_CODE[kind], (payload >> 8) & 0xFF,
+                  payload & 0xFF))
+    crc = 0
+    for byte in data:
+        crc ^= byte
+        for _ in range(8):
+            crc = ((crc << 1) ^ CRC8_POLY if crc & 0x80
+                   else crc << 1) & 0xFF
+    return crc
 
 
 @dataclass(frozen=True)
@@ -47,6 +77,10 @@ class Packet:
         neuron: opaque tag identifying the output neuron (functional mode
             bookkeeping; not a hardware field).
         inject_cycle: cycle the packet entered the NoC (for latency stats).
+        crc: CRC-8 stamp over the wire fields (:func:`packet_crc`), or
+            None when the link CRC protocol is off.  Stamped at packet
+            creation; a link corruption flips payload bits *without*
+            restamping, which is exactly what the receiver detects.
         serial: global creation order, used only for deterministic
             tie-breaking in tests.
     """
@@ -59,7 +93,16 @@ class Packet:
     payload: int = 0
     neuron: object = None
     inject_cycle: int = 0
+    crc: int | None = None
     serial: int = field(default_factory=lambda: next(_sequence))
+
+    def crc_ok(self) -> bool:
+        """Recompute the CRC and compare (True when unstamped)."""
+        if self.crc is None:
+            return True
+        return self.crc == packet_crc(self.src, self.dst, self.mac_id,
+                                      self.op_id_field, self.kind,
+                                      self.payload & 0xFFFF)
 
     def __post_init__(self) -> None:
         if self.src < 0 or self.dst < 0:

@@ -156,5 +156,28 @@ class Router:
                        self.outputs[port].occupancy)
                 for port in self.ports}
 
+    def state_dict(self) -> dict:
+        """Picklable snapshot: buffers, arbiters, pending rotations."""
+        return {
+            "inputs": {port: b.state_dict()
+                       for port, b in self.inputs.items()},
+            "outputs": {port: b.state_dict()
+                        for port, b in self.outputs.items()},
+            "arbiters": {port: a.state_dict()
+                         for port, a in self._arbiters.items()},
+            "pending_rotations": self._pending_rotations,
+            "switched_packets": self.switched_packets,
+        }
+
+    def load_state(self, state: dict) -> None:
+        for port, payload in state["inputs"].items():
+            self.inputs[port].load_state(payload)
+        for port, payload in state["outputs"].items():
+            self.outputs[port].load_state(payload)
+        for port, payload in state["arbiters"].items():
+            self._arbiters[port].load_state(payload)
+        self._pending_rotations = state["pending_rotations"]
+        self.switched_packets = state["switched_packets"]
+
     def __repr__(self) -> str:
         return f"Router(node={self.node_id}, occupancy={self.occupancy})"

@@ -42,12 +42,19 @@ CACHE_PARK = "cache.park"
 CACHE_EVICT = "cache.evict"
 #: the simulator skipped a quiescent stretch in one jump.
 SKIP_AHEAD = "sim.skip"
+#: one fault was injected (DRAM flip, link transient, jitter, stuck MAC).
+FAULT_INJECT = "fault.inject"
+#: the link retry protocol acted (retransmission scheduled or packet lost).
+NOC_RETRY = "noc.retry"
+#: the simulator saved (or resumed from) a cycle checkpoint.
+SIM_CHECKPOINT = "sim.checkpoint"
 
 #: Events drawn as spans (Chrome ``ph: "X"``); the rest are instants.
 SPAN_KINDS = frozenset({VAULT_READ, MAC_FIRE, SKIP_AHEAD})
 
 ALL_KINDS = (PNG_INJECT, NOC_HOP, NOC_DELIVER, VAULT_READ, MAC_FIRE,
-             CACHE_PARK, CACHE_EVICT, SKIP_AHEAD)
+             CACHE_PARK, CACHE_EVICT, SKIP_AHEAD, FAULT_INJECT,
+             NOC_RETRY, SIM_CHECKPOINT)
 
 
 @dataclass(frozen=True)
@@ -250,6 +257,24 @@ class Tracer:
     def skip_ahead(self, cycle: int, jump: int) -> None:
         """The simulator jumped ``jump`` quiescent cycles at ``cycle``."""
         self._emit(SKIP_AHEAD, cycle, jump, "sim", {"jump": jump})
+
+    def fault_inject(self, cycle: int, model: str, track: str,
+                     args: dict | None = None) -> None:
+        """One fault injected by a :class:`repro.faults.FaultInjector`."""
+        payload = {"model": model}
+        if args:
+            payload.update(args)
+        self._emit(FAULT_INJECT, cycle, 0, track, payload)
+
+    def noc_retry(self, cycle: int, link: str,
+                  args: dict | None = None) -> None:
+        """The link retry protocol scheduled a retransmission or gave up."""
+        self._emit(NOC_RETRY, cycle, 0, f"noc/{link}", args)
+
+    def sim_checkpoint(self, cycle: int, action: str, label: str) -> None:
+        """A checkpoint was saved (``action="save"``) or resumed from."""
+        self._emit(SIM_CHECKPOINT, cycle, 0, "sim",
+                   {"action": action, "label": label})
 
     # -- counter sampling -----------------------------------------------
 

@@ -34,7 +34,10 @@ def test_nclint_exit_one_and_json_on_violation(tmp_path, capsys):
     assert "NC101" in capsys.readouterr().out
     report = json.loads(report_path.read_text())
     assert report["kind"] == "nclint-report"
-    assert report["violation_count"] == 1
+    # `import random` trips both the entropy ban (NC101) and the
+    # ambient-RNG rule (NC108).
+    assert report["violation_count"] == 2
+    assert set(report["counts_by_code"]) == {"NC101", "NC108"}
 
 
 def test_nclint_select_limits_rules(tmp_path):

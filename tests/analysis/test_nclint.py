@@ -27,7 +27,7 @@ def test_rule_registry_is_populated():
     catalogue = nclint.rule_catalogue()
     got = {entry["code"] for entry in catalogue}
     assert {"NC101", "NC102", "NC103", "NC104", "NC105", "NC106",
-            "NC107"} <= got
+            "NC107", "NC108"} <= got
     # Every entry documents itself.
     for entry in catalogue:
         assert entry["title"] and entry["rationale"]
@@ -175,6 +175,54 @@ def test_nc107_silent_on_typed_raise():
             if x < 0:
                 raise ConfigurationError(f"negative {x}")
         """)
+
+
+# -- NC108: ambient RNG ----------------------------------------------------
+
+def test_nc108_fires_on_random_import():
+    # Both rules fire: NC101 bans the import as entropy, NC108 points at
+    # the deterministic replacement.
+    assert {"NC101", "NC108"} <= codes("import random\n")
+
+
+def test_nc108_fires_on_numpy_random_from_import():
+    assert "NC108" in codes("from numpy.random import default_rng\n")
+
+
+def test_nc108_fires_on_from_numpy_import_random():
+    assert "NC108" in codes("from numpy import random\n")
+
+
+def test_nc108_fires_on_aliased_import():
+    assert "NC108" in codes("import numpy.random as npr\n")
+
+
+def test_nc108_fires_on_from_random_import_name():
+    assert "NC108" in codes("from random import gauss\n")
+
+
+def test_nc108_applies_to_faults_package():
+    assert "NC108" in codes("import random\n",
+                            module="repro.faults.injector")
+
+
+def test_nc108_silent_on_deterministic_rng():
+    assert "NC108" not in codes(
+        "from repro.faults.rng import DeterministicRNG\n",
+        module="repro.faults.injector")
+
+
+def test_nc108_silent_outside_cycle_model():
+    assert "NC108" not in codes("import numpy.random\n",
+                                module="repro.experiments.fig_resilience")
+
+
+def test_nc108_pragma_waives_with_reason():
+    source = """
+        # nclint: allow(NC101,NC108) host-side shuffling only
+        import random
+        """
+    assert codes(source) == set()
 
 
 # -- machinery -------------------------------------------------------------

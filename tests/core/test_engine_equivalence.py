@@ -172,9 +172,11 @@ class TestMemoizationEquivalence:
         simulated = []
         real = parallel_mod.run_map_task
 
-        def counting(config_, desc, lut, functional, task, trace=None):
+        def counting(config_, desc, lut, functional, task, trace=None,
+                     **kwargs):
             simulated.append(task.index)
-            return real(config_, desc, lut, functional, task, trace=trace)
+            return real(config_, desc, lut, functional, task, trace=trace,
+                        **kwargs)
 
         monkeypatch.setattr(parallel_mod, "run_map_task", counting)
         run = self._timing_run(config, out_maps=4)
@@ -192,9 +194,11 @@ class TestMemoizationEquivalence:
         simulated = []
         real = parallel_mod.run_map_task
 
-        def counting(config_, desc, lut, functional, task, trace=None):
+        def counting(config_, desc, lut, functional, task, trace=None,
+                     **kwargs):
             simulated.append(task.index)
-            return real(config_, desc, lut, functional, task, trace=trace)
+            return real(config_, desc, lut, functional, task, trace=trace,
+                        **kwargs)
 
         monkeypatch.setattr(parallel_mod, "run_map_task", counting)
         net = models.single_conv_layer(10, 10, 3, out_maps=4,
@@ -212,9 +216,11 @@ class TestMemoizationEquivalence:
         simulated = []
         real = parallel_mod.run_map_task
 
-        def counting(config_, desc, lut, functional, task, trace=None):
+        def counting(config_, desc, lut, functional, task, trace=None,
+                     **kwargs):
             simulated.append(task.index)
-            return real(config_, desc, lut, functional, task, trace=trace)
+            return real(config_, desc, lut, functional, task, trace=trace,
+                        **kwargs)
 
         monkeypatch.setattr(parallel_mod, "run_map_task", counting)
         self._timing_run(dataclasses.replace(config, sim_memoize=False),

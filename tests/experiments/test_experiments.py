@@ -13,6 +13,7 @@ from repro.experiments import (
     fig14_nn_params,
     fig15_memory_noc,
     fig17_thermal,
+    fig_resilience,
     table1_memory_specs,
     table2_hardware,
     table3_comparison,
@@ -25,7 +26,7 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {"fig1", "fig9", "fig12", "fig13",
                                     "fig14", "fig15", "fig17", "table1",
                                     "table2", "table3", "ext_scaling",
-                                    "ext_lstm"}
+                                    "ext_lstm", "ext_resilience"}
 
     def test_lookup(self):
         assert get_experiment("fig12").exp_id == "fig12"
@@ -39,6 +40,40 @@ class TestRegistry:
 
     def test_runner_run(self, capsys):
         assert runner_main(["run", "table1"]) == 0
+        assert "HMC-Int" in capsys.readouterr().out
+
+    def test_runner_faults_flag(self, capsys):
+        """--faults wraps the run in an ambient FaultSession and prints
+        a counter summary to stderr (zero runs for a non-simulating
+        experiment — the plumbing is what's under test here)."""
+        assert runner_main(["run", "table1", "--faults",
+                            "seed=1,dram_bitflip_rate=1e-5"]) == 0
+        captured = capsys.readouterr()
+        assert "HMC-Int" in captured.out
+        assert "[faults] table1:" in captured.err
+
+    def test_runner_faults_flag_rejects_bad_spec(self):
+        with pytest.raises(ConfigurationError):
+            runner_main(["run", "table1", "--faults", "bogus=1"])
+
+    def test_runner_checkpoint_flags(self, tmp_path, capsys):
+        """--checkpoint-every / --resume-from build the ambient
+        CheckpointSpec (resume wins the directory choice)."""
+        from repro.experiments import runner
+
+        spec = runner._checkpoint_spec(runner.build_parser().parse_args(
+            ["run", "table1", "--checkpoint-every", "100",
+             "--checkpoint-dir", str(tmp_path)]))
+        assert spec.every == 100 and not spec.resume
+        assert spec.directory == str(tmp_path)
+        spec = runner._checkpoint_spec(runner.build_parser().parse_args(
+            ["run", "table1", "--resume-from", str(tmp_path)]))
+        assert spec.resume and spec.directory == str(tmp_path)
+        assert runner._checkpoint_spec(
+            runner.build_parser().parse_args(["run", "table1"])) is None
+        # End to end: flags accepted, experiment still runs.
+        assert runner_main(["run", "table1", "--checkpoint-every", "50",
+                            "--checkpoint-dir", str(tmp_path)]) == 0
         assert "HMC-Int" in capsys.readouterr().out
 
 
@@ -191,6 +226,33 @@ class TestFig17:
                 > result.result_15nm.dram_max_k)
         assert (result.result_28nm.logic_max_k
                 < result.result_15nm.logic_max_k)
+
+
+class TestExtResilience:
+    """Reduced sweep (two BERs, no ECC axis) — the full grid is the
+    soak-marked test in tests/faults/test_soak.py."""
+
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig_resilience.run(bit_error_rates=(0.0, 1e-3),
+                                  ecc_modes=("none",))
+
+    def test_rate_zero_point_is_bit_identical(self, result):
+        zero = result.points_for("none")[0]
+        assert zero.ber == 0.0
+        assert zero.flip_events == 0
+        assert zero.mean_abs_error == 0.0
+        assert zero.top1_match
+
+    def test_high_ber_injects_and_drifts(self, result):
+        worst = result.points_for("none")[-1]
+        assert worst.flip_events > 0
+        assert worst.corrupted_items == worst.flip_events  # no ECC
+        assert worst.mean_abs_error > 0.0
+
+    def test_table_renders(self, result):
+        text = result.to_table()
+        assert "BER" in text and "mean|err|" in text
 
 
 class TestTables:

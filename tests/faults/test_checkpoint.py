@@ -1,0 +1,94 @@
+"""CheckpointSpec validation and the snapshot store's file protocol."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError, SimulationError
+from repro.faults import CheckpointSpec, CheckpointStore
+from repro.faults.checkpoint import CHECKPOINT_VERSION
+
+
+class TestSpec:
+    def test_periodic_save_spec(self):
+        spec = CheckpointSpec(directory="d", every=100)
+        assert not spec.resume
+
+    def test_resume_only_spec(self):
+        assert CheckpointSpec(directory="d", resume=True).every == 0
+
+    def test_needs_a_purpose(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointSpec(directory="d")
+
+    def test_negative_period_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointSpec(directory="d", every=-1)
+
+
+class TestStore:
+    def test_save_load_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        state = {"cycles": 50, "outputs": {("n", 1): 7}}
+        path = store.save("conv1.m0.s0", 50, state)
+        assert path.exists()
+        assert store.load("conv1.m0.s0", 50) == state
+
+    def test_latest_picks_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for cycle in (100, 50, 150):
+            store.save("p", cycle, {"cycle": cycle})
+        assert store.checkpoints("p") == [50, 100, 150]
+        assert store.latest("p") == 150
+        assert store.latest("other") is None
+
+    def test_labels_are_isolated(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("a.m0.s0", 10, {})
+        store.save("a.m1.s0", 20, {})
+        assert store.checkpoints("a.m0.s0") == [10]
+        assert store.checkpoints("a.m1.s0") == [20]
+
+    def test_missing_snapshot_raises(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(SimulationError, match="no checkpoint"):
+            store.load("p", 10)
+
+    def test_version_mismatch_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save("p", 10, {})
+        payload = pickle.loads(path.read_bytes())
+        payload["version"] = CHECKPOINT_VERSION + 1
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(SimulationError, match="version"):
+            store.load("p", 10)
+
+    def test_header_mismatch_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save("p", 10, {})
+        payload = pickle.loads(path.read_bytes())
+        payload["cycle"] = 999
+        path.write_bytes(pickle.dumps(payload))
+        with pytest.raises(SimulationError, match="header"):
+            store.load("p", 10)
+
+    def test_label_with_separators_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(ConfigurationError):
+            store.save("a@b", 10, {})
+        with pytest.raises(ConfigurationError):
+            store.save("a/b", 10, {})
+
+    def test_save_overwrites_atomically(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("p", 10, {"v": 1})
+        store.save("p", 10, {"v": 2})
+        assert store.load("p", 10) == {"v": 2}
+        assert not list(tmp_path.glob("*.tmp"))
+
+    def test_creates_directory(self, tmp_path):
+        nested = tmp_path / "a" / "b"
+        CheckpointStore(nested).save("p", 0, {})
+        assert nested.is_dir()

@@ -1,0 +1,96 @@
+"""FaultConfig validation, derived properties, and CLI spec parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import ECC_MODES, FaultConfig
+
+
+class TestValidation:
+    def test_defaults_are_all_zero_rates(self):
+        config = FaultConfig()
+        assert not config.any_rate
+        assert not config.noc_active
+
+    @pytest.mark.parametrize("name", [
+        "dram_bitflip_rate", "noc_corrupt_rate", "noc_drop_rate",
+        "vault_jitter_rate", "mac_stuck_rate",
+    ])
+    def test_rates_must_be_probabilities(self, name):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(**{name: 1.5})
+        with pytest.raises(ConfigurationError):
+            FaultConfig(**{name: -0.1})
+
+    def test_link_rates_must_not_sum_past_one(self):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(noc_corrupt_rate=0.6, noc_drop_rate=0.6)
+
+    def test_unknown_ecc_rejected(self):
+        assert set(ECC_MODES) == {"none", "secded"}
+        with pytest.raises(ConfigurationError):
+            FaultConfig(ecc="hamming")
+
+    @pytest.mark.parametrize("field,bad", [
+        ("vault_jitter_max", 0), ("max_retries", -1),
+        ("retry_backoff", 0), ("watchdog_cycles", -1),
+    ])
+    def test_protocol_knobs_validated(self, field, bad):
+        with pytest.raises(ConfigurationError):
+            FaultConfig(**{field: bad})
+
+
+class TestDerived:
+    def test_any_rate_sees_every_model(self):
+        for name in ("dram_bitflip_rate", "noc_corrupt_rate",
+                     "noc_drop_rate", "vault_jitter_rate",
+                     "mac_stuck_rate"):
+            assert FaultConfig(**{name: 0.1}).any_rate
+
+    def test_noc_active_only_for_link_models(self):
+        assert FaultConfig(noc_drop_rate=0.1).noc_active
+        assert FaultConfig(noc_corrupt_rate=0.1).noc_active
+        assert not FaultConfig(dram_bitflip_rate=0.1).noc_active
+
+    def test_with_replaces_and_revalidates(self):
+        config = FaultConfig(seed=5)
+        bumped = config.with_(dram_bitflip_rate=1e-4)
+        assert bumped.seed == 5 and bumped.dram_bitflip_rate == 1e-4
+        assert config.dram_bitflip_rate == 0.0  # frozen original
+        with pytest.raises(ConfigurationError):
+            config.with_(noc_drop_rate=2.0)
+
+
+class TestFromSpec:
+    def test_full_spec_round_trip(self):
+        config = FaultConfig.from_spec(
+            "seed=7, dram_bitflip_rate=1e-4, ecc=secded, crc=off, "
+            "max_retries=5")
+        assert config.seed == 7
+        assert config.dram_bitflip_rate == pytest.approx(1e-4)
+        assert config.ecc == "secded"
+        assert config.crc is False
+        assert config.max_retries == 5
+
+    def test_empty_spec_is_rate_zero_default(self):
+        assert FaultConfig.from_spec("") == FaultConfig()
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown fault"):
+            FaultConfig.from_spec("bitflips=1")
+
+    def test_missing_equals_rejected(self):
+        with pytest.raises(ConfigurationError, match="key=value"):
+            FaultConfig.from_spec("seed")
+
+    def test_bad_value_rejected_with_field_name(self):
+        with pytest.raises(ConfigurationError, match="seed"):
+            FaultConfig.from_spec("seed=lots")
+
+    def test_bool_coercion_vocabulary(self):
+        assert FaultConfig.from_spec("crc=true").crc is True
+        assert FaultConfig.from_spec("crc=0").crc is False
+        with pytest.raises(ConfigurationError):
+            FaultConfig.from_spec("crc=maybe")

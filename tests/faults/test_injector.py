@@ -1,0 +1,318 @@
+"""Unit tests of the fault models and the degradation ledger.
+
+Each model is tested as the pure function it is: the same (seed, salt,
+site) always produces the same fault, rates 0 and 1 hit their fast
+paths, and the ECC branches count (and mask) exactly what they claim.
+The write-back forgiveness path is driven directly through a stub PNG —
+with the current vault-local write-back mappings no link fault can reach
+it end-to-end, so the unit test is the coverage.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.png import NeurosequenceGenerator
+from repro.faults import FaultConfig
+from repro.faults.injector import (
+    ITEM_BITS,
+    DegradedResult,
+    FaultInjector,
+    FaultStats,
+    LostPacket,
+    _flip_bits,
+)
+from repro.noc.packet import Packet, PacketKind
+from repro.noc.routing import Port
+
+
+def make(config: FaultConfig, salt: int = 0) -> FaultInjector:
+    return FaultInjector(config, salt=salt)
+
+
+class TestFlipBits:
+    def test_single_bit(self):
+        assert _flip_bits(0, (0,)) == 1
+        assert _flip_bits(1, (0,)) == 0
+
+    def test_sign_bit_wraps_to_negative(self):
+        assert _flip_bits(0, (15,)) == -0x8000
+        assert _flip_bits(-0x8000, (15,)) == 0
+
+    def test_involution(self):
+        for raw in (-0x8000, -1, 0, 1, 0x7FFF, 1234):
+            assert _flip_bits(_flip_bits(raw, (3, 9)), (3, 9)) == raw
+
+
+class TestDramCorruption:
+    def test_rate_zero_is_hookless_identity(self):
+        injector = make(FaultConfig())
+        assert injector.corrupt_item(0, 10, 3, 0, 1234) == 1234
+        assert not injector.stats.any_injected
+
+    def test_deterministic_per_site(self):
+        config = FaultConfig(seed=9, dram_bitflip_rate=0.02)
+        a, b = make(config), make(config)
+        for address in range(400):
+            assert (a.corrupt_item(1, 5, address, 0, 777)
+                    == b.corrupt_item(1, 5, address, 0, 777))
+        assert a.stats.as_dict() == b.stats.as_dict()
+        assert a.stats.dram_flip_events > 0
+
+    def test_salt_decorrelates_passes(self):
+        config = FaultConfig(seed=9, dram_bitflip_rate=0.02)
+        a, b = make(config, salt=1), make(config, salt=2)
+        for address in range(400):
+            a.corrupt_item(1, 5, address, 0, 777)
+            b.corrupt_item(1, 5, address, 0, 777)
+        assert a.stats.as_dict() != b.stats.as_dict()
+
+    def _flip_sites_by_count(self, ecc: str):
+        """Map observed flip-bit counts to one example site each."""
+        config = FaultConfig(seed=4, dram_bitflip_rate=0.05, ecc=ecc)
+        injector = make(config)
+        sites = {}
+        last = 0
+        for address in range(20000):
+            out = injector.corrupt_item(2, 3, address, 0, 0x0F0F)
+            flipped = injector.stats.dram_bits_flipped
+            if flipped != last:
+                sites.setdefault(flipped - last, (address, out))
+                last = flipped
+            if {1, 2, 3} <= set(sites):
+                break
+        return injector, sites
+
+    def test_without_ecc_every_event_corrupts(self):
+        injector, sites = self._flip_sites_by_count("none")
+        assert {1, 2, 3} <= set(sites), "rate too low to exercise branches"
+        for n_flips, (_, out) in sites.items():
+            assert out != 0x0F0F
+        stats = injector.stats
+        assert stats.corrupted_items == stats.dram_flip_events
+        assert stats.ecc_corrected == stats.ecc_detected == 0
+
+    def test_secded_corrects_one_detects_two_misses_three(self):
+        injector, sites = self._flip_sites_by_count("secded")
+        assert {1, 2, 3} <= set(sites)
+        assert sites[1][1] == 0x0F0F  # corrected: raw unchanged
+        assert sites[2][1] == 0x0F0F  # detected + re-read: unchanged
+        assert sites[3][1] != 0x0F0F  # triple flip escapes SECDED
+        stats = injector.stats
+        assert stats.ecc_corrected > 0 and stats.ecc_detected > 0
+        assert stats.corrupted_items == (stats.dram_flip_events
+                                         - stats.ecc_corrected
+                                         - stats.ecc_detected)
+
+
+class TestVaultJitter:
+    def test_rate_one_always_jitters_within_span(self):
+        config = FaultConfig(seed=1, vault_jitter_rate=1.0,
+                             vault_jitter_max=4)
+        injector = make(config)
+        extras = [injector.read_extra_latency(0, cycle, 16)
+                  for cycle in range(200)]
+        assert all(1 <= extra <= 4 for extra in extras)
+        assert len(set(extras)) > 1
+        assert injector.stats.jitter_events == 200
+        assert injector.stats.jitter_cycles == sum(extras)
+
+    def test_rate_zero_never_draws(self):
+        injector = make(FaultConfig())
+        assert injector.read_extra_latency(0, 5, 16) == 0
+        assert injector.stats.jitter_events == 0
+
+    def test_deterministic(self):
+        config = FaultConfig(seed=8, vault_jitter_rate=0.3)
+        a, b = make(config), make(config)
+        for cycle in range(300):
+            assert (a.read_extra_latency(1, cycle, 7)
+                    == b.read_extra_latency(1, cycle, 7))
+
+
+class TestLinkFaults:
+    def test_outcome_partition(self):
+        config = FaultConfig(seed=6, noc_corrupt_rate=0.3,
+                             noc_drop_rate=0.3)
+        injector = make(config)
+        outcomes = [injector.link_fault(2, cycle)
+                    for cycle in range(2000)]
+        counts = {o: outcomes.count(o) for o in ("drop", "corrupt", None)}
+        assert 400 < counts["drop"] < 800
+        assert 400 < counts["corrupt"] < 800
+        assert counts[None] == 2000 - counts["drop"] - counts["corrupt"]
+
+    def test_pure_rates_hit_only_their_outcome(self):
+        drop = make(FaultConfig(noc_drop_rate=1.0))
+        assert all(drop.link_fault(0, c) == "drop" for c in range(50))
+        corrupt = make(FaultConfig(noc_corrupt_rate=1.0))
+        assert all(corrupt.link_fault(0, c) == "corrupt"
+                   for c in range(50))
+        clean = make(FaultConfig())
+        assert all(clean.link_fault(0, c) is None for c in range(50))
+
+    def test_corrupt_payload_flips_exactly_one_bit(self):
+        injector = make(FaultConfig(seed=3, noc_corrupt_rate=0.5))
+        for cycle in range(100):
+            out = injector.corrupt_payload(1, cycle, 0)
+            assert bin(out & 0xFFFF).count("1") == 1
+
+
+class TestStuckFaults:
+    def test_rate_one_breaks_every_lane_once(self):
+        injector = make(FaultConfig(seed=2, mac_stuck_rate=1.0))
+        faults = {(pe, lane): injector.stuck_fault(pe, lane)
+                  for pe in range(4) for lane in range(4)}
+        assert all(f is not None for f in faults.values())
+        assert injector.stats.stuck_lanes == 16
+        # Cached: re-query counts nothing new.
+        injector.stuck_fault(0, 0)
+        assert injector.stats.stuck_lanes == 16
+        bits = {f[0] for f in faults.values()}
+        assert bits <= set(range(ITEM_BITS))
+
+    def test_salt_independent_permanence(self):
+        """The same physical lane is broken identically in every pass."""
+        config = FaultConfig(seed=2, mac_stuck_rate=0.5)
+        a, b = make(config, salt=111), make(config, salt=222)
+        for pe in range(8):
+            for lane in range(4):
+                assert a.stuck_fault(pe, lane) == b.stuck_fault(pe, lane)
+
+    def test_apply_stuck_forces_the_bit(self):
+        injector = make(FaultConfig(seed=2, mac_stuck_rate=1.0))
+        bit, value = injector.stuck_fault(0, 0)
+        out = injector.apply_stuck(0, 0, 0 if value else -1)
+        assert ((out >> bit) & 1) == value
+        # Idempotent, and a no-op when the bit already matches.
+        applied = injector.stats.stuck_applied
+        assert injector.apply_stuck(0, 0, out) == out
+        assert injector.stats.stuck_applied == applied
+
+
+def _packet(kind: PacketKind, dst: int = 3, op_id: int = 7,
+            neuron=("n", 1)) -> Packet:
+    return Packet(src=0, dst=dst, mac_id=0, op_id=op_id, kind=kind,
+                  payload=5, neuron=neuron)
+
+
+class TestLossLedger:
+    def test_record_loss_counts_and_degrades(self):
+        injector = make(FaultConfig(noc_drop_rate=0.1))
+        loss = injector.record_loss(40, _packet(PacketKind.WEIGHT), "e2")
+        assert isinstance(loss, LostPacket)
+        assert injector.has_losses
+        assert injector.stats.packets_lost == 1
+        assert [d.kind for d in injector.degraded] == ["packet_lost"]
+        assert injector.degraded[0].neurons == (("n", 1),)
+
+    def test_loss_matching_and_resolution(self):
+        injector = make(FaultConfig(noc_drop_rate=0.1))
+        injector.record_loss(1, _packet(PacketKind.WEIGHT, dst=3,
+                                        op_id=7), "l")
+        injector.record_loss(2, _packet(PacketKind.STATE, dst=3,
+                                        op_id=9), "l")
+        assert injector.loss_matches(3, 7)
+        assert injector.loss_matches(3, 9)
+        assert not injector.loss_matches(3, 8)
+        assert not injector.loss_matches(2, 7)
+        injector.resolve_losses(3, 7)
+        assert not injector.loss_matches(3, 7)
+        assert injector.loss_matches(3, 9)  # untouched
+
+    def test_writeback_ledger_is_per_node(self):
+        injector = make(FaultConfig(noc_drop_rate=0.1))
+        injector.record_loss(1, _packet(PacketKind.WRITEBACK, dst=5), "l")
+        injector.record_loss(2, _packet(PacketKind.WEIGHT, dst=5), "l")
+        assert injector.has_lost_writebacks(5)
+        assert not injector.has_lost_writebacks(4)
+        taken = injector.take_lost_writebacks(5)
+        assert [loss.kind for loss in taken] == ["writeback"]
+        assert not injector.has_lost_writebacks(5)
+        assert injector.has_losses  # the weight loss remains
+
+    def test_state_round_trip(self):
+        config = FaultConfig(seed=2, noc_drop_rate=0.1,
+                             mac_stuck_rate=1.0)
+        injector = make(config)
+        injector.stuck_fault(0, 0)
+        injector.record_loss(9, _packet(PacketKind.WEIGHT), "l")
+        state = injector.state_dict()
+        restored = make(config)
+        restored.load_state(state)
+        assert restored.stats.as_dict() == injector.stats.as_dict()
+        assert restored.degraded == injector.degraded
+        assert restored.pending_losses() == injector.pending_losses()
+        assert restored.stuck_fault(0, 0) == injector.stuck_fault(0, 0)
+
+    def test_state_dict_is_a_snapshot_not_a_view(self):
+        injector = make(FaultConfig(noc_drop_rate=0.1))
+        state = injector.state_dict()
+        injector.record_loss(1, _packet(PacketKind.WEIGHT), "l")
+        assert state["losses"] == []
+        assert state["stats"].packets_lost == 0
+
+
+class TestFaultStats:
+    def test_merge_adds_every_counter(self):
+        a = FaultStats(retries=2, packets_lost=1)
+        b = FaultStats(retries=3, jitter_events=4)
+        a.merge(b)
+        assert a.retries == 5
+        assert a.packets_lost == 1
+        assert a.jitter_events == 4
+
+    def test_any_injected(self):
+        assert not FaultStats().any_injected
+        assert FaultStats(late_packets=1).any_injected
+
+    def test_as_dict_field_order_is_stable(self):
+        keys = list(FaultStats().as_dict())
+        assert keys[0] == "dram_flip_events"
+        assert "writebacks_forgiven" in keys
+
+
+# -- write-back forgiveness (stub PNG) --------------------------------------
+
+class _StubRouter:
+    def __init__(self):
+        self.outputs = {Port.MEM: None}
+
+
+class _StubInterconnect:
+    cycle = 42
+
+    def __init__(self):
+        self.routers = [_StubRouter()]
+
+
+class _StubVault:
+    busy = False
+    vault_id = 0
+
+
+def test_png_forgives_recorded_writeback_losses():
+    """A lost write-back decrements the PNG's expected count instead of
+    wedging layer-done, and the degradation lands on the ledger.
+
+    Driven directly: with the current mappings every write-back is
+    vault-local (it never crosses a faultable link), so this path cannot
+    be reached by link faults end to end — but a future mapping change
+    could, and the protocol must already be correct.
+    """
+    injector = make(FaultConfig(noc_drop_rate=0.1))
+    png = NeurosequenceGenerator(_StubVault(), 0, _StubInterconnect(),
+                                 injector=injector)
+    png.program(iter(()), expected_writebacks=1)
+    assert not png.done
+    injector.record_loss(
+        41, _packet(PacketKind.WRITEBACK, dst=0, neuron=("out", 3)), "l")
+    png._forgive_lost_writebacks()
+    assert png._expected_writebacks == 0
+    assert injector.stats.writebacks_forgiven == 1
+    forgiven = [d for d in injector.degraded
+                if d.kind == "writeback_forgiven"]
+    assert len(forgiven) == 1
+    assert isinstance(forgiven[0], DegradedResult)
+    assert forgiven[0].neurons == (("out", 3),)
+    assert not injector.has_lost_writebacks(0)

@@ -1,0 +1,104 @@
+"""The counter-based fault RNG: pure, keyed, and site-independent.
+
+Everything downstream (fault models, checkpoint/resume, parallel
+equivalence) leans on these properties, so they are tested directly:
+a draw is a pure function of (seed, site key), draws at different sites
+are independent, and there is no hidden state to drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.rng import DeterministicRNG, pass_salt, splitmix64
+
+
+class TestSplitmix64:
+    def test_published_first_output(self):
+        """State 0 must yield the published splitmix64 test vector."""
+        assert splitmix64(0) == 0xE220A8397B1DCDAF
+
+    def test_pinned_chained_outputs(self):
+        """Pin the output-fed-back-as-state chain this repo uses.
+
+        If this test breaks, every seeded fault campaign in the repo
+        re-rolls — treat these constants as part of the file format.
+        """
+        x, outputs = 0, []
+        for _ in range(3):
+            x = splitmix64(x)
+            outputs.append(x)
+        assert outputs == [0xE220A8397B1DCDAF,
+                           0xA706DD2F4D197E6F,
+                           0x238275BC38FCBE91]
+
+    def test_pure_function(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_stays_in_64_bits(self):
+        assert 0 <= splitmix64((1 << 64) - 1) < (1 << 64)
+
+
+class TestDeterministicRNG:
+    def test_same_site_same_draw_regardless_of_order(self):
+        rng = DeterministicRNG(7)
+        first = rng.uniform(1, 2, 3)
+        for keys in ((9, 9), (0,), (4, 4, 4, 4)):
+            rng.uniform(*keys)  # interleaved draws must not matter
+        assert rng.uniform(1, 2, 3) == first
+
+    def test_two_instances_agree(self):
+        a, b = DeterministicRNG(42), DeterministicRNG(42)
+        assert a.raw64(5, 6) == b.raw64(5, 6)
+
+    def test_seed_changes_draws(self):
+        assert (DeterministicRNG(1).raw64(5)
+                != DeterministicRNG(2).raw64(5))
+
+    def test_site_keys_are_positional(self):
+        rng = DeterministicRNG(0)
+        assert rng.raw64(1, 2) != rng.raw64(2, 1)
+
+    def test_uniform_range(self):
+        rng = DeterministicRNG(3)
+        draws = [rng.uniform(i) for i in range(1000)]
+        assert all(0.0 <= u < 1.0 for u in draws)
+        # Sanity: the stream is not degenerate.
+        assert 0.4 < sum(draws) / len(draws) < 0.6
+
+    def test_bernoulli_fast_paths_draw_nothing(self):
+        rng = DeterministicRNG(0)
+        assert rng.bernoulli(0.0, 1) is False
+        assert rng.bernoulli(-1.0, 1) is False
+        assert rng.bernoulli(1.0, 1) is True
+
+    def test_bernoulli_rate_tracks_probability(self):
+        rng = DeterministicRNG(9)
+        hits = sum(rng.bernoulli(0.25, 17, i) for i in range(4000))
+        assert 0.2 < hits / 4000 < 0.3
+
+    def test_randint_in_range_and_validated(self):
+        rng = DeterministicRNG(5)
+        assert all(0 <= rng.randint(16, i) < 16 for i in range(200))
+        with pytest.raises(ConfigurationError):
+            rng.randint(0, 1)
+
+    def test_negative_seed_is_reduced_not_rejected(self):
+        assert DeterministicRNG(-1).seed == (1 << 64) - 1
+
+
+class TestPassSalt:
+    def test_stable(self):
+        assert pass_salt(3, 1) == pass_salt(3, 1)
+
+    def test_distinct_per_map_and_sub_pass(self):
+        salts = {pass_salt(m, s) for m in range(8) for s in range(4)}
+        assert len(salts) == 32
+
+    def test_map_zero_sub_zero_is_not_trivial(self):
+        """The (0, 0) pass must not collapse to salt 0 — that would
+        alias it with the fc path's explicit salt=0... which is fine
+        only because fc and map passes never share a descriptor.  Still,
+        the salt must be a mixed value, not the raw index."""
+        assert pass_salt(0, 0) not in (0, 1)

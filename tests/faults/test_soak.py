@@ -1,0 +1,66 @@
+"""Soak campaigns: long seeded fault sweeps, excluded from the default
+matrix (``-m "not soak"`` in pyproject addopts; CI runs them in the
+fault-injection job with ``-m soak``)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import NeurocubeSimulator, compile_inference
+from repro.core.config import NeurocubeConfig
+from repro.experiments import fig_resilience
+from repro.faults import FaultConfig
+from repro.fixedpoint import quantize_float
+from repro.nn import models
+
+pytestmark = pytest.mark.soak
+
+
+def test_full_resilience_sweep_secded_holds():
+    """The full ext_resilience sweep: SECDED must keep the scaled-down
+    scene-labeling network bit-exact through every swept BER (no flip
+    escapes the per-item model below ~3 concurrent flips at these
+    rates), while the unprotected run degrades monotonically-ish."""
+    result = fig_resilience.run()
+    assert len(result.points) == 10
+    for point in result.points_for("secded"):
+        assert point.corrupted_items == 0
+        assert point.mean_abs_error == 0.0
+        assert point.top1_match
+    worst = result.points_for("none")[-1]
+    assert worst.ber == pytest.approx(1e-3)
+    assert worst.flip_events > 100
+    assert worst.corrupted_items == worst.flip_events
+    assert worst.mean_abs_error > 0.0
+
+
+def test_many_seed_loss_campaign_never_wedges():
+    """Thirty different drop campaigns with zero retry budget: every
+    one must terminate via graceful degradation (watchdog + ledger),
+    produce a full-shape output, and reproduce exactly on a second
+    run."""
+    config = NeurocubeConfig()
+    net = models.single_conv_layer(10, 10, 3, in_maps=1, out_maps=2,
+                                   seed=9)
+    desc = compile_inference(net, config, False).descriptors[0]
+    x = quantize_float(
+        np.random.default_rng(3).standard_normal((1, 10, 10)),
+        config.qformat)
+    clean = NeurocubeSimulator(config).run_descriptor(
+        desc, net.layers[0], x)
+    for seed in range(30):
+        faults = FaultConfig(seed=seed, noc_drop_rate=0.08,
+                             max_retries=0, watchdog_cycles=60,
+                             retry_backoff=1)
+        first = NeurocubeSimulator(config, faults=faults).run_descriptor(
+            desc, net.layers[0], x)
+        again = NeurocubeSimulator(config, faults=faults).run_descriptor(
+            desc, net.layers[0], x)
+        assert first.output.shape == clean.output.shape
+        assert first.cycles == again.cycles
+        np.testing.assert_array_equal(first.output, again.output)
+        assert (first.fault_stats.as_dict()
+                == again.fault_stats.as_dict())
+        if first.fault_stats.packets_lost:
+            assert first.degraded

@@ -11,22 +11,32 @@ TOOL = Path(__file__).resolve().parents[1] / "tools" / "bench_compare.py"
 
 
 def bench_json(times: dict[str, float],
-               rates: dict[str, float] | None = None) -> dict:
+               rates: dict[str, float] | None = None,
+               faults: dict[str, dict] | None = None) -> dict:
     """A minimal pytest-benchmark JSON document with given 'min' times.
 
     ``rates`` optionally attaches a ``simulated_cycles_per_second``
-    extra_info entry per benchmark.
+    extra_info entry per benchmark; ``faults`` a ``fault_counters``
+    dict (as the ``record_fault_counters`` benchmark fixture does).
     """
     rates = rates or {}
+    faults = faults or {}
+
+    def extra(name: str) -> dict:
+        info = {}
+        if name in rates:
+            info["simulated_cycles_per_second"] = rates[name]
+        if name in faults:
+            info["fault_counters"] = faults[name]
+        return {"extra_info": info} if info else {}
+
     return {
         "benchmarks": [
             {"name": name,
              "stats": {"min": seconds, "max": seconds * 1.2,
                        "mean": seconds * 1.1, "median": seconds * 1.05,
                        "stddev": seconds * 0.01},
-             **({"extra_info":
-                 {"simulated_cycles_per_second": rates[name]}}
-                if name in rates else {})}
+             **extra(name)}
             for name, seconds in times.items()
         ]
     }
@@ -100,6 +110,31 @@ def test_sim_rate_speedup_is_informational(tmp_path):
     assert result.returncode == 0
     assert "500 sim cycles/s" in result.stdout
     assert "0.50x baseline rate" in result.stdout
+
+
+def test_fault_counters_are_informational(tmp_path):
+    """Fault/retry counters print on the benchmark line but never
+    gate, even when the counters changed against the baseline."""
+    baseline = write(tmp_path, "base.json",
+                     bench_json({"test_a": 1.0},
+                                faults={"test_a": {"retries": 2}}))
+    current = write(tmp_path, "cur.json",
+                    bench_json({"test_a": 1.0},
+                               faults={"test_a": {"retries": 16,
+                                                  "packets_lost": 3}}))
+    result = run_tool(baseline, current)
+    assert result.returncode == 0
+    assert "[faults: packets_lost=3, retries=16]" in result.stdout
+
+
+def test_zero_fault_counters_stay_silent(tmp_path):
+    baseline = write(tmp_path, "base.json", bench_json({"test_a": 1.0}))
+    current = write(tmp_path, "cur.json",
+                    bench_json({"test_a": 1.0},
+                               faults={"test_a": {"retries": 0}}))
+    result = run_tool(baseline, current)
+    assert result.returncode == 0
+    assert "[faults:" not in result.stdout
 
 
 def test_new_and_retired_benchmarks_do_not_gate(tmp_path):
