@@ -43,3 +43,22 @@ def record_fault_counters():
                     if value}
         benchmark.extra_info["fault_counters"] = counters
     return record
+
+
+@pytest.fixture
+def record_memo_counters():
+    """Record a run's nonzero memo-store counters into the benchmark JSON.
+
+    Takes a :class:`repro.memo.MemoStats` (or None).  Attaches a
+    ``memo_counters`` dict to ``extra_info``; ``bench_compare`` prints
+    it as an informational ``[memo: ...]`` column, never as a gate —
+    the hit/reject invariants are asserted inside the benchmarks.
+    """
+    def record(benchmark, memo_stats):
+        if memo_stats is None:
+            return
+        counters = {name: value
+                    for name, value in memo_stats.as_dict().items()
+                    if value}
+        benchmark.extra_info["memo_counters"] = counters
+    return record

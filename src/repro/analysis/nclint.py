@@ -32,7 +32,7 @@ from pathlib import Path
 #: Packages whose modules form the deterministic cycle model.  Rules
 #: scoped to the cycle model apply to any module under these roots.
 CYCLE_MODEL_PACKAGES = ("repro.core", "repro.noc", "repro.memory",
-                        "repro.faults")
+                        "repro.faults", "repro.memo")
 
 _PRAGMA_RE = re.compile(r"#.*\bnclint:\s*allow\(([A-Z0-9,\s]+)\)")
 

@@ -400,3 +400,59 @@ class NoAmbientRNG(Rule):
                            f"from-import of numpy.random in cycle-model "
                            f"module {ctx.module}; use "
                            f"repro.faults.rng.DeterministicRNG")
+
+
+#: Module roots that exist to persist state: importing any of them in a
+#: cycle-model module means ad-hoc durable state off the validated paths.
+_DURABLE_STATE_MODULES = ("pickle", "shelve", "marshal", "dbm")
+
+#: The sanctioned durable-state modules: the checkpoint store and the
+#: persistent memo store.  Both do atomic versioned writes and validate
+#: (or reject) entries on load; everything else in the cycle model must
+#: go through them.
+_PERSISTENCE_ALLOWED_MODULES = frozenset({
+    "repro.faults.checkpoint",
+    "repro.memo.store",
+})
+
+
+@register
+class NoAdhocPersistence(Rule):
+    """NC109: durable state only via the checkpoint/memo stores."""
+
+    code = "NC109"
+    title = "no ad-hoc open()/pickle persistence in cycle-model modules"
+    rationale = (
+        "Durable state that bypasses the validated stores "
+        "(repro.faults.checkpoint, repro.memo.store) is written "
+        "non-atomically, carries no version or fingerprint header, and "
+        "is replayed without the key-to-hash check — a torn or stale "
+        "file then silently corrupts a bit-identical run.  Cycle-model "
+        "code must persist through CheckpointStore or MemoStore.")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        return (ctx.in_cycle_model()
+                and ctx.module not in _PERSISTENCE_ALLOWED_MODULES)
+
+    def check(self, ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
+        for line, col, module in _imported_modules(ctx.tree):
+            root = module.split(".", 1)[0]
+            if root in _DURABLE_STATE_MODULES:
+                yield line, col, (
+                    f"import of serialisation module '{module}' in "
+                    f"cycle-model module {ctx.module}; persist through "
+                    f"CheckpointStore or MemoStore instead")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id == "open":
+                yield (node.lineno, node.col_offset,
+                       f"ad-hoc open() in cycle-model module "
+                       f"{ctx.module}; persist through CheckpointStore "
+                       f"or MemoStore instead")
+            elif isinstance(func, ast.Attribute) and func.attr == "open":
+                yield (node.lineno, node.col_offset,
+                       f"ad-hoc '{ast.unparse(func)}(...)' in "
+                       f"cycle-model module {ctx.module}; persist "
+                       f"through CheckpointStore or MemoStore instead")

@@ -94,6 +94,44 @@ def _fault_note(cur_extra: dict) -> str:
     return f"  [faults: {shown}]"
 
 
+def _memo_note(cur_extra: dict) -> str:
+    """Informational memo-store counter note for one benchmark line.
+
+    Memoization benchmarks attach a ``memo_counters`` dict (the nonzero
+    :class:`repro.memo.MemoStats` counters, e.g. ``hits`` or
+    ``rejects``) to ``extra_info``.  Printed for the human reading the
+    log and never gated on: the bit-identity and speedup asserts live
+    inside the benchmarks themselves, where a failure names the exact
+    broken invariant instead of a generic slowdown.
+    """
+    counters = cur_extra.get("memo_counters")
+    if not isinstance(counters, dict) or not counters:
+        return ""
+    shown = ", ".join(f"{name}={value}"
+                      for name, value in sorted(counters.items()) if value)
+    if not shown:
+        return ""
+    return f"  [memo: {shown}]"
+
+
+def _stream_note(base_extra: dict, cur_extra: dict) -> str:
+    """Informational streaming-throughput note for one benchmark line.
+
+    Streaming benchmarks attach ``warm_frames_per_second`` (host-side
+    replay rate of the functional fast path) to ``extra_info``.  Shown
+    with the factor against the baseline when one exists; the hard
+    throughput gate is the assert inside the benchmark itself.
+    """
+    rate = cur_extra.get("warm_frames_per_second")
+    if not rate:
+        return ""
+    base_rate = base_extra.get("warm_frames_per_second")
+    if base_rate:
+        return (f"  [{rate:,.0f} warm frames/s, "
+                f"{rate / base_rate:.2f}x baseline rate]")
+    return f"  [{rate:,.0f} warm frames/s]"
+
+
 def compare(baseline: dict[str, dict], current: dict[str, dict],
             threshold: float, metric: str) -> list[str]:
     """Return the names of benchmarks regressed past ``threshold``.
@@ -126,6 +164,9 @@ def compare(baseline: dict[str, dict], current: dict[str, dict],
         note = _sim_rate_note(baseline[name]["extra_info"],
                               current[name]["extra_info"])
         note += _fault_note(current[name]["extra_info"])
+        note += _memo_note(current[name]["extra_info"])
+        note += _stream_note(baseline[name]["extra_info"],
+                             current[name]["extra_info"])
         print(f"  {name}: {metric} {base_value:.6g}s -> {cur_value:.6g}s "
               f"({base_value / cur_value:.2f}x speedup)  {marker}{note}")
         if regressed:

@@ -28,7 +28,7 @@ from repro.core.parallel import (
 from repro.core.pe import ProcessingElement
 from repro.core.simulator import LayerRun, NeurocubeSimulator
 from repro.core.analytic import AnalyticModel
-from repro.core.metrics import LayerStats, RunReport
+from repro.core.metrics import LayerStats, RunReport, StreamReport
 from repro.core.calibration import CalibrationResult, calibrate
 from repro.core.multicube import (
     MultiCubeConfig,
@@ -59,6 +59,7 @@ __all__ = [
     "AnalyticModel",
     "LayerStats",
     "RunReport",
+    "StreamReport",
     "CalibrationResult",
     "calibrate",
     "MultiCubeConfig",

@@ -71,6 +71,10 @@ class RunReport:
             watchdog force-fires, forgiven write-backs); the affected
             outputs are approximate, and the report says so instead of
             silently presenting them as exact.
+        memo: folded :class:`repro.memo.MemoStats` counters when a
+            persistent memo store served this run, else None.  Kept
+            duck-typed (``as_dict``/``any``/``format``) so this module
+            stays below :mod:`repro.memo` in the layering.
     """
 
     network_name: str
@@ -80,6 +84,7 @@ class RunReport:
     source: str = "analytic"
     host_seconds: float = 0.0
     degraded: list = field(default_factory=list)
+    memo: object | None = None
 
     @property
     def total_ops(self) -> int:
@@ -216,4 +221,97 @@ class RunReport:
             rows.append(
                 f"DEGRADED: {len(self.degraded)} fault-degraded results "
                 f"({summary}); affected outputs are approximate")
+        if self.memo is not None and self.memo.any:
+            rows.append(f"MEMO: {self.memo.format()}")
+        return "\n".join(rows)
+
+
+@dataclass
+class StreamReport:
+    """Result of a streaming run: timing compiled once, frames replayed.
+
+    A streaming run splits inference into a *cold* phase — cycle-
+    simulate timing once per distinct layer shape, memoized (and, with
+    a memo store, persisted) — and a *warm* phase that pushes a stream
+    of frames through the functional fixed-point path only, reusing the
+    cold phase's cycle counts for every frame.  The split is sound
+    because layer timing is data-independent (pinned by the timing-vs-
+    functional equivalence tests) and the functional path is bit-exact
+    against the simulator's assembled outputs.
+
+    Attributes:
+        network_name: source network.
+        f_clk_hz: reference clock of the cold phase's cycle counts.
+        frames: number of frames streamed in the warm phase.
+        cold: the cold phase's :class:`RunReport` (cycle source); its
+            per-frame cycle counts apply to every streamed frame.
+        cold_host_seconds: wall-clock host time of the cold phase
+            (compile + timing simulation).
+        warm_host_seconds: wall-clock host time of the warm phase (all
+            frames through the functional path).
+        memo: folded :class:`repro.memo.MemoStats` counters when a
+            persistent memo store served the cold phase, else None.
+        outputs: per-frame output tensors, in stream order.
+    """
+
+    network_name: str
+    f_clk_hz: float
+    frames: int
+    cold: RunReport
+    cold_host_seconds: float = 0.0
+    warm_host_seconds: float = 0.0
+    memo: object | None = None
+    outputs: list = field(default_factory=list)
+
+    @property
+    def cycles_per_frame(self) -> float:
+        """Simulated cycles for one frame (the cold phase's total)."""
+        return self.cold.total_cycles
+
+    @property
+    def total_cycles(self) -> float:
+        """Simulated cycles across the whole stream."""
+        return self.frames * self.cycles_per_frame
+
+    @property
+    def modeled_frames_per_second(self) -> float:
+        """Frames/s the simulated hardware would sustain."""
+        return self.cold.frames_per_second
+
+    @property
+    def warm_frames_per_second(self) -> float:
+        """Host-side streaming throughput of the warm phase.
+
+        Raises :class:`ConfigurationError` when no warm host time was
+        recorded, mirroring :attr:`RunReport.frames_per_second` — a
+        silent 0.0 reads like an infinitely slow pipeline.
+        """
+        if self.warm_host_seconds <= 0.0:
+            raise ConfigurationError(
+                f"stream of {self.network_name!r} has no recorded warm "
+                "host time; throughput is undefined")
+        return self.frames / self.warm_host_seconds
+
+    @property
+    def warm_speedup(self) -> float:
+        """Warm per-frame host time vs the cold phase's."""
+        if self.warm_host_seconds <= 0.0 or self.frames == 0:
+            raise ConfigurationError(
+                f"stream of {self.network_name!r} has no recorded warm "
+                "host time; speedup is undefined")
+        return self.cold_host_seconds / (self.warm_host_seconds
+                                         / self.frames)
+
+    def to_table(self) -> str:
+        """Cold-phase table plus the streaming summary lines."""
+        rows = [self.cold.to_table()]
+        rows.append(
+            f"STREAM: {self.frames} frames at "
+            f"{self.cycles_per_frame / 1e6:.3f} Mcycles/frame "
+            f"({self.modeled_frames_per_second:.2f} modeled frames/s); "
+            f"cold {self.cold_host_seconds:.3f}s host, warm "
+            f"{self.warm_frames_per_second:.1f} frames/s host "
+            f"({self.warm_speedup:.1f}x per-frame speedup)")
+        if self.memo is not None and self.memo.any:
+            rows.append(f"MEMO: {self.memo.format()}")
         return "\n".join(rows)

@@ -154,6 +154,34 @@ def structural_key(task: MapTask) -> tuple:
         for spec in task.sub_passes))
 
 
+def task_plan_hashes(config: NeurocubeConfig, desc: LayerDescriptor,
+                     lut: ActivationLUT | None,
+                     task: MapTask) -> tuple[str, ...]:
+    """Structural hashes of the plans this task would simulate.
+
+    Builds the same per-sub-pass plans :func:`run_map_task` builds in
+    timing-only mode (where partial sums never replace the spec bias)
+    and returns their
+    :meth:`~repro.core.scheduler.PassPlan.structural_hash` digests.
+    The persistent memo store records these on store and re-checks them
+    on load through the NC207 key⇒hash invariant, so a cached outcome
+    is only ever replayed for a task whose plans hash identically to
+    the ones it was simulated from.
+    """
+    # Imported here, not at module top: the scheduler imports nothing
+    # from this module, but keeping the executor import-light lets the
+    # memo store depend on the task/outcome types without cycles.
+    from repro.core.scheduler import build_conv_pass
+
+    hashes = []
+    for spec in task.sub_passes:
+        plan = build_conv_pass(desc, config, spec.input_tensor,
+                               spec.kernel, spec.bias,
+                               lut if spec.final else None, mode=task.mode)
+        hashes.append(plan.structural_hash())
+    return tuple(hashes)
+
+
 def snapshot_pass(result) -> PassOutcome:
     """Reduce a ``PassResult`` to its picklable statistics snapshot."""
     stats = result.interconnect.stats
@@ -235,7 +263,7 @@ class ParallelPassExecutor:
             lut: ActivationLUT | None, functional: bool,
             tasks: list[MapTask], trace=None,
             memoize: bool = False, faults=None, checkpoint=None,
-            label_base: str = "") -> list[MapOutcome]:
+            label_base: str = "", memo=None) -> list[MapOutcome]:
         """Run all tasks; returns outcomes ordered like ``tasks``.
 
         With ``memoize`` set, tasks are grouped by
@@ -247,22 +275,62 @@ class ParallelPassExecutor:
         duplicate events on the merged clock) whose outcome carries no
         out-of-key state.  Fold order is unchanged, so the folded
         statistics are bit-identical to simulating every task.
+
+        ``memo`` (a :class:`repro.memo.MemoStore`, or None) extends the
+        replay across processes: before simulating a representative, the
+        store is consulted under its content digest, and every freshly
+        simulated representative is written back.  A loaded entry is
+        only replayed after its recorded plan hashes pass the NC207
+        key⇒hash check against :func:`task_plan_hashes` of the live
+        task, so a stale or corrupted entry falls through to simulation.
+        Hit or simulated, the replay/fold path is the same, so results
+        stay bit-identical to a cold run.
         """
         worker = partial(run_map_task, config, desc, lut, functional,
                          trace=trace, faults=faults, checkpoint=checkpoint,
                          label_base=label_base)
-        if not memoize or len(tasks) <= 1:
+        if not memoize or (memo is None and len(tasks) <= 1):
             return self._execute(worker, tasks)
         keys = [structural_key(task) for task in tasks]
         representatives: dict[tuple, int] = {}
         unique: list[MapTask] = []
+        unique_keys: list[tuple] = []
         for task, key in zip(tasks, keys, strict=True):
             if key not in representatives:
                 representatives[key] = len(unique)
                 unique.append(task)
-        if len(unique) == len(tasks):
+                unique_keys.append(key)
+        if memo is None and len(unique) == len(tasks):
             return self._execute(worker, tasks)
-        rep_outcomes = self._execute(worker, unique)
+        rep_outcomes: list[MapOutcome | None] = [None] * len(unique)
+        to_run: list[MapTask] = []
+        run_slots: list[int] = []
+        entries: dict[int, tuple[str, tuple[str, ...]]] = {}
+        if memo is not None:
+            from repro.memo.store import entry_digest
+
+            for slot, (task, key) in enumerate(
+                    zip(unique, unique_keys, strict=True)):
+                digest = entry_digest(desc, key)
+                hashes = task_plan_hashes(config, desc, lut, task)
+                entries[slot] = (digest, hashes)
+                cached = memo.load(digest, hashes)
+                if cached is not None:
+                    rep_outcomes[slot] = replace(cached, index=task.index)
+                else:
+                    to_run.append(task)
+                    run_slots.append(slot)
+        else:
+            to_run = unique
+            run_slots = list(range(len(unique)))
+        for slot, outcome in zip(run_slots, self._execute(worker, to_run),
+                                 strict=True):
+            rep_outcomes[slot] = outcome
+            if memo is not None:
+                digest, hashes = entries[slot]
+                # Entries are stored index-free (canonical index 0);
+                # replay re-indexes per task either way.
+                memo.store(digest, hashes, replace(outcome, index=0))
         outcomes = []
         for task, key in zip(tasks, keys, strict=True):
             rep = rep_outcomes[representatives[key]]

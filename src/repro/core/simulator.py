@@ -36,7 +36,7 @@ import numpy as np
 from repro.core.compiler import compile_inference
 from repro.core.config import NeurocubeConfig
 from repro.core.layerdesc import LayerDescriptor
-from repro.core.metrics import LayerStats, RunReport
+from repro.core.metrics import LayerStats, RunReport, StreamReport
 from repro.core.parallel import (
     MapOutcome,
     MapTask,
@@ -201,6 +201,8 @@ class LayerRun:
             passes when fault injection was active, else None.
         degraded: all passes' :class:`repro.faults.DegradedResult`
             records, in serial fold order.
+        memo_stats: :class:`repro.memo.MemoStats` counters this run
+            accumulated against its persistent memo store, else None.
     """
 
     descriptor: LayerDescriptor
@@ -219,6 +221,7 @@ class LayerRun:
     trace: Trace | None = None
     fault_stats: FaultStats | None = None
     degraded: tuple = ()
+    memo_stats: object | None = None
 
     @property
     def simulated_cycles_per_second(self) -> float:
@@ -367,16 +370,54 @@ class NeurocubeSimulator:
         checkpoint: :class:`repro.faults.CheckpointSpec` enabling
             periodic per-pass snapshots and/or resume; falls back to an
             ambient :class:`repro.faults.CheckpointSession`.
+        memo: :class:`repro.memo.MemoStore` making timing-pass
+            memoization persistent — memoized outcomes are loaded from
+            and stored to disk, surviving across runs.  Resolution
+            order: this argument, then ``config.sim_memo_dir``, then an
+            ambient :class:`repro.memo.MemoSession`.  None everywhere
+            keeps memoization in-process only.  Bit-identity holds
+            either way: loaded entries pass the same NC207 key⇒hash
+            check the in-run replay is built on, or they are rejected
+            and re-simulated.
     """
 
     def __init__(self, config: NeurocubeConfig,
                  trace: TraceOptions | None = None,
                  faults: FaultConfig | None = None,
-                 checkpoint: CheckpointSpec | None = None) -> None:
+                 checkpoint: CheckpointSpec | None = None,
+                 memo=None) -> None:
         self.config = config
         self.trace_options = trace
         self.faults = faults
         self.checkpoint = checkpoint
+        self.memo = memo
+        self._memo_store = None
+
+    def _resolve_memo(self):
+        """The persistent memo store for this run, or None.
+
+        Explicit argument first, then a store opened (once, cached) at
+        ``config.sim_memo_dir``, then the innermost ambient
+        :class:`repro.memo.MemoSession`.
+        """
+        if self.memo is not None:
+            return self.memo
+        if self.config.sim_memo_dir is not None:
+            if self._memo_store is None:
+                # Imported lazily: repro.memo sits above the core in
+                # the layering (it imports the task/outcome types).
+                from repro.memo.store import MemoStore
+
+                self._memo_store = MemoStore(
+                    self.config.sim_memo_dir, self.config,
+                    max_bytes=self.config.sim_memo_max_bytes)
+            return self._memo_store
+        from repro.memo.session import current_memo_session
+
+        session = current_memo_session()
+        if session is not None:
+            return session.store_for(self.config)
+        return None
 
     def _topology(self):
         if self.config.noc_topology == "fully_connected":
@@ -716,6 +757,8 @@ class NeurocubeSimulator:
         if layer is not None:
             act = layer.activation
             lut = act if isinstance(act, ActivationLUT) else ActivationLUT(act)
+        memo = self._resolve_memo()
+        memo_before = memo.stats.copy() if memo is not None else None
         accum = _RunAccumulator()
         # Per-pass traces carry local clocks starting at 0; each one is
         # offset by the cycles accumulated *before* its fold, which is
@@ -742,7 +785,8 @@ class NeurocubeSimulator:
             outcomes = self._run_tasks(desc, lut, functional, tasks,
                                        trace=trace_options,
                                        faults=faults,
-                                       checkpoint=checkpoint)
+                                       checkpoint=checkpoint,
+                                       memo=memo)
             for outcome in outcomes:
                 for pass_outcome in outcome.passes:
                     if pass_outcome.trace is not None:
@@ -768,7 +812,9 @@ class NeurocubeSimulator:
             host_seconds=time.perf_counter() - started,
             trace=(Trace.merged(trace_parts) if trace_parts else None),
             fault_stats=accum.fault_stats,
-            degraded=tuple(accum.degraded))
+            degraded=tuple(accum.degraded),
+            memo_stats=(memo.stats.delta(memo_before)
+                        if memo is not None else None))
         if session is not None:
             session.add_run(desc.name, run.trace, run.cycles,
                             run.host_seconds, stats=run.to_stats(),
@@ -783,7 +829,7 @@ class NeurocubeSimulator:
                    trace: TraceOptions | None = None,
                    faults: FaultConfig | None = None,
                    checkpoint: CheckpointSpec | None = None,
-                   ) -> list[MapOutcome]:
+                   memo=None) -> list[MapOutcome]:
         executor = ParallelPassExecutor(self.config.effective_sim_workers)
         # Memoization replays one representative outcome per structural
         # equivalence class.  Functional runs carry per-map tensors (the
@@ -795,9 +841,16 @@ class NeurocubeSimulator:
         memoize = (self.config.sim_memoize and not functional
                    and trace is None
                    and (faults is None or not faults.any_rate))
+        # The persistent store only ever serves memoizable runs, and
+        # never checkpointed ones: a replayed pass writes no snapshots,
+        # so a checkpointed run must actually simulate to keep its
+        # resume contract.
+        if not memoize or checkpoint is not None:
+            memo = None
         return executor.run(self.config, desc, lut, functional, tasks,
                             trace=trace, memoize=memoize, faults=faults,
-                            checkpoint=checkpoint, label_base=desc.name)
+                            checkpoint=checkpoint, label_base=desc.name,
+                            memo=memo)
 
     def _pool_tasks(self, desc, layer, input_tensor) -> list[MapTask]:
         """One task per pooled map; every map is a single final pass."""
@@ -914,5 +967,75 @@ class NeurocubeSimulator:
             report.layers.append(run.to_stats())
             report.host_seconds += run.host_seconds
             report.degraded.extend(run.degraded)
+            self._fold_memo_stats(report, run)
             current = run.output
         return current, report
+
+    @staticmethod
+    def _fold_memo_stats(report: RunReport, run: LayerRun) -> None:
+        """Accumulate a layer's memo counters onto the report."""
+        if run.memo_stats is None:
+            return
+        if report.memo is None:
+            from repro.memo.store import MemoStats
+
+            report.memo = MemoStats()
+        report.memo.merge(run.memo_stats)
+
+    def run_stream(self, network: Network, frames,
+                   duplicate: bool = True) -> StreamReport:
+        """Simulate a stream of frames: timing once, data per frame.
+
+        The *cold* phase compiles the network and cycle-simulates every
+        compute layer timing-only — memoized, and persisted when a memo
+        store is resolved, so a later stream over the same shapes
+        replays timing from disk.  The *warm* phase then pushes each
+        frame through the functional fixed-point path only, which is
+        bit-exact against the simulator's assembled outputs (pinned by
+        the integration equivalence tests) — so every streamed frame
+        gets real outputs plus the cold phase's exact cycle counts,
+        without re-simulating data-independent timing per frame.
+
+        Bit-exactness holds when weighted layers carry a quantisation
+        format and :class:`~repro.nn.activations.ActivationLUT`-wrapped
+        activations — the LUT is what the simulated hardware applies,
+        and a raw float activation differs from it by up to one LSB.
+        """
+        from repro.fixedpoint import quantize_float
+
+        frames = [np.asarray(frame, dtype=np.float64) for frame in frames]
+        if not frames:
+            raise ConfigurationError("run_stream needs at least one frame")
+        # Host wall-clock phase split only; never feeds any simulated
+        # result.  nclint: allow(NC101) host-side timing
+        started = time.perf_counter()
+        program = compile_inference(network, self.config, duplicate)
+        descriptors = {d.layer_index: d for d in program.descriptors}
+        cold = RunReport(network_name=network.name,
+                         f_clk_hz=self.config.f_pe_hz,
+                         peak_gops=self.config.peak_gops, source="cycle")
+        for index, layer in enumerate(network.layers):
+            if isinstance(layer, Flatten):
+                continue
+            desc = descriptors.get(index)
+            if desc is None:
+                raise MappingError(
+                    f"layer {layer.name!r} missing from program")
+            run = self.run_descriptor(desc)
+            cold.layers.append(run.to_stats())
+            cold.host_seconds += run.host_seconds
+            self._fold_memo_stats(cold, run)
+        # nclint: allow(NC101) host-side timing
+        cold_done = time.perf_counter()
+        outputs = []
+        for frame in frames:
+            quantized = quantize_float(frame, self.config.qformat)
+            outputs.append(network.forward(quantized[np.newaxis])[0])
+        # nclint: allow(NC101) host-side timing
+        warm_done = time.perf_counter()
+        return StreamReport(
+            network_name=network.name, f_clk_hz=self.config.f_pe_hz,
+            frames=len(frames), cold=cold,
+            cold_host_seconds=cold_done - started,
+            warm_host_seconds=warm_done - cold_done,
+            memo=cold.memo, outputs=outputs)

@@ -1,0 +1,86 @@
+"""Extension experiment: streaming frame inference over the memo store.
+
+Not a paper figure — the throughput story Neurostream tells for
+streaming DNN inference over smart memory cubes (PAPERS.md), realised
+here with :meth:`repro.core.NeurocubeSimulator.run_stream`: cycle-
+simulate each layer's timing once (cold, memoized and persisted when a
+memo store is ambient), then push a stream of frames through the
+functional fixed-point path only (warm).  Every frame gets bit-exact
+outputs plus the cold phase's exact cycle counts, at a host throughput
+orders of magnitude above per-frame cycle simulation.
+
+The runner's ``--stream N`` flag overrides the frame count via
+:func:`set_frame_count`; ``--memo-dir`` makes the cold phase persistent
+so a second invocation replays timing from disk (the CI ``memo`` job's
+cold/warm contract).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import nn
+from repro.core import NeurocubeConfig, NeurocubeSimulator, StreamReport
+from repro.errors import ConfigurationError
+from repro.experiments.registry import register
+from repro.nn.activations import ActivationLUT, Tanh
+
+#: Frames streamed when no ``--stream N`` override is active.
+DEFAULT_FRAMES = 4
+
+#: Deterministic seeds: network parameters and the frame stream.
+_NET_SEED = 11
+_FRAME_SEED = 11
+
+_frame_count: int | None = None
+
+
+def set_frame_count(frames: int | None) -> None:
+    """Override the streamed frame count (the runner's ``--stream N``).
+
+    None restores the default.
+    """
+    if frames is not None and frames < 1:
+        raise ConfigurationError(
+            f"stream frame count must be >= 1, got {frames}")
+    global _frame_count
+    _frame_count = frames
+
+
+def stream_network(config: NeurocubeConfig) -> nn.Network:
+    """The streamed workload: a small conv+pool front end.
+
+    Activations are :class:`ActivationLUT`-wrapped so the warm
+    functional path is bit-exact against the simulator's assembled
+    outputs (the LUT is what the hardware applies).
+    """
+    layers = [
+        nn.Conv2D(4, 3, activation=ActivationLUT(Tanh()), name="conv",
+                  qformat=config.qformat),
+        nn.MaxPool2D(2, name="pool"),
+    ]
+    return nn.Network(layers, input_shape=(1, 16, 16),
+                      name="stream_convpool", seed=_NET_SEED)
+
+
+def frame_stream(count: int) -> list[np.ndarray]:
+    """``count`` deterministic pseudo-camera frames, in stream order."""
+    rng = np.random.default_rng(_FRAME_SEED)
+    return [rng.uniform(-1.0, 1.0, (1, 16, 16)) for _ in range(count)]
+
+
+@register("ext_stream", "Streaming frame inference (memoized timing + "
+                        "functional fast path)")
+def run(frames: int | None = None) -> StreamReport:
+    """Stream frames through the conv+pool workload.
+
+    Args:
+        frames: frame count; None uses the ``--stream N`` override when
+            active, else :data:`DEFAULT_FRAMES`.
+    """
+    if frames is None:
+        frames = _frame_count if _frame_count is not None else DEFAULT_FRAMES
+    config = NeurocubeConfig.hmc_15nm()
+    simulator = NeurocubeSimulator(config)
+    return simulator.run_stream(stream_network(config),
+                                frame_stream(frames))

@@ -25,6 +25,16 @@ the fault counters is printed to stderr.  ``--checkpoint-every N``
 ``--resume-from DIR`` resumes each pass from its newest snapshot —
 together they let a long sweep survive a crash and continue
 bit-identically.
+
+With ``--memo-dir DIR``, each experiment runs inside an ambient
+:class:`repro.memo.MemoSession`: memoized timing-pass outcomes are
+loaded from and stored to a persistent store under ``DIR``, so a rerun
+replays timing from disk bit-identically.  Counters are printed to
+stderr per experiment (``[memo] ...``) and, with ``--json``, folded
+into the top-level ``__memo__`` key.  ``--stream N`` streams N frames
+through streaming-capable experiments (``ext_stream``): timing is
+simulated once per distinct layer shape, then N frames replay it
+through the functional fast path.
 """
 
 from __future__ import annotations
@@ -80,6 +90,22 @@ def build_parser() -> argparse.ArgumentParser:
         "--resume-from", default=None, metavar="DIR",
         help="resume each pass from its newest snapshot in DIR "
              "(passes without one start from cycle 0)")
+    run_parser.add_argument(
+        "--memo-dir", default=None, metavar="DIR",
+        help="persistent memo store for timing-pass outcomes; memoized "
+             "passes are loaded from and stored to DIR, so a rerun "
+             "replays timing from disk (hit/miss counters go to stderr "
+             "and, with --json, the top-level '__memo__' key)")
+    run_parser.add_argument(
+        "--memo-max-bytes", type=int, default=None, metavar="N",
+        help="size bound for --memo-dir; least-recently-used entries "
+             "are evicted past N bytes (default: unbounded)")
+    run_parser.add_argument(
+        "--stream", type=int, default=None, metavar="N",
+        help="stream N frames in streaming-capable experiments "
+             "(ext_stream): timing is simulated once per distinct layer "
+             "shape, then N frames replay it through the functional "
+             "fast path")
     sub.add_parser(
         "report",
         help="regenerate the paper-vs-measured summary (EXPERIMENTS.md "
@@ -136,23 +162,54 @@ def main(argv: list[str] | None = None) -> int:
 
         faults = FaultConfig.from_spec(fault_spec)
     checkpoint = _checkpoint_spec(args)
+    memo = _memo_settings(args)
+    stream = getattr(args, "stream", None)
+    if stream is not None:
+        from repro.experiments import ext_stream
+
+        ext_stream.set_frame_count(stream)
+    memo_totals = None
     collected = {}
-    for exp_id in ids:
-        experiment = get_experiment(exp_id)
-        if tracing:
-            result = _run_traced(experiment, args.trace_dir,
-                                 faults=faults, checkpoint=checkpoint)
-        else:
-            result = _run_sessioned(experiment, faults, checkpoint)
-        if as_json:
-            collected[exp_id] = serialize(result)
-        else:
-            print(f"=== {experiment.exp_id}: {experiment.title} ===")
-            print(result.to_table())
-            print()
+    try:
+        for exp_id in ids:
+            experiment = get_experiment(exp_id)
+            if tracing:
+                result, memo_stats = _run_traced(
+                    experiment, args.trace_dir, faults=faults,
+                    checkpoint=checkpoint, memo=memo)
+            else:
+                result, memo_stats = _run_sessioned(
+                    experiment, faults, checkpoint, memo=memo)
+            if memo_stats is not None:
+                if memo_totals is None:
+                    from repro.memo import MemoStats
+
+                    memo_totals = MemoStats()
+                memo_totals.merge(memo_stats)
+            if as_json:
+                collected[exp_id] = serialize(result)
+            else:
+                print(f"=== {experiment.exp_id}: {experiment.title} ===")
+                print(result.to_table())
+                print()
+    finally:
+        if stream is not None:
+            from repro.experiments import ext_stream
+
+            ext_stream.set_frame_count(None)
     if as_json:
+        if memo_totals is not None:
+            collected["__memo__"] = memo_totals.as_dict()
         print(json.dumps(collected, indent=2))
     return 0
+
+
+def _memo_settings(args) -> tuple[str, int | None] | None:
+    """(directory, max_bytes) from the CLI flags, or None."""
+    memo_dir = getattr(args, "memo_dir", None)
+    if memo_dir is None:
+        return None
+    return (memo_dir, getattr(args, "memo_max_bytes", None))
 
 
 def _checkpoint_spec(args):
@@ -180,25 +237,46 @@ def _fault_summary(exp_id: str, session) -> None:
           file=sys.stderr)
 
 
-def _run_sessioned(experiment, faults, checkpoint):
-    """Run one experiment inside the ambient fault/checkpoint sessions."""
+def _memo_summary(exp_id: str, session) -> None:
+    """Print a memo session's folded counters to stderr."""
+    stats = session.total_stats()
+    print(f"[memo] {exp_id}: {stats.format()}", file=sys.stderr)
+
+
+def _run_sessioned(experiment, faults, checkpoint, memo=None):
+    """Run one experiment inside the ambient sessions.
+
+    Returns ``(result, memo_stats)`` — the second element is the memo
+    session's folded counters, or None when ``--memo-dir`` is off.
+    """
     import contextlib
 
     from repro.faults import CheckpointSession, FaultSession
 
+    memo_stats = None
     with contextlib.ExitStack() as stack:
         fault_session = None
         if faults is not None:
             fault_session = stack.enter_context(FaultSession(faults))
         if checkpoint is not None:
             stack.enter_context(CheckpointSession(checkpoint))
+        if memo is not None:
+            from repro.memo import MemoSession
+
+            directory, max_bytes = memo
+            memo_session = stack.enter_context(
+                MemoSession(directory, max_bytes=max_bytes))
         result = experiment.run()
         if fault_session is not None:
             _fault_summary(experiment.exp_id, fault_session)
-    return result
+        if memo is not None:
+            _memo_summary(experiment.exp_id, memo_session)
+            memo_stats = memo_session.total_stats()
+    return result, memo_stats
 
 
-def _run_traced(experiment, trace_dir: str, faults=None, checkpoint=None):
+def _run_traced(experiment, trace_dir: str, faults=None, checkpoint=None,
+                memo=None):
     """Run one experiment inside a trace session; write its artifacts."""
     from repro.obs import (
         TraceSession,
@@ -210,7 +288,8 @@ def _run_traced(experiment, trace_dir: str, faults=None, checkpoint=None):
     out_dir = pathlib.Path(trace_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
     with TraceSession() as session:
-        result = _run_sessioned(experiment, faults, checkpoint)
+        result, memo_stats = _run_sessioned(experiment, faults,
+                                            checkpoint, memo=memo)
     manifest = manifest_from_session(experiment.exp_id, session)
     manifest_path = out_dir / f"manifest_{experiment.exp_id}.json"
     write_manifest(manifest, str(manifest_path))
@@ -221,7 +300,7 @@ def _run_traced(experiment, trace_dir: str, faults=None, checkpoint=None):
         print(f"[trace] wrote {trace_path} "
               f"({session.total_cycles} cycles, "
               f"{len(session.runs)} runs)", file=sys.stderr)
-    return result
+    return result, memo_stats
 
 
 if __name__ == "__main__":

@@ -1,0 +1,29 @@
+"""Persistent memoization of timing-pass outcomes.
+
+``repro.memo`` turns PR 3's in-run structural memoization into a
+durable, content-addressed on-disk cache shared across runs and CI
+jobs: :class:`~repro.memo.store.MemoStore` holds the entries,
+:class:`~repro.memo.session.MemoSession` makes a store directory
+ambient for the experiment runner, and ``python -m repro.memo`` exposes
+the fingerprint and counters for CI cache keys.  See
+``docs/memo_store.md`` for the on-disk format and invalidation rules.
+"""
+
+from repro.memo.session import MemoSession, current_memo_session
+from repro.memo.store import (
+    MEMO_VERSION,
+    MemoStats,
+    MemoStore,
+    entry_digest,
+    memo_fingerprint,
+)
+
+__all__ = [
+    "MEMO_VERSION",
+    "MemoSession",
+    "MemoStats",
+    "MemoStore",
+    "current_memo_session",
+    "entry_digest",
+    "memo_fingerprint",
+]

@@ -1,0 +1,109 @@
+"""``ncmemo`` — memo-store inspection CLI.
+
+Two subcommands, both built for CI wiring:
+
+``fingerprint``
+    Print the config fingerprint (version + timing-relevant config
+    fields) for a preset.  The CI ``memo`` job keys its
+    ``actions/cache`` entry on this, so a config or format change
+    starts a fresh cache instead of carrying stale entries.
+
+``stats DIR``
+    Print entry counts and byte sizes per fingerprint partition of a
+    store directory (``--json`` for machine consumption; the CI job
+    uploads this next to the store artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.core.config import NeurocubeConfig
+from repro.memo.store import memo_fingerprint
+
+_PRESETS = {
+    "hmc_15nm": NeurocubeConfig.hmc_15nm,
+    "hmc_28nm": NeurocubeConfig.hmc_28nm,
+    "ddr3": NeurocubeConfig.ddr3,
+}
+
+
+def _partition_stats(root: Path) -> dict[str, dict[str, int]]:
+    """Entry count and byte total per fingerprint subdirectory."""
+    partitions: dict[str, dict[str, int]] = {}
+    if not root.is_dir():
+        return partitions
+    for sub in sorted(root.iterdir()):
+        if not sub.is_dir():
+            continue
+        entries = 0
+        total = 0
+        for path in sub.glob("*.pkl"):
+            try:
+                size = path.stat().st_size
+            except OSError:
+                continue
+            entries += 1
+            total += size
+        partitions[sub.name] = {"entries": entries, "bytes": total}
+    return partitions
+
+
+def _cmd_fingerprint(args: argparse.Namespace) -> int:
+    config = _PRESETS[args.preset]()
+    print(memo_fingerprint(config))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    root = Path(args.directory)
+    partitions = _partition_stats(root)
+    total_entries = sum(p["entries"] for p in partitions.values())
+    total_bytes = sum(p["bytes"] for p in partitions.values())
+    if args.json:
+        print(json.dumps({
+            "directory": str(root),
+            "partitions": partitions,
+            "total_entries": total_entries,
+            "total_bytes": total_bytes,
+        }, indent=2, sort_keys=True))
+        return 0
+    if not partitions:
+        print(f"{root}: empty memo store")
+        return 0
+    for name, stats in partitions.items():
+        print(f"{name}  entries={stats['entries']}  "
+              f"bytes={stats['bytes']}")
+    print(f"TOTAL  entries={total_entries}  bytes={total_bytes}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ncmemo", description="Inspect the persistent memo store.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fp = sub.add_parser(
+        "fingerprint",
+        help="print the version/config fingerprint for a preset")
+    fp.add_argument("--preset", choices=sorted(_PRESETS),
+                    default="hmc_15nm",
+                    help="config preset (default: hmc_15nm)")
+    fp.set_defaults(func=_cmd_fingerprint)
+
+    st = sub.add_parser("stats",
+                        help="print per-fingerprint entry counts/sizes")
+    st.add_argument("directory", help="memo store root directory")
+    st.add_argument("--json", action="store_true",
+                    help="emit machine-readable JSON")
+    st.set_defaults(func=_cmd_stats)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,75 @@
+"""Ambient memo sessions.
+
+Mirrors :class:`repro.faults.session.FaultSession`: a context manager
+that makes a memo-store directory ambient, so the experiment runner's
+``--memo-dir`` flag works without threading a store through every
+experiment.  While a :class:`MemoSession` is active, every simulator
+that was not given an explicit store (by argument or by
+``config.sim_memo_dir``) opens one under the session directory.
+
+Stores are partitioned by config fingerprint, so one session can serve
+experiments with different configurations; the session caches one
+:class:`~repro.memo.store.MemoStore` per fingerprint and can fold their
+counters into a single :class:`~repro.memo.store.MemoStats`.
+
+Sessions are resolved *once*, at descriptor-run entry, into explicit
+state — ambient sessions never cross the process-pool boundary, so a
+parallel run behaves identically to a serial one.
+
+Sessions nest; the innermost active session wins.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.config import NeurocubeConfig
+from repro.memo.store import MemoStats, MemoStore
+
+_ACTIVE_MEMO: list["MemoSession"] = []
+
+
+def current_memo_session() -> MemoSession | None:
+    """The innermost active memo session, or None."""
+    return _ACTIVE_MEMO[-1] if _ACTIVE_MEMO else None
+
+
+class MemoSession:
+    """Makes a memo-store directory ambient for descriptor runs.
+
+    Attributes:
+        directory: root directory shared by all stores of this session.
+        max_bytes: size bound handed to every store opened here.
+    """
+
+    def __init__(self, directory: str | Path,
+                 max_bytes: int | None = None) -> None:
+        self.directory = Path(directory)
+        self.max_bytes = max_bytes
+        self._stores: dict[str, MemoStore] = {}
+
+    def __enter__(self) -> MemoSession:
+        _ACTIVE_MEMO.append(self)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        _ACTIVE_MEMO.remove(self)
+
+    def store_for(self, config: NeurocubeConfig) -> MemoStore:
+        """The session's store for this config (cached per fingerprint)."""
+        from repro.memo.store import memo_fingerprint
+
+        fingerprint = memo_fingerprint(config)
+        store = self._stores.get(fingerprint)
+        if store is None:
+            store = MemoStore(self.directory, config,
+                              max_bytes=self.max_bytes)
+            self._stores[fingerprint] = store
+        return store
+
+    def total_stats(self) -> MemoStats:
+        """All opened stores' counters folded together."""
+        total = MemoStats()
+        for store in self._stores.values():
+            total.merge(store.stats)
+        return total

@@ -27,7 +27,7 @@ def test_rule_registry_is_populated():
     catalogue = nclint.rule_catalogue()
     got = {entry["code"] for entry in catalogue}
     assert {"NC101", "NC102", "NC103", "NC104", "NC105", "NC106",
-            "NC107", "NC108"} <= got
+            "NC107", "NC108", "NC109"} <= got
     # Every entry documents itself.
     for entry in catalogue:
         assert entry["title"] and entry["rationale"]
@@ -223,6 +223,53 @@ def test_nc108_pragma_waives_with_reason():
         import random
         """
     assert codes(source) == set()
+
+
+# -- NC109: ad-hoc persistence --------------------------------------------
+
+def test_nc109_fires_on_pickle_import():
+    assert "NC109" in codes("import pickle\n")
+
+
+def test_nc109_fires_on_from_pickle_import():
+    assert "NC109" in codes("from pickle import dumps\n")
+
+
+def test_nc109_fires_on_open_call():
+    assert "NC109" in codes("""
+        def snapshot(self, path):
+            with open(path, "wb") as handle:
+                handle.write(b"state")
+        """)
+
+
+def test_nc109_fires_on_path_open_call():
+    assert "NC109" in codes("""
+        def snapshot(self, path):
+            with path.open("wb") as handle:
+                handle.write(b"state")
+        """)
+
+
+def test_nc109_silent_in_memo_store():
+    assert "NC109" not in codes("import pickle\nopen('x')\n",
+                                module="repro.memo.store")
+
+
+def test_nc109_silent_in_checkpoint_module():
+    assert "NC109" not in codes("import pickle\n",
+                                module="repro.faults.checkpoint")
+
+
+def test_nc109_silent_outside_cycle_model():
+    assert "NC109" not in codes("import pickle\nopen('x')\n",
+                                module="repro.experiments.runner")
+
+
+def test_nc109_applies_to_memo_package_otherwise():
+    # Only the store module itself is exempt, not the whole package.
+    assert "NC109" in codes("import pickle\n",
+                            module="repro.memo.session")
 
 
 # -- machinery -------------------------------------------------------------

@@ -26,7 +26,8 @@ class TestRegistry:
         assert set(EXPERIMENTS) == {"fig1", "fig9", "fig12", "fig13",
                                     "fig14", "fig15", "fig17", "table1",
                                     "table2", "table3", "ext_scaling",
-                                    "ext_lstm", "ext_resilience"}
+                                    "ext_lstm", "ext_resilience",
+                                    "ext_stream"}
 
     def test_lookup(self):
         assert get_experiment("fig12").exp_id == "fig12"

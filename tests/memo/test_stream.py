@@ -1,0 +1,117 @@
+"""Streaming mode: bit-exact outputs, exact cycles, runner CLI wiring."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import NeurocubeConfig, NeurocubeSimulator, StreamReport
+from repro.errors import ConfigurationError
+from repro.experiments import ext_stream
+from repro.experiments.runner import main as runner_main
+from repro.memo import MemoSession
+
+CONFIG = NeurocubeConfig.hmc_15nm()
+
+
+class TestRunStream:
+    def test_outputs_bit_identical_to_per_frame_simulation(self):
+        net = ext_stream.stream_network(CONFIG)
+        frames = ext_stream.frame_stream(3)
+        sim = NeurocubeSimulator(CONFIG)
+        stream = sim.run_stream(net, frames)
+        assert stream.frames == 3
+        assert len(stream.outputs) == 3
+        for frame, streamed in zip(frames, stream.outputs, strict=True):
+            simulated, report = sim.run_network(net, frame)
+            assert np.array_equal(streamed, simulated)
+            assert report.total_cycles == stream.cycles_per_frame
+
+    def test_total_cycles_scale_with_frames(self):
+        net = ext_stream.stream_network(CONFIG)
+        stream = NeurocubeSimulator(CONFIG).run_stream(
+            net, ext_stream.frame_stream(2))
+        assert stream.total_cycles == 2 * stream.cycles_per_frame
+        assert stream.cycles_per_frame > 0
+
+    def test_empty_stream_rejected(self):
+        net = ext_stream.stream_network(CONFIG)
+        with pytest.raises(ConfigurationError):
+            NeurocubeSimulator(CONFIG).run_stream(net, [])
+
+    def test_second_stream_hits_the_store(self, tmp_path):
+        net = ext_stream.stream_network(CONFIG)
+        frames = ext_stream.frame_stream(2)
+        with MemoSession(tmp_path):
+            cold = NeurocubeSimulator(CONFIG).run_stream(net, frames)
+            warm = NeurocubeSimulator(CONFIG).run_stream(net, frames)
+        assert cold.memo.stores >= 1
+        assert warm.memo.hits >= 1
+        assert warm.memo.rejects == 0
+        cold_cycles = [layer.cycles for layer in cold.cold.layers]
+        warm_cycles = [layer.cycles for layer in warm.cold.layers]
+        assert cold_cycles == warm_cycles
+        for a, b in zip(cold.outputs, warm.outputs, strict=True):
+            assert np.array_equal(a, b)
+
+    def test_zero_warm_time_raises(self):
+        report = StreamReport(network_name="n", f_clk_hz=1e9, frames=1,
+                              cold=None)
+        with pytest.raises(ConfigurationError):
+            report.warm_frames_per_second
+        with pytest.raises(ConfigurationError):
+            report.warm_speedup
+
+
+class TestExperiment:
+    def test_frame_count_override(self):
+        ext_stream.set_frame_count(2)
+        try:
+            assert ext_stream.run().frames == 2
+        finally:
+            ext_stream.set_frame_count(None)
+        assert ext_stream.run(frames=1).frames == 1
+
+    def test_bad_frame_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ext_stream.set_frame_count(0)
+
+    def test_default_frame_count(self):
+        assert ext_stream.run().frames == ext_stream.DEFAULT_FRAMES
+
+
+class TestRunnerCli:
+    def test_stream_with_memo_dir_json(self, tmp_path, capsys):
+        memo_dir = str(tmp_path / "memo")
+        argv = ["run", "ext_stream", "--stream", "2",
+                "--memo-dir", memo_dir, "--json"]
+        assert runner_main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert cold["ext_stream"]["frames"] == 2
+        assert cold["__memo__"]["stores"] >= 1
+        assert runner_main(argv) == 0
+        warm = json.loads(capsys.readouterr().out)
+        assert warm["__memo__"]["hits"] >= 1
+        assert warm["__memo__"]["rejects"] == 0
+        cold_cycles = [layer["cycles"] for layer
+                       in cold["ext_stream"]["cold"]["layers"]]
+        warm_cycles = [layer["cycles"] for layer
+                       in warm["ext_stream"]["cold"]["layers"]]
+        assert cold_cycles == warm_cycles
+        assert cold["ext_stream"]["outputs"] == warm["ext_stream"]["outputs"]
+
+    def test_stream_override_is_restored(self, tmp_path, capsys):
+        argv = ["run", "ext_stream", "--stream", "2", "--json"]
+        assert runner_main(argv) == 0
+        capsys.readouterr()
+        assert ext_stream.run().frames == ext_stream.DEFAULT_FRAMES
+
+    def test_memo_summary_on_stderr(self, tmp_path, capsys):
+        argv = ["run", "ext_stream", "--stream", "1",
+                "--memo-dir", str(tmp_path)]
+        assert runner_main(argv) == 0
+        captured = capsys.readouterr()
+        assert "[memo] ext_stream:" in captured.err
+        assert "STREAM:" in captured.out

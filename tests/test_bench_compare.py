@@ -12,15 +12,21 @@ TOOL = Path(__file__).resolve().parents[1] / "tools" / "bench_compare.py"
 
 def bench_json(times: dict[str, float],
                rates: dict[str, float] | None = None,
-               faults: dict[str, dict] | None = None) -> dict:
+               faults: dict[str, dict] | None = None,
+               memo: dict[str, dict] | None = None,
+               stream: dict[str, float] | None = None) -> dict:
     """A minimal pytest-benchmark JSON document with given 'min' times.
 
     ``rates`` optionally attaches a ``simulated_cycles_per_second``
     extra_info entry per benchmark; ``faults`` a ``fault_counters``
-    dict (as the ``record_fault_counters`` benchmark fixture does).
+    dict (as the ``record_fault_counters`` benchmark fixture does);
+    ``memo`` a ``memo_counters`` dict (``record_memo_counters``);
+    ``stream`` a ``warm_frames_per_second`` rate.
     """
     rates = rates or {}
     faults = faults or {}
+    memo = memo or {}
+    stream = stream or {}
 
     def extra(name: str) -> dict:
         info = {}
@@ -28,6 +34,10 @@ def bench_json(times: dict[str, float],
             info["simulated_cycles_per_second"] = rates[name]
         if name in faults:
             info["fault_counters"] = faults[name]
+        if name in memo:
+            info["memo_counters"] = memo[name]
+        if name in stream:
+            info["warm_frames_per_second"] = stream[name]
         return {"extra_info": info} if info else {}
 
     return {
@@ -135,6 +145,55 @@ def test_zero_fault_counters_stay_silent(tmp_path):
     result = run_tool(baseline, current)
     assert result.returncode == 0
     assert "[faults:" not in result.stdout
+
+
+def test_memo_counters_are_informational(tmp_path):
+    """Memo-store hit/miss/reject counters print on the benchmark line
+    but never gate — the store's correctness asserts live in the
+    benchmarks themselves."""
+    baseline = write(tmp_path, "base.json", bench_json({"test_a": 1.0}))
+    current = write(tmp_path, "cur.json",
+                    bench_json({"test_a": 1.0},
+                               memo={"test_a": {"hits": 3, "misses": 1,
+                                                "rejects": 0,
+                                                "stores": 1,
+                                                "evictions": 0}}))
+    result = run_tool(baseline, current)
+    assert result.returncode == 0
+    assert "[memo: hits=3, misses=1, stores=1]" in result.stdout
+
+
+def test_zero_memo_counters_stay_silent(tmp_path):
+    baseline = write(tmp_path, "base.json", bench_json({"test_a": 1.0}))
+    current = write(tmp_path, "cur.json",
+                    bench_json({"test_a": 1.0},
+                               memo={"test_a": {"hits": 0}}))
+    result = run_tool(baseline, current)
+    assert result.returncode == 0
+    assert "[memo:" not in result.stdout
+
+
+def test_stream_rate_is_informational_with_baseline_factor(tmp_path):
+    """Warm streaming frames/s prints with the factor against the
+    baseline's recorded rate, and a rate drop never gates by itself."""
+    baseline = write(tmp_path, "base.json",
+                     bench_json({"test_a": 1.0}, stream={"test_a": 200.0}))
+    current = write(tmp_path, "cur.json",
+                    bench_json({"test_a": 1.0}, stream={"test_a": 100.0}))
+    result = run_tool(baseline, current)
+    assert result.returncode == 0
+    assert "100 warm frames/s" in result.stdout
+    assert "0.50x baseline rate" in result.stdout
+
+
+def test_stream_rate_without_baseline(tmp_path):
+    baseline = write(tmp_path, "base.json", bench_json({"test_a": 1.0}))
+    current = write(tmp_path, "cur.json",
+                    bench_json({"test_a": 1.0}, stream={"test_a": 150.0}))
+    result = run_tool(baseline, current)
+    assert result.returncode == 0
+    assert "150 warm frames/s" in result.stdout
+    assert "baseline rate" not in result.stdout
 
 
 def test_new_and_retired_benchmarks_do_not_gate(tmp_path):
