@@ -23,10 +23,14 @@ _NONDETERMINISTIC_PREFIXES = (
 
 _OBS_ALLOWED_MODULES = frozenset({
     # The tracer-hook protocol: agents accept an optional Tracer and the
-    # simulator discovers the ambient TraceSession.  Everything else in
-    # repro.obs (counters, exporters, manifests) is presentation-layer.
+    # simulator discovers the ambient TraceSession.  repro.obs.live is
+    # the same shape for telemetry — the simulator reads the ambient
+    # LiveTelemetry and bills host phases through opaque timer hooks.
+    # Everything else in repro.obs (counters, exporters, manifests) is
+    # presentation-layer.
     "repro.obs.tracer",
     "repro.obs.session",
+    "repro.obs.live",
 })
 
 _TRACER_EXPR_RE = re.compile(r"^(self\.)?_?tracer$")
@@ -406,13 +410,17 @@ class NoAmbientRNG(Rule):
 #: cycle-model module means ad-hoc durable state off the validated paths.
 _DURABLE_STATE_MODULES = ("pickle", "shelve", "marshal", "dbm")
 
-#: The sanctioned durable-state modules: the checkpoint store and the
-#: persistent memo store.  Both do atomic versioned writes and validate
-#: (or reject) entries on load; everything else in the cycle model must
-#: go through them.
+#: The sanctioned durable-state modules: the checkpoint store, the
+#: persistent memo store, and the cross-run registry.  All three do
+#: atomic versioned writes and validate (or reject) entries on load;
+#: everything else in the cycle model must go through them.  (The
+#: registry lives outside the cycle-model packages, so the entry is
+#: future-proofing: it stays sanctioned if the packages it may move
+#: under ever join CYCLE_MODEL_PACKAGES.)
 _PERSISTENCE_ALLOWED_MODULES = frozenset({
     "repro.faults.checkpoint",
     "repro.memo.store",
+    "repro.obs.registry",
 })
 
 
@@ -456,3 +464,54 @@ class NoAdhocPersistence(Rule):
                        f"ad-hoc '{ast.unparse(func)}(...)' in "
                        f"cycle-model module {ctx.module}; persist "
                        f"through CheckpointStore or MemoStore instead")
+
+
+#: The one module allowed to read the monotonic clock: live telemetry's
+#: phase timers.  Everything else — including host-side tooling — must
+#: take timing through those timers so phase accounting stays complete
+#: and a grep for monotonic() has exactly one hit.
+_PHASE_TIMING_MODULE = "repro.obs.live"
+
+_MONOTONIC_CALLS = ("time.monotonic", "time.monotonic_ns")
+
+
+@register
+class NoAdhocPhaseTiming(Rule):
+    """NC110: ``time.monotonic`` only inside ``repro.obs.live``."""
+
+    code = "NC110"
+    title = "host-phase timing only via repro.obs.live timers"
+    rationale = (
+        "Scattered time.monotonic() calls fragment host-phase "
+        "accounting: a phase timed outside LiveTelemetry never reaches "
+        "the phase_seconds metric, the manifest's phases block, or the "
+        "OpenMetrics export, so the breakdown silently under-reports.  "
+        "All host timing goes through repro.obs.live phase timers "
+        "(ambient_phase / ambient_timer); only that module may read "
+        "the monotonic clock.")
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        # Unlike the NC10x rules this applies to *every* module, not
+        # just the cycle model — ad-hoc timing in tooling leaks past
+        # the phase breakdown just the same.
+        return ctx.module != _PHASE_TIMING_MODULE
+
+    def check(self, ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                if node.level:
+                    continue
+                for alias in node.names:
+                    if alias.name in ("monotonic", "monotonic_ns"):
+                        yield (node.lineno, node.col_offset,
+                               f"import of time.{alias.name} in "
+                               f"{ctx.module}; time host phases via "
+                               f"repro.obs.live timers instead")
+            elif isinstance(node, ast.Call):
+                name = _dotted_name(node.func)
+                if name in _MONOTONIC_CALLS:
+                    yield (node.lineno, node.col_offset,
+                           f"ad-hoc '{name}()' in {ctx.module}; time "
+                           f"host phases via repro.obs.live timers "
+                           f"(ambient_phase / LiveTelemetry.phase) "
+                           f"instead")

@@ -132,6 +132,31 @@ def _stream_note(base_extra: dict, cur_extra: dict) -> str:
     return f"  [{rate:,.0f} warm frames/s]"
 
 
+def registry_drift_notes(registry_dir: str, last: int) -> list[str]:
+    """Informational drift notes from the cross-run registry.
+
+    When ``--registry`` names a :class:`repro.obs.registry.RunRegistry`
+    store, the newest recorded run is compared against the previous
+    ``last``-record window per config fingerprint.  Like every other
+    note here these never gate: the hard gate stays the pinned-baseline
+    threshold; the registry adds the *trajectory* a single baseline
+    cannot show.
+    """
+    from repro.obs.registry import RunRegistry
+
+    registry = RunRegistry(registry_dir)
+    records = registry.records()
+    if len(records) < 2:
+        return [f"  [registry: {len(records)} recorded run(s), "
+                f"no history to compare]"]
+    findings = registry.regress(last=last)
+    if not findings:
+        return [f"  [registry: no drift over the last {last} "
+                f"recorded run(s)]"]
+    return [f"  [registry drift: {finding.format()}]"
+            for finding in findings]
+
+
 def compare(baseline: dict[str, dict], current: dict[str, dict],
             threshold: float, metric: str) -> list[str]:
     """Return the names of benchmarks regressed past ``threshold``.
@@ -186,6 +211,11 @@ def main(argv: list[str] | None = None) -> int:
                         choices=("min", "max", "mean", "median", "stddev"),
                         help="pytest-benchmark statistic to compare "
                              "(default: min)")
+    parser.add_argument("--registry", default=None,
+                        help="run-registry directory for informational "
+                             "drift notes against recorded history")
+    parser.add_argument("--last", type=int, default=5,
+                        help="registry window size (default 5)")
     args = parser.parse_args(argv)
 
     baseline = load_benchmarks(args.baseline)
@@ -193,6 +223,9 @@ def main(argv: list[str] | None = None) -> int:
     print(f"bench_compare: threshold +{args.threshold:.0%} on "
           f"'{args.metric}'")
     regressions = compare(baseline, current, args.threshold, args.metric)
+    if args.registry is not None:
+        for note in registry_drift_notes(args.registry, args.last):
+            print(note)
     if regressions:
         print(f"bench_compare: {len(regressions)} regression(s): "
               f"{', '.join(regressions)}")

@@ -25,6 +25,11 @@ class LayerStats:
         state_bytes, weight_bytes, duplicated_bytes: DRAM footprint.
         mean_packet_latency: mean inject-to-eject packet latency in
             cycles (0.0 for analytic rows, which don't model it).
+        pe_busy_cycles: PE cycles spent computing, summed over PEs
+            (0 for analytic rows, which don't measure it).
+        pe_idle_cycles: PE cycles stalled waiting for operands.
+        search_stall_cycles: cycles lost to cache sub-bank searches.
+        inject_stall_cycles: PNG cycles blocked by NoC backpressure.
     """
 
     name: str
@@ -43,6 +48,10 @@ class LayerStats:
     weight_bytes: int
     duplicated_bytes: int
     mean_packet_latency: float = 0.0
+    pe_busy_cycles: int = 0
+    pe_idle_cycles: int = 0
+    search_stall_cycles: int = 0
+    inject_stall_cycles: int = 0
 
     @property
     def total_bytes(self) -> int:
@@ -75,6 +84,11 @@ class RunReport:
             persistent memo store served this run, else None.  Kept
             duck-typed (``as_dict``/``any``/``format``) so this module
             stays below :mod:`repro.memo` in the layering.
+        attribution: per-layer bottleneck verdicts
+            (:class:`repro.obs.attribution.LayerAttribution`) when the
+            run was observed (trace or live session active), else
+            empty.  Duck-typed (``format``/``to_dict``) for the same
+            layering reason as ``memo``.
     """
 
     network_name: str
@@ -85,6 +99,7 @@ class RunReport:
     host_seconds: float = 0.0
     degraded: list = field(default_factory=list)
     memo: object | None = None
+    attribution: list = field(default_factory=list)
 
     @property
     def total_ops(self) -> int:
@@ -223,6 +238,8 @@ class RunReport:
                 f"({summary}); affected outputs are approximate")
         if self.memo is not None and self.memo.any:
             rows.append(f"MEMO: {self.memo.format()}")
+        for verdict in self.attribution:
+            rows.append(f"ATTRIBUTION: {verdict.format()}")
         return "\n".join(rows)
 
 

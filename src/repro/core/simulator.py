@@ -63,6 +63,12 @@ from repro.nn.layers import Flatten, MaxPool2D
 from repro.nn.network import Network
 from repro.noc.interconnect import Interconnect
 from repro.noc.topology import FullyConnected, Mesh2D
+from repro.obs.live import (
+    ambient_phase,
+    ambient_timer,
+    attribute_report,
+    current_live,
+)
 from repro.obs.session import current_session
 from repro.obs.tracer import Trace, TraceOptions, Tracer
 
@@ -251,7 +257,11 @@ class LayerRun:
             state_bytes=desc.layout.state_bytes,
             weight_bytes=desc.layout.weight_bytes,
             duplicated_bytes=desc.layout.duplicated_bytes,
-            mean_packet_latency=self.mean_packet_latency)
+            mean_packet_latency=self.mean_packet_latency,
+            pe_busy_cycles=self.pe_busy_cycles,
+            pe_idle_cycles=self.pe_idle_cycles,
+            search_stall_cycles=self.search_stall_cycles,
+            inject_stall_cycles=self.inject_stall_cycles)
 
 
 class _EventHorizonScheduler:
@@ -546,7 +556,11 @@ class NeurocubeSimulator:
         store: CheckpointStore | None = None
         every = 0
         if checkpoint is not None:
-            store = CheckpointStore(checkpoint.directory)
+            # Phase timing is parent-process only: worker processes have
+            # no ambient live session, so ambient_timer is None there
+            # and the store runs timer-free.
+            store = CheckpointStore(checkpoint.directory,
+                                    timer=ambient_timer("checkpoint"))
             every = checkpoint.every
             if checkpoint.resume:
                 resume_cycle = store.latest(pass_label)
@@ -589,6 +603,14 @@ class NeurocubeSimulator:
                     # stepped cycles, never changes results.
                     jump = min(jump,
                                (cycles // every + 1) * every - cycles - 1)
+                if jump > 0 and tracer is not None:
+                    # Same convention for counter samples: land one
+                    # cycle short of the next sample boundary so the
+                    # sample is taken on a stepped cycle — positions and
+                    # delta spans match lock-step sampling exactly.
+                    limit = tracer.sample_jump_limit(cycles)
+                    if limit is not None:
+                        jump = min(jump, limit)
                 if jump > 0:
                     if tracer is not None:
                         tracer.skip_ahead(cycles, jump)
@@ -758,6 +780,12 @@ class NeurocubeSimulator:
             act = layer.activation
             lut = act if isinstance(act, ActivationLUT) else ActivationLUT(act)
         memo = self._resolve_memo()
+        if memo is not None:
+            # Bill the store's disk I/O to the memo_io phase while a
+            # live session is ambient (None clears the hook otherwise).
+            # Parent-side only: the executor calls load/store in this
+            # process, the store object is never shipped to workers.
+            memo.timer = ambient_timer("memo_io")
         memo_before = memo.stats.copy() if memo is not None else None
         accum = _RunAccumulator()
         # Per-pass traces carry local clocks starting at 0; each one is
@@ -815,10 +843,33 @@ class NeurocubeSimulator:
             degraded=tuple(accum.degraded),
             memo_stats=(memo.stats.delta(memo_before)
                         if memo is not None else None))
+        if run.trace is not None:
+            # Self-describing traces: exported files carry the run's
+            # memo/fault/degradation counters without their manifest.
+            meta: dict = {"layer": desc.name, "kind": desc.kind}
+            if run.memo_stats is not None and run.memo_stats.any:
+                meta["memo"] = run.memo_stats.as_dict()
+            if run.fault_stats is not None:
+                meta["faults"] = {
+                    name: value for name, value
+                    in vars(run.fault_stats).items() if value}
+            if run.degraded:
+                meta["degraded_results"] = len(run.degraded)
+            run.trace.meta.update(meta)
         if session is not None:
             session.add_run(desc.name, run.trace, run.cycles,
                             run.host_seconds, stats=run.to_stats(),
-                            config=self.config)
+                            config=self.config, descriptor=desc)
+        live = current_live()
+        if live is not None:
+            live.observe_layer(
+                desc.name, run.cycles, run.host_seconds,
+                n_pe=self.config.n_pe, macs_fired=run.macs_fired,
+                pe_busy_cycles=run.pe_busy_cycles,
+                search_stall_cycles=run.search_stall_cycles,
+                inject_stall_cycles=run.inject_stall_cycles,
+                packets=run.packets, degraded=len(run.degraded),
+                memo_stats=run.memo_stats)
         if fault_session is not None and run.fault_stats is not None:
             fault_session.add_run(desc.name, run.fault_stats,
                                   run.degraded)
@@ -948,7 +999,8 @@ class NeurocubeSimulator:
         """
         from repro.fixedpoint import quantize_float
 
-        program = compile_inference(network, self.config, duplicate)
+        with ambient_phase("compile"):
+            program = compile_inference(network, self.config, duplicate)
         descriptors = {d.layer_index: d for d in program.descriptors}
         current = quantize_float(np.asarray(x, dtype=np.float64),
                                  self.config.qformat)
@@ -969,6 +1021,13 @@ class NeurocubeSimulator:
             report.degraded.extend(run.degraded)
             self._fold_memo_stats(report, run)
             current = run.output
+        if current_session() is not None or current_live() is not None:
+            # Observed runs get the post-run bottleneck verdicts; the
+            # bare path skips the analysis entirely (same guard
+            # convention as tracing — results are identical either way,
+            # attribution only *reads* the report).
+            report.attribution = attribute_report(
+                report, self.config, program.descriptors)
         return current, report
 
     @staticmethod
@@ -1009,7 +1068,8 @@ class NeurocubeSimulator:
         # Host wall-clock phase split only; never feeds any simulated
         # result.  nclint: allow(NC101) host-side timing
         started = time.perf_counter()
-        program = compile_inference(network, self.config, duplicate)
+        with ambient_phase("compile"):
+            program = compile_inference(network, self.config, duplicate)
         descriptors = {d.layer_index: d for d in program.descriptors}
         cold = RunReport(network_name=network.name,
                          f_clk_hz=self.config.f_pe_hz,

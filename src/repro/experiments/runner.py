@@ -35,6 +35,17 @@ into the top-level ``__memo__`` key.  ``--stream N`` streams N frames
 through streaming-capable experiments (``ext_stream``): timing is
 simulated once per distinct layer shape, then N frames replay it
 through the functional fast path.
+
+With ``--heartbeat N``, each experiment runs inside an ambient
+:class:`repro.obs.LiveTelemetry` session: host phases (compile /
+simulate / memo-I/O / checkpoint / trace-export) are timed, a heartbeat
+snapshot is taken every N simulated cycles, and a phase summary is
+printed to stderr.  Combined with ``--trace``, a
+``heartbeats_<id>.jsonl`` and an OpenMetrics ``metrics_<id>.txt`` land
+next to the trace, and the manifest embeds the phase breakdown.  With
+``--registry DIR`` (requires ``--trace``), each experiment's manifest
+is appended to the cross-run performance registry — browse it with
+``tools/ncbench.py timeline``.
 """
 
 from __future__ import annotations
@@ -106,6 +117,16 @@ def build_parser() -> argparse.ArgumentParser:
              "(ext_stream): timing is simulated once per distinct layer "
              "shape, then N frames replay it through the functional "
              "fast path")
+    run_parser.add_argument(
+        "--heartbeat", type=int, default=0, metavar="N",
+        help="live telemetry: time host phases and snapshot metrics "
+             "every N simulated cycles (0: off); with --trace, writes "
+             "heartbeats_<id>.jsonl and OpenMetrics metrics_<id>.txt "
+             "next to the trace")
+    run_parser.add_argument(
+        "--registry", default=None, metavar="DIR",
+        help="append each experiment's manifest to the cross-run "
+             "performance registry under DIR (requires --trace)")
     sub.add_parser(
         "report",
         help="regenerate the paper-vs-measured summary (EXPERIMENTS.md "
@@ -168,6 +189,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments import ext_stream
 
         ext_stream.set_frame_count(stream)
+    heartbeat = getattr(args, "heartbeat", 0)
+    registry = getattr(args, "registry", None)
+    if registry is not None and not tracing:
+        print("neurocube-experiments: --registry needs --trace (the "
+              "registry records run manifests)", file=sys.stderr)
+        return 2
     memo_totals = None
     collected = {}
     try:
@@ -176,10 +203,12 @@ def main(argv: list[str] | None = None) -> int:
             if tracing:
                 result, memo_stats = _run_traced(
                     experiment, args.trace_dir, faults=faults,
-                    checkpoint=checkpoint, memo=memo)
+                    checkpoint=checkpoint, memo=memo,
+                    heartbeat=heartbeat, registry=registry)
             else:
-                result, memo_stats = _run_sessioned(
-                    experiment, faults, checkpoint, memo=memo)
+                result, memo_stats = _run_live(
+                    experiment, faults, checkpoint, memo=memo,
+                    heartbeat=heartbeat)
             if memo_stats is not None:
                 if memo_totals is None:
                     from repro.memo import MemoStats
@@ -275,10 +304,35 @@ def _run_sessioned(experiment, faults, checkpoint, memo=None):
     return result, memo_stats
 
 
+def _live_summary(exp_id: str, live) -> None:
+    """Print a live session's phase/heartbeat summary to stderr."""
+    phases = ", ".join(f"{name}={seconds:.3f}s" for name, seconds
+                       in live.phase_breakdown().items())
+    print(f"[live] {exp_id}: {live.cycles} cycles, "
+          f"{len(live.heartbeats)} heartbeat(s), "
+          f"phases {phases or 'none'}", file=sys.stderr)
+
+
+def _run_live(experiment, faults, checkpoint, memo=None, heartbeat=0):
+    """Untraced run, optionally inside a live-telemetry session."""
+    if not heartbeat:
+        return _run_sessioned(experiment, faults, checkpoint, memo=memo)
+    from repro.obs import LiveTelemetry
+
+    with LiveTelemetry(heartbeat_cycles=heartbeat) as live:
+        result, memo_stats = _run_sessioned(experiment, faults,
+                                            checkpoint, memo=memo)
+    _live_summary(experiment.exp_id, live)
+    return result, memo_stats
+
+
 def _run_traced(experiment, trace_dir: str, faults=None, checkpoint=None,
-                memo=None):
+                memo=None, heartbeat=0, registry=None):
     """Run one experiment inside a trace session; write its artifacts."""
+    import contextlib
+
     from repro.obs import (
+        LiveTelemetry,
         TraceSession,
         manifest_from_session,
         write_manifest,
@@ -287,19 +341,43 @@ def _run_traced(experiment, trace_dir: str, faults=None, checkpoint=None,
 
     out_dir = pathlib.Path(trace_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
-    with TraceSession() as session:
+    live = None
+    if heartbeat:
+        live = LiveTelemetry(
+            heartbeat_cycles=heartbeat,
+            heartbeat_path=str(
+                out_dir / f"heartbeats_{experiment.exp_id}.jsonl"))
+    with contextlib.ExitStack() as stack:
+        if live is not None:
+            stack.enter_context(live)
+        session = stack.enter_context(TraceSession())
         result, memo_stats = _run_sessioned(experiment, faults,
                                             checkpoint, memo=memo)
-    manifest = manifest_from_session(experiment.exp_id, session)
-    manifest_path = out_dir / f"manifest_{experiment.exp_id}.json"
-    write_manifest(manifest, str(manifest_path))
-    print(f"[trace] wrote {manifest_path}", file=sys.stderr)
     if session.runs:
         trace_path = out_dir / f"trace_{experiment.exp_id}.json"
-        write_trace(session.merged_trace(), str(trace_path))
+        with (live.phase("trace_export") if live is not None
+              else contextlib.nullcontext()):
+            write_trace(session.merged_trace(), str(trace_path))
         print(f"[trace] wrote {trace_path} "
               f"({session.total_cycles} cycles, "
               f"{len(session.runs)} runs)", file=sys.stderr)
+    manifest = manifest_from_session(
+        experiment.exp_id, session,
+        phases=live.phase_breakdown() if live is not None else None)
+    manifest_path = out_dir / f"manifest_{experiment.exp_id}.json"
+    write_manifest(manifest, str(manifest_path))
+    print(f"[trace] wrote {manifest_path}", file=sys.stderr)
+    if live is not None:
+        metrics_path = out_dir / f"metrics_{experiment.exp_id}.txt"
+        live.write_openmetrics(str(metrics_path))
+        _live_summary(experiment.exp_id, live)
+    if registry is not None:
+        from repro.obs import RunRegistry
+
+        record_path = RunRegistry(registry).record_run(
+            manifest, attribution=manifest.get("attribution") or (),
+            label=experiment.exp_id)
+        print(f"[registry] recorded {record_path}", file=sys.stderr)
     return result, memo_stats
 
 

@@ -64,11 +64,20 @@ class CheckpointStore:
 
     Writes are atomic (temp file + ``os.replace``) so a crash mid-save
     never leaves a truncated snapshot for resume to trip over.
+
+    Args:
+        directory: where snapshot files live (created on demand).
+        timer: optional zero-arg callable returning a context manager;
+            when set, every :meth:`save`/:meth:`load` wraps its disk
+            I/O in one (how live telemetry bills the ``checkpoint``
+            phase without this module importing the obs layer).  Host-
+            side only — it never affects snapshot contents.
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(self, directory: str | Path, timer=None) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
+        self.timer = timer
 
     def _path(self, label: str, cycle: int) -> Path:
         if "@" in label or "/" in label:
@@ -82,9 +91,17 @@ class CheckpointStore:
         payload = {"version": CHECKPOINT_VERSION, "label": label,
                    "cycle": cycle, "state": state}
         tmp = path.with_suffix(".tmp")
-        with tmp.open("wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        if self.timer is not None:
+            with self.timer():
+                with tmp.open("wb") as handle:
+                    pickle.dump(payload, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+        else:
+            with tmp.open("wb") as handle:
+                pickle.dump(payload, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
         return path
 
     def checkpoints(self, label: str) -> list[int]:
@@ -106,8 +123,12 @@ class CheckpointStore:
         """Load one snapshot's state dict (validates version + header)."""
         path = self._path(label, cycle)
         try:
-            with path.open("rb") as handle:
-                payload = pickle.load(handle)
+            if self.timer is not None:
+                with self.timer(), path.open("rb") as handle:
+                    payload = pickle.load(handle)
+            else:
+                with path.open("rb") as handle:
+                    payload = pickle.load(handle)
         except FileNotFoundError as error:
             raise SimulationError(
                 f"no checkpoint {label!r} @ cycle {cycle} in "

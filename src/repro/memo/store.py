@@ -227,6 +227,14 @@ class MemoStore:
         max_bytes: total on-disk budget for the *whole root* (all
             fingerprints); least-recently-used entries are evicted after
             every write until the root fits.  None disables eviction.
+
+    Attributes:
+        timer: optional zero-arg callable returning a context manager;
+            when set, every :meth:`load`/:meth:`store` wraps its disk
+            I/O in one (how live telemetry bills the ``memo_io`` phase
+            without this module importing the obs layer).  The
+            simulator sets/clears it per run; it is host-side only and
+            never affects what is loaded or stored.
     """
 
     def __init__(self, directory: str | Path, config: NeurocubeConfig,
@@ -240,6 +248,7 @@ class MemoStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
         self.stats = MemoStats()
+        self.timer = None
 
     # ------------------------------------------------------------------
     # lookup / store
@@ -259,8 +268,12 @@ class MemoStore:
         """
         path = self._path(digest)
         try:
-            with path.open("rb") as handle:
-                payload = pickle.load(handle)
+            if self.timer is not None:
+                with self.timer(), path.open("rb") as handle:
+                    payload = pickle.load(handle)
+            else:
+                with path.open("rb") as handle:
+                    payload = pickle.load(handle)
         except FileNotFoundError:
             self.stats.misses += 1
             return None
@@ -334,9 +347,17 @@ class MemoStore:
             "outcome": outcome,
         }
         tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
-        with tmp.open("wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-        os.replace(tmp, path)
+        if self.timer is not None:
+            with self.timer():
+                with tmp.open("wb") as handle:
+                    pickle.dump(payload, handle,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+        else:
+            with tmp.open("wb") as handle:
+                pickle.dump(payload, handle,
+                            protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
         self.stats.stores += 1
         self._evict()
 

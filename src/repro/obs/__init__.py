@@ -1,16 +1,27 @@
 """Observability for the Neurocube simulator (`repro.obs`).
 
 Cycle-level tracing with typed event spans, sampled time-series
-counters, packet-latency histograms, Chrome-trace/CSV exporters and
-per-run JSON manifests — see ``docs/observability.md`` for the event
-taxonomy, the manifest schema, and how to open traces in Perfetto.
+counters, packet-latency histograms, Chrome-trace/CSV exporters,
+per-run JSON manifests, live telemetry (phase timers, heartbeats,
+OpenMetrics snapshots), per-layer bottleneck attribution, and an
+append-only cross-run registry — see ``docs/observability.md`` for the
+event taxonomy, the manifest schema, the stable OpenMetrics names, and
+how to open traces in Perfetto.
 
 The package has three entry points:
 
 * explicit — ``NeurocubeSimulator(config, trace=TraceOptions())``;
 * ambient — ``with TraceSession() as session: ...`` captures every
   descriptor run in the block (how the runner's ``--trace`` works);
-* CLI — ``tools/ncprof.py record | summary | export | diff``.
+  ``with LiveTelemetry(...)`` likewise activates phase timers and
+  heartbeats for the block;
+* CLI — ``tools/ncprof.py record | summary | export | diff |
+  attribute`` and ``tools/ncbench.py record | timeline | regress |
+  export``.
+
+:mod:`repro.obs.attribution` is imported on demand (not re-exported
+here): it builds on :mod:`repro.core.analytic`, and importing it at
+package load would cycle through ``repro.core``.
 """
 
 from repro.obs.counters import CounterSeries, LatencyHistogram
@@ -22,7 +33,17 @@ from repro.obs.export import (
     write_events_csv,
     write_trace,
 )
+from repro.obs.live import (
+    METRIC_FAMILIES,
+    PHASES,
+    LiveTelemetry,
+    MetricsRegistry,
+    ambient_phase,
+    current_live,
+)
 from repro.obs.manifest import (
+    MANIFEST_VERSION,
+    SUPPORTED_MANIFEST_VERSIONS,
     build_manifest,
     config_digest,
     diff_manifests,
@@ -31,6 +52,7 @@ from repro.obs.manifest import (
     manifest_from_session,
     write_manifest,
 )
+from repro.obs.registry import RunRegistry
 from repro.obs.session import CapturedRun, TraceSession, current_session
 from repro.obs.tracer import (
     ALL_KINDS,
@@ -55,19 +77,28 @@ __all__ = [
     "CapturedRun",
     "CounterSeries",
     "LatencyHistogram",
+    "LiveTelemetry",
+    "MANIFEST_VERSION",
+    "METRIC_FAMILIES",
+    "MetricsRegistry",
     "MAC_FIRE",
     "NOC_DELIVER",
     "NOC_HOP",
+    "PHASES",
     "PNG_INJECT",
+    "RunRegistry",
     "SKIP_AHEAD",
     "SPAN_KINDS",
+    "SUPPORTED_MANIFEST_VERSIONS",
     "Trace",
     "TraceOptions",
     "TraceSession",
     "Tracer",
     "VAULT_READ",
+    "ambient_phase",
     "build_manifest",
     "config_digest",
+    "current_live",
     "current_session",
     "diff_manifests",
     "git_revision",

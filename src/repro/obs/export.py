@@ -58,10 +58,14 @@ def to_chrome_trace(trace: Trace) -> dict:
             events.append({"ph": "C", "pid": TRACE_PID, "tid": 0,
                            "name": name, "ts": cycle,
                            "args": {"value": value}})
+    other: dict = {"clock": "reference cycles (1 us = 1 cycle)",
+                   "simulated_cycles": trace.cycles,
+                   "dropped_events": trace.dropped_events}
+    # Run-level annotations (memo/fault/degradation counters) make the
+    # exported file self-describing without its manifest.
+    other.update(trace.meta)
     return {"traceEvents": events, "displayTimeUnit": "ms",
-            "otherData": {"clock": "reference cycles (1 us = 1 cycle)",
-                          "simulated_cycles": trace.cycles,
-                          "dropped_events": trace.dropped_events}}
+            "otherData": other}
 
 
 def write_chrome_trace(trace: Trace, path: str) -> None:

@@ -15,8 +15,16 @@ import platform
 import subprocess
 import time
 
+from repro.errors import SchemaMismatch
+
 MANIFEST_KIND = "neurocube-manifest"
-MANIFEST_VERSION = 1
+#: Current schema: v2 adds the optional ``attribution`` (per-layer
+#: bottleneck verdicts) and ``phases`` (host wall-clock breakdown)
+#: blocks.  Readers tolerate every version in
+#: :data:`SUPPORTED_MANIFEST_VERSIONS` — all v2 additions are optional
+#: keys, so v1 manifests read (and diff) cleanly.
+MANIFEST_VERSION = 2
+SUPPORTED_MANIFEST_VERSIONS = (1, 2)
 
 
 def config_to_dict(config) -> dict:
@@ -68,7 +76,8 @@ def _layer_entry(stats) -> dict:
 
 def build_manifest(label: str, *, config=None, layers=(), seed=None,
                    host_seconds: float = 0.0, trace=None,
-                   extra: dict | None = None) -> dict:
+                   extra: dict | None = None, attribution=(),
+                   phases: dict | None = None) -> dict:
     """Assemble a manifest dict.
 
     Args:
@@ -81,6 +90,12 @@ def build_manifest(label: str, *, config=None, layers=(), seed=None,
         trace: optional :class:`~repro.obs.tracer.Trace` whose summary
             (event counts, latency) is embedded.
         extra: free-form additional fields, stored under ``"extra"``.
+        attribution: per-layer
+            :class:`~repro.obs.attribution.LayerAttribution` verdicts
+            (or pre-serialised dicts), embedded under ``"attribution"``
+            (v2).
+        phases: host wall-clock phase breakdown (phase name ->
+            seconds), embedded under ``"phases"`` (v2).
     """
     layer_rows = [_layer_entry(layer) for layer in layers]
     total_cycles = sum(float(row.get("cycles", 0)) for row in layer_rows)
@@ -114,18 +129,41 @@ def build_manifest(label: str, *, config=None, layers=(), seed=None,
             "mean_packet_latency": trace.latency.mean,
             "p90_packet_latency": trace.latency.percentile(0.90),
         }
+    if attribution:
+        manifest["attribution"] = [
+            entry.to_dict() if hasattr(entry, "to_dict")
+            else _plain(dict(entry))
+            for entry in attribution]
+    if phases:
+        manifest["phases"] = _plain(dict(phases))
     if extra:
         manifest["extra"] = _plain(extra)
     return manifest
 
 
-def manifest_from_session(label: str, session, extra=None) -> dict:
-    """Build a manifest from a finished :class:`TraceSession`."""
+def manifest_from_session(label: str, session, extra=None,
+                          phases: dict | None = None) -> dict:
+    """Build a manifest from a finished :class:`TraceSession`.
+
+    When the session captured descriptors alongside its stats (and a
+    config), per-layer bottleneck attribution is computed and embedded
+    — the manifest carries the verdicts that explain its own numbers.
+    """
     layers = [run.stats for run in session.runs if run.stats is not None]
     trace = session.merged_trace() if session.runs else None
+    attribution = ()
+    descriptors = getattr(session, "descriptors", [])
+    if session.config is not None and descriptors and layers:
+        # Imported lazily: attribution builds on repro.core.analytic,
+        # which sits above this module in the layering.
+        from repro.obs.attribution import attribute_layers
+
+        attribution = attribute_layers(layers, descriptors,
+                                       session.config)
     return build_manifest(label, config=session.config, layers=layers,
                           host_seconds=session.total_host_seconds,
-                          trace=trace, extra=extra)
+                          trace=trace, extra=extra,
+                          attribution=attribution, phases=phases)
 
 
 def write_manifest(manifest: dict, path: str) -> None:
@@ -135,10 +173,23 @@ def write_manifest(manifest: dict, path: str) -> None:
 
 
 def load_manifest(path: str) -> dict:
+    """Load and validate one manifest.
+
+    Raises :class:`ValueError` when the file is not a manifest at all
+    (wrong ``kind``), and :class:`~repro.errors.SchemaMismatch` when it
+    *is* one but declares a schema version this build cannot read —
+    the distinction lets ``ncprof diff`` explain "re-record with this
+    checkout" instead of a KeyError deep in the diff.
+    """
     with open(path) as handle:
         data = json.load(handle)
     if data.get("kind") != MANIFEST_KIND:
         raise ValueError(f"{path} is not a neurocube manifest")
+    version = data.get("version")
+    if version not in SUPPORTED_MANIFEST_VERSIONS:
+        raise SchemaMismatch(
+            f"{path} has manifest schema version {version!r}; this "
+            f"build reads {SUPPORTED_MANIFEST_VERSIONS}")
     return data
 
 
@@ -149,6 +200,13 @@ def diff_manifests(a: dict, b: dict) -> str:
     packet deltas (matched by layer name), and total deltas.
     """
     lines = [f"manifest diff: {a.get('label')} -> {b.get('label')}"]
+    ver_a, ver_b = a.get("version"), b.get("version")
+    if ver_a != ver_b:
+        # Cross-version diffs are supported (every field below reads
+        # with .get defaults); the note explains why one side may lack
+        # v2-only blocks like attribution or phases.
+        lines.append(f"  schema: v{ver_a} vs v{ver_b} "
+                     f"(fields absent in the older schema are skipped)")
     hash_a, hash_b = a.get("config_hash"), b.get("config_hash")
     if hash_a != hash_b:
         lines.append(f"  CONFIG MISMATCH: {hash_a} vs {hash_b} — "

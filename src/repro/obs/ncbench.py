@@ -1,0 +1,177 @@
+"""ncbench — cross-run performance registry CLI.
+
+Front end for :mod:`repro.obs.registry`: appends run records (manifest
++ attribution + bench metrics), prints metric timelines across recorded
+runs, flags drift in the last-K window, and exports the whole store as
+one JSON artifact.
+
+Usage (installed as the ``ncbench`` console script; from a checkout use
+``python tools/ncbench.py`` with the same arguments)::
+
+    ncbench record --registry DIR [--manifest M.json] [--bench B.json]
+                   [--label NAME]
+    ncbench timeline --registry DIR [--fingerprint FP] [--metric PATH]
+    ncbench regress --registry DIR [--last K] [--threshold 0.30]
+    ncbench export --registry DIR [--out FILE]
+
+``record`` turns one-shot artifacts into trajectory points; ``regress``
+exits 1 on drift (0 with fewer than 2 recorded runs — an empty or
+fresh store is not a regression), so CI can run it informationally.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.errors import SchemaMismatch
+from repro.obs.manifest import load_manifest
+from repro.obs.registry import DEFAULT_METRICS, RunRegistry
+
+
+def _load_bench(path: str) -> dict:
+    """The per-benchmark stats/extra_info table from a BENCH_*.json."""
+    from repro.bench_compare import load_benchmarks
+
+    return load_benchmarks(path)
+
+
+def cmd_record(args: argparse.Namespace) -> int:
+    registry = RunRegistry(args.registry)
+    if args.manifest is not None:
+        try:
+            manifest = load_manifest(args.manifest)
+        except SchemaMismatch as error:
+            print(f"ncbench: {error}", file=sys.stderr)
+            return 2
+    else:
+        # A bench-only record still needs a manifest shell so the
+        # fingerprint/label plumbing has one shape everywhere.
+        manifest = {"kind": "neurocube-manifest", "version": 0,
+                    "label": args.label or "bench-only",
+                    "config_hash": None, "created_unix": time.time()}
+    attribution = manifest.get("attribution") or ()
+    bench = _load_bench(args.bench) if args.bench is not None else None
+    path = registry.record_run(manifest, attribution=attribution,
+                               bench=bench, label=args.label)
+    print(f"ncbench: recorded {path}")
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    registry = RunRegistry(args.registry)
+    metrics = tuple(args.metric) if args.metric else DEFAULT_METRICS
+    rows = registry.timeline(args.fingerprint, metrics)
+    if not rows:
+        print("ncbench: no recorded runs")
+        return 0
+    header = f"{'recorded':<20}{'fingerprint':<18}{'label':<16}"
+    header += "".join(f"{metric:>28}" for metric in metrics)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        stamp = time.strftime("%Y-%m-%d %H:%M:%S", time.gmtime(
+            row["recorded_unix"] or 0))
+        line = (f"{stamp:<20}{str(row['fingerprint'])[:16]:<18}"
+                f"{str(row['label'])[:14]:<16}")
+        for metric in metrics:
+            value = row[metric]
+            line += (f"{value:>28.6g}"
+                     if isinstance(value, (int, float))
+                     else f"{'-':>28}")
+        print(line)
+    print(f"ncbench: {len(rows)} recorded run(s)")
+    return 0
+
+
+def cmd_regress(args: argparse.Namespace) -> int:
+    registry = RunRegistry(args.registry)
+    metrics = tuple(args.metric) if args.metric else DEFAULT_METRICS
+    total = len(registry.records(args.fingerprint))
+    if total < 2:
+        print(f"ncbench: {total} recorded run(s); nothing to compare")
+        return 0
+    findings = registry.regress(last=args.last,
+                                threshold=args.threshold,
+                                metrics=metrics,
+                                fingerprint=args.fingerprint)
+    if findings:
+        for finding in findings:
+            print(f"ncbench: DRIFT {finding.format()}")
+        return 1
+    print(f"ncbench: no drift over the last {args.last} run(s) "
+          f"(+{args.threshold:.0%} threshold)")
+    return 0
+
+
+def cmd_export(args: argparse.Namespace) -> int:
+    registry = RunRegistry(args.registry)
+    doc = registry.export()
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(doc, handle, indent=2)
+            handle.write("\n")
+        print(f"ncbench: wrote {args.out} "
+              f"({len(doc['records'])} record(s))")
+    else:
+        json.dump(doc, sys.stdout, indent=2)
+        print()
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ncbench",
+        description="Cross-run performance registry CLI.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser(
+        "record", help="append one run record to the registry")
+    record.add_argument("--registry", required=True,
+                        help="registry root directory")
+    record.add_argument("--manifest", default=None,
+                        help="run manifest JSON to embed")
+    record.add_argument("--bench", default=None,
+                        help="pytest-benchmark JSON to embed")
+    record.add_argument("--label", default=None,
+                        help="override the record label")
+    record.set_defaults(func=cmd_record)
+
+    timeline = sub.add_parser(
+        "timeline", help="print metrics across recorded runs")
+    timeline.add_argument("--registry", required=True)
+    timeline.add_argument("--fingerprint", default=None,
+                          help="restrict to one config fingerprint")
+    timeline.add_argument("--metric", action="append", default=None,
+                          help="dotted metric path (repeatable; "
+                               "default: totals.cycles + sim rate)")
+    timeline.set_defaults(func=cmd_timeline)
+
+    regress = sub.add_parser(
+        "regress", help="flag drift over the last-K recorded runs")
+    regress.add_argument("--registry", required=True)
+    regress.add_argument("--fingerprint", default=None)
+    regress.add_argument("--last", type=int, default=5,
+                         help="window size (default 5)")
+    regress.add_argument("--threshold", type=float, default=0.30,
+                         help="allowed fractional drift "
+                              "(default 0.30 = 30%%)")
+    regress.add_argument("--metric", action="append", default=None,
+                         help="dotted metric path (repeatable)")
+    regress.set_defaults(func=cmd_regress)
+
+    export = sub.add_parser(
+        "export", help="dump the whole registry as one JSON document")
+    export.add_argument("--registry", required=True)
+    export.add_argument("--out", default=None,
+                        help="output path (default: stdout)")
+    export.set_defaults(func=cmd_export)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

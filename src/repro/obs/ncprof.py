@@ -8,13 +8,16 @@ Usage (installed as the ``ncprof`` console script; from a checkout use
 ``python tools/ncprof.py`` with the same arguments)::
 
     ncprof record [--out DIR] [--label NAME] [--size N] [--workers N]
-                  [--sample-interval N] [--no-counters]
+                  [--sample-interval N] [--no-counters] [--heartbeat N]
     ncprof summary trace_or_manifest.json
     ncprof export trace.json --format chrome|csv [--out PATH]
     ncprof diff manifest_a.json manifest_b.json
+    ncprof attribute manifest.json [--json]
 
-``record`` simulates a small traced conv layer end to end and writes the
-native trace plus its manifest — the CI observability smoke path.
+``record`` simulates a small traced conv layer end to end and writes
+the native trace plus its manifest (plus an OpenMetrics snapshot and
+heartbeat JSONL with ``--heartbeat``) — the CI observability smoke
+path.  ``attribute`` prints a manifest's per-layer bottleneck verdicts.
 """
 
 from __future__ import annotations
@@ -25,6 +28,7 @@ import os
 import pathlib
 import sys
 
+from repro.errors import SchemaMismatch
 from repro.obs import (
     Trace,
     TraceOptions,
@@ -50,26 +54,43 @@ def cmd_record(args: argparse.Namespace) -> int:
     from repro.core import NeurocubeConfig, NeurocubeSimulator
     from repro.nn import models
 
+    from repro.obs.live import LiveTelemetry
+
     config = NeurocubeConfig.hmc_15nm()
     if args.workers is not None:
         config = dataclasses.replace(config, sim_workers=args.workers)
     net = models.single_conv_layer(args.size, args.size, 3, qformat=None)
     options = TraceOptions(counters=not args.no_counters,
                            sample_interval=args.sample_interval)
-    with TraceSession(options=options) as session:
-        NeurocubeSimulator(config).run_network(
-            net, np.zeros((1, args.size, args.size)))
     out_dir = pathlib.Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
+    heartbeat_path = (out_dir / f"heartbeats_{args.label}.jsonl"
+                      if args.heartbeat else None)
+    live = LiveTelemetry(
+        heartbeat_cycles=args.heartbeat,
+        heartbeat_path=(str(heartbeat_path)
+                        if heartbeat_path is not None else None))
+    with live, TraceSession(options=options) as session:
+        NeurocubeSimulator(config).run_network(
+            net, np.zeros((1, args.size, args.size)))
     trace_path = out_dir / f"trace_{args.label}.json"
     manifest_path = out_dir / f"manifest_{args.label}.json"
-    write_trace(session.merged_trace(), str(trace_path))
-    manifest = manifest_from_session(args.label, session)
+    with live.phase("trace_export"):
+        write_trace(session.merged_trace(), str(trace_path))
+    manifest = manifest_from_session(args.label, session,
+                                     phases=live.phase_breakdown())
     write_manifest(manifest, str(manifest_path))
     print(f"ncprof: recorded {session.total_cycles} cycles over "
           f"{len(session.runs)} layer run(s)")
     print(f"ncprof: wrote {trace_path}")
     print(f"ncprof: wrote {manifest_path}")
+    if args.heartbeat:
+        metrics_path = out_dir / f"metrics_{args.label}.txt"
+        live.write_openmetrics(str(metrics_path))
+        print(f"ncprof: wrote {metrics_path} "
+              f"({len(live.heartbeats)} heartbeat(s))")
+    for entry in manifest.get("attribution", []):
+        print(f"ncprof: {entry['name']} -> {entry['verdict']}")
     return 0
 
 
@@ -154,7 +175,47 @@ def cmd_export(args: argparse.Namespace) -> int:
 
 
 def cmd_diff(args: argparse.Namespace) -> int:
-    print(diff_manifests(load_manifest(args.a), load_manifest(args.b)))
+    try:
+        a, b = load_manifest(args.a), load_manifest(args.b)
+    except SchemaMismatch as error:
+        # A manifest from a newer checkout is a user-facing situation,
+        # not a crash: name the version gap and how to resolve it.
+        print(f"ncprof: {error}", file=sys.stderr)
+        print("ncprof: re-record the manifest with this checkout, or "
+              "diff with the checkout that wrote it", file=sys.stderr)
+        return 2
+    print(diff_manifests(a, b))
+    return 0
+
+
+def cmd_attribute(args: argparse.Namespace) -> int:
+    """Print a manifest's per-layer bottleneck verdicts."""
+    try:
+        manifest = load_manifest(args.path)
+    except SchemaMismatch as error:
+        print(f"ncprof: {error}", file=sys.stderr)
+        return 2
+    rows = manifest.get("attribution", [])
+    if not rows:
+        print(f"ncprof: {args.path} carries no attribution block "
+              f"(schema v{manifest.get('version')}; record with a "
+              f"trace session on a current checkout to embed verdicts)")
+        return 1
+    if args.json:
+        json.dump(rows, sys.stdout, indent=2)
+        print()
+        return 0
+    from repro.obs.attribution import LayerAttribution
+
+    print(f"attribution: {manifest.get('label')} "
+          f"(config {manifest.get('config_hash')})")
+    for row in rows:
+        print(f"  {LayerAttribution.from_dict(row).format()}")
+    phases = manifest.get("phases")
+    if phases:
+        shown = ", ".join(f"{name}={seconds:.3f}s"
+                          for name, seconds in phases.items())
+        print(f"  host phases: {shown}")
     return 0
 
 
@@ -178,6 +239,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="cycles between counter samples")
     record.add_argument("--no-counters", action="store_true",
                         help="record events only")
+    record.add_argument("--heartbeat", type=int, default=0,
+                        help="live-telemetry heartbeat period in cycles "
+                             "(0 disables; also writes an OpenMetrics "
+                             "snapshot and heartbeat JSONL)")
     record.set_defaults(func=cmd_record)
 
     summary = sub.add_parser(
@@ -198,6 +263,14 @@ def main(argv: list[str] | None = None) -> int:
     diff.add_argument("a", help="baseline manifest")
     diff.add_argument("b", help="current manifest")
     diff.set_defaults(func=cmd_diff)
+
+    attribute = sub.add_parser(
+        "attribute", help="print a manifest's per-layer bottleneck "
+                          "verdicts")
+    attribute.add_argument("path", help="manifest_*.json")
+    attribute.add_argument("--json", action="store_true",
+                           help="emit the raw attribution block as JSON")
+    attribute.set_defaults(func=cmd_attribute)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -1,0 +1,247 @@
+"""Cross-run performance registry: append-only run-history store.
+
+``BENCH_*.json`` files and run manifests are one-shots — each CI run
+overwrites the last, so performance *trajectories* (is the simulator
+getting slower release over release? did a config change move the
+conv benchmark?) are invisible.  This module keeps them: an
+append-only, fingerprint-keyed store of schema-versioned run records
+(manifest + attribution + bench metrics), one JSON file per record:
+
+    <root>/<fingerprint>/run-<time_ns>-<pid>.json
+
+The fingerprint is the manifest's ``config_hash`` (PR-2's canonical
+config digest), so records are only ever compared against runs of the
+same architecture — the same apples-to-apples guard ``ncprof diff``
+applies.  Writes are atomic (PID-tempfile + ``os.replace``, the
+:mod:`repro.memo.store` idiom) and existing records are never mutated,
+so concurrent recorders cannot corrupt each other.
+
+Like :mod:`repro.memo.store`, this module is an NC109-allowlisted
+persistence root: direct ``open()``/``pickle`` persistence elsewhere in
+the cycle model stays banned.  Unlike the memo store it lives in the
+obs layer, so wall-clock reads are legal (record timestamps are
+provenance, not simulation state).
+
+The ``ncbench`` CLI (:mod:`repro.obs.ncbench`) fronts this store with
+``record`` / ``timeline`` / ``regress`` / ``export`` subcommands, and
+``bench_compare --registry`` prints informational drift notes against
+the last-K recorded runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import ConfigurationError, SchemaMismatch
+
+REGISTRY_KIND = "neurocube-run-record"
+REGISTRY_VERSION = 1
+
+#: Partition for records whose manifest carries no config hash.
+UNFINGERPRINTED = "unfingerprinted"
+
+#: ``timeline``'s default metric menu: dotted paths into a record.
+DEFAULT_METRICS = ("totals.cycles", "totals.simulated_cycles_per_second")
+
+
+def metric_value(record: dict, path: str):
+    """Resolve a dotted metric path inside one record.
+
+    Paths resolve against the record root; ``totals.*`` is shorthand
+    for ``manifest.totals.*`` and ``bench.*`` digs into the recorded
+    bench metrics.  Returns None when any segment is missing.
+    """
+    parts = path.split(".")
+    if parts[0] == "totals":
+        parts = ["manifest", "totals"] + parts[1:]
+    node = record
+    for part in parts:
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+@dataclass(frozen=True)
+class DriftFinding:
+    """One metric's drift verdict over the last-K recorded runs."""
+
+    fingerprint: str
+    metric: str
+    latest: float
+    reference: float
+    ratio: float
+    window: int
+
+    def format(self) -> str:
+        return (f"{self.fingerprint}/{self.metric}: latest "
+                f"{self.latest:.6g} vs best-of-{self.window} "
+                f"{self.reference:.6g} ({self.ratio:.2f}x)")
+
+
+class RunRegistry:
+    """Append-only, fingerprint-keyed store of run records."""
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+
+    # -- writing --------------------------------------------------------
+
+    def record_run(self, manifest: dict, *, attribution=None,
+                   bench: dict | None = None,
+                   label: str | None = None) -> Path:
+        """Append one record; returns the path written.
+
+        Args:
+            manifest: a run manifest dict (any supported schema
+                version); its ``config_hash`` keys the partition.
+            attribution: optional list of
+                :class:`repro.obs.attribution.LayerAttribution` (or
+                already-plain dicts) to embed.
+            bench: optional bench-metrics dict (e.g. the per-benchmark
+                ``stats``/``extra_info`` table from a BENCH_*.json).
+            label: overrides the manifest's label on the record.
+        """
+        if not isinstance(manifest, dict):
+            raise ConfigurationError(
+                f"manifest must be a dict, got {type(manifest).__name__}")
+        fingerprint = manifest.get("config_hash") or UNFINGERPRINTED
+        rows = []
+        for entry in attribution or ():
+            rows.append(entry.to_dict() if hasattr(entry, "to_dict")
+                        else dict(entry))
+        record = {
+            "kind": REGISTRY_KIND,
+            "version": REGISTRY_VERSION,
+            "recorded_unix": time.time(),
+            "label": label or manifest.get("label"),
+            "fingerprint": fingerprint,
+            "manifest": manifest,
+            "attribution": rows,
+            "bench": bench or {},
+        }
+        directory = self.root / fingerprint
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"run-{time.time_ns():020d}-{os.getpid()}.json"
+        tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+        tmp.write_text(json.dumps(record, indent=2) + "\n")
+        os.replace(tmp, path)
+        return path
+
+    # -- reading --------------------------------------------------------
+
+    def fingerprints(self) -> list[str]:
+        """Partition names present in the store, sorted."""
+        if not self.root.is_dir():
+            return []
+        return sorted(entry.name for entry in self.root.iterdir()
+                      if entry.is_dir())
+
+    def records(self, fingerprint: str | None = None) -> list[dict]:
+        """All records (optionally one partition), oldest first.
+
+        Unreadable or foreign-kind files are skipped silently — the
+        store is append-only, so a torn write can only be a stray
+        tempfile from a crashed recorder.  A record with a *newer*
+        schema version raises :class:`~repro.errors.SchemaMismatch`
+        loudly instead: silently dropping it would make a regression
+        window quietly shorter than requested.
+        """
+        out: list[tuple[float, str, dict]] = []
+        parts = ([fingerprint] if fingerprint is not None
+                 else self.fingerprints())
+        for part in parts:
+            directory = self.root / part
+            if not directory.is_dir():
+                continue
+            for path in directory.glob("run-*.json"):
+                try:
+                    record = json.loads(path.read_text())
+                except (OSError, json.JSONDecodeError):
+                    continue
+                if (not isinstance(record, dict)
+                        or record.get("kind") != REGISTRY_KIND):
+                    continue
+                if record.get("version", 0) > REGISTRY_VERSION:
+                    raise SchemaMismatch(
+                        f"{path} has registry schema version "
+                        f"{record.get('version')}; this build reads "
+                        f"<= {REGISTRY_VERSION}")
+                out.append((float(record.get("recorded_unix", 0.0)),
+                            path.name, record))
+        out.sort(key=lambda item: (item[0], item[1]))
+        return [record for _, _, record in out]
+
+    def timeline(self, fingerprint: str | None = None,
+                 metrics: tuple[str, ...] = DEFAULT_METRICS) -> list[
+                     dict]:
+        """Per-record metric rows, oldest first."""
+        rows = []
+        for record in self.records(fingerprint):
+            row = {
+                "recorded_unix": record.get("recorded_unix"),
+                "label": record.get("label"),
+                "fingerprint": record.get("fingerprint"),
+                "git_rev": (record.get("manifest") or {}).get("git_rev"),
+            }
+            for metric in metrics:
+                row[metric] = metric_value(record, metric)
+            rows.append(row)
+        return rows
+
+    def regress(self, *, last: int = 5, threshold: float = 0.30,
+                metrics: tuple[str, ...] = DEFAULT_METRICS,
+                fingerprint: str | None = None) -> list[DriftFinding]:
+        """Flag drift of the newest record against its predecessors.
+
+        For each fingerprint partition with >= 2 records in the
+        ``last``-record window, compares the newest record's metrics
+        against the best among the earlier window records.  "Worse" is
+        metric-directional: cycles and ``*seconds*`` metrics regress
+        upward, rate metrics (``*_per_second``) regress downward.
+        """
+        findings: list[DriftFinding] = []
+        parts = ([fingerprint] if fingerprint is not None
+                 else self.fingerprints())
+        for part in parts:
+            window = self.records(part)[-last:]
+            if len(window) < 2:
+                continue
+            latest, earlier = window[-1], window[:-1]
+            for metric in metrics:
+                current = metric_value(latest, metric)
+                history = [metric_value(record, metric)
+                           for record in earlier]
+                history = [value for value in history
+                           if isinstance(value, (int, float)) and value]
+                if not isinstance(current, (int, float)) or not history:
+                    continue
+                higher_is_better = metric.endswith("_per_second")
+                reference = (max(history) if higher_is_better
+                             else min(history))
+                if reference == 0:
+                    continue
+                ratio = current / reference
+                regressed = (ratio < 1.0 / (1.0 + threshold)
+                             if higher_is_better
+                             else ratio > 1.0 + threshold)
+                if regressed:
+                    findings.append(DriftFinding(
+                        fingerprint=part, metric=metric,
+                        latest=float(current),
+                        reference=float(reference), ratio=ratio,
+                        window=len(window)))
+        return findings
+
+    def export(self) -> dict:
+        """The whole store as one JSON document (artifact upload)."""
+        return {
+            "kind": "neurocube-run-registry-export",
+            "version": REGISTRY_VERSION,
+            "fingerprints": self.fingerprints(),
+            "records": self.records(),
+        }

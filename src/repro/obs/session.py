@@ -37,6 +37,10 @@ class CapturedRun:
         cycles: simulated cycles.
         host_seconds: wall-clock host time of the run.
         stats: the run's :class:`repro.core.metrics.LayerStats` row.
+        descriptor: the compiled
+            :class:`repro.core.layerdesc.LayerDescriptor` the run
+            executed — lets post-run analysis (bottleneck attribution)
+            re-evaluate the analytic model against the measured stats.
     """
 
     label: str
@@ -44,6 +48,7 @@ class CapturedRun:
     cycles: int
     host_seconds: float
     stats: object = None
+    descriptor: object = None
 
 
 @dataclass
@@ -68,14 +73,21 @@ class TraceSession:
         _ACTIVE.remove(self)
 
     def add_run(self, label: str, trace: Trace, cycles: int,
-                host_seconds: float, stats=None, config=None) -> None:
+                host_seconds: float, stats=None, config=None,
+                descriptor=None) -> None:
         """Register one finished descriptor run (simulator callback)."""
         self.runs.append(CapturedRun(label=label, trace=trace,
                                      cycles=cycles,
                                      host_seconds=host_seconds,
-                                     stats=stats))
+                                     stats=stats, descriptor=descriptor))
         if config is not None:
             self.config = config
+
+    @property
+    def descriptors(self) -> list:
+        """Captured descriptors, in run order (Nones filtered)."""
+        return [run.descriptor for run in self.runs
+                if run.descriptor is not None]
 
     def merged_trace(self) -> Trace:
         """All captured runs on one clock, laid end to end in run order."""

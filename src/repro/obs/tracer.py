@@ -93,17 +93,22 @@ class Trace:
     """
 
     __slots__ = ("events", "counters", "latency", "cycles",
-                 "dropped_events")
+                 "dropped_events", "meta")
 
     def __init__(self, events: list | None = None,
                  counters: CounterSeries | None = None,
                  latency: LatencyHistogram | None = None,
-                 cycles: int = 0, dropped_events: int = 0) -> None:
+                 cycles: int = 0, dropped_events: int = 0,
+                 meta: dict | None = None) -> None:
         self.events: list[tuple] = events if events is not None else []
         self.counters = counters if counters is not None else CounterSeries()
         self.latency = latency if latency is not None else LatencyHistogram()
         self.cycles = cycles
         self.dropped_events = dropped_events
+        # Run-level annotations (memo/fault/degradation counters) merged
+        # in by the session; rides into exports so a trace file is
+        # self-describing without its manifest.
+        self.meta: dict = meta if meta is not None else {}
 
     # -- introspection --------------------------------------------------
 
@@ -142,19 +147,24 @@ class Trace:
             out.latency.merge_from(part.latency)
             out.cycles = max(out.cycles, offset + part.cycles)
             out.dropped_events += part.dropped_events
+            if part.meta:
+                out.meta.update(part.meta)
         return out
 
     # -- persistence ----------------------------------------------------
 
     def to_dict(self) -> dict:
         """JSON-compatible native trace representation."""
-        return {"kind": "neurocube-trace", "version": 1,
-                "cycles": self.cycles,
-                "dropped_events": self.dropped_events,
-                "events": [[kind, ts, dur, track, args]
-                           for kind, ts, dur, track, args in self.events],
-                "counters": self.counters.to_dict(),
-                "latency": self.latency.to_dict()}
+        doc = {"kind": "neurocube-trace", "version": 1,
+               "cycles": self.cycles,
+               "dropped_events": self.dropped_events,
+               "events": [[kind, ts, dur, track, args]
+                          for kind, ts, dur, track, args in self.events],
+               "counters": self.counters.to_dict(),
+               "latency": self.latency.to_dict()}
+        if self.meta:
+            doc["meta"] = self.meta
+        return doc
 
     @classmethod
     def from_dict(cls, data: dict) -> Trace:
@@ -169,7 +179,8 @@ class Trace:
                    latency=LatencyHistogram.from_dict(
                        data.get("latency", {})),
                    cycles=int(data.get("cycles", 0)),
-                   dropped_events=int(data.get("dropped_events", 0)))
+                   dropped_events=int(data.get("dropped_events", 0)),
+                   meta=dict(data.get("meta", {})))
 
     def __repr__(self) -> str:
         return (f"Trace(cycles={self.cycles}, events={len(self.events)}, "
@@ -282,13 +293,29 @@ class Tracer:
         """Attach the per-pass gauge reader built by the simulator."""
         self._sampler = sampler
 
+    def sample_jump_limit(self, cycle: int) -> int | None:
+        """Largest skip-ahead jump that lands before the next sample.
+
+        The simulator clamps its event-horizon jumps with this so every
+        sample is taken on a *stepped* cycle, exactly where lock-step
+        stepping would take it — sample positions, spans, and therefore
+        the delta-based counter values (MAC utilisation, vault
+        bandwidth) are bit-identical with and without skip-ahead.
+        Returns None when counter sampling is off (no clamp needed).
+        """
+        if self._sampler is None:
+            return None
+        boundary = (self._next_sample if self._next_sample > cycle
+                    else cycle + 1)
+        return boundary - cycle - 1
+
     def on_cycle(self, cycle: int) -> None:
         """Sample the counters when a sample is due.
 
-        Called once per stepped cycle; after a skip-ahead jump the next
-        call lands past several boundaries and takes one catch-up sample
-        (the skipped stretch was quiescent, so interior samples would
-        have repeated the same values).
+        Called once per stepped cycle; with skip-ahead the simulator
+        clamps jumps to :meth:`sample_jump_limit`, so every call that
+        samples lands on the same cycle lock-step stepping would
+        sample.
         """
         if self._sampler is None or cycle < self._next_sample:
             return

@@ -140,6 +140,16 @@ class TestChromeExport:
         assert data["otherData"]["simulated_cycles"] == (
             session.total_cycles)
 
+    def test_other_data_carries_run_meta(self, session):
+        """The exported file is self-describing: the run's layer/memo/
+        fault annotations ride in otherData without the manifest."""
+        trace = session.merged_trace()
+        assert trace.meta["layer"] == "conv"
+        assert trace.meta["kind"] == "conv"
+        other = to_chrome_trace(trace)["otherData"]
+        assert other["layer"] == "conv"
+        assert other["kind"] == "conv"
+
 
 class TestNativeAndCsvExport:
     def test_native_roundtrip(self, session, tmp_path):
@@ -149,6 +159,7 @@ class TestNativeAndCsvExport:
         restored = load_trace(str(path))
         assert [tuple(e) for e in restored.events] == trace.events
         assert restored.cycles == trace.cycles
+        assert restored.meta == trace.meta
 
     def test_counters_csv_parses(self, session, tmp_path):
         trace = session.merged_trace()

@@ -1,0 +1,246 @@
+"""Cross-run registry tests: append-only store semantics, drift
+detection, the ncbench CLI, and bench_compare's registry notes."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench_compare import registry_drift_notes
+from repro.errors import ConfigurationError, SchemaMismatch
+from repro.obs.ncbench import main as ncbench_main
+from repro.obs.registry import (
+    UNFINGERPRINTED,
+    DriftFinding,
+    RunRegistry,
+    metric_value,
+)
+
+
+def make_manifest(cycles=1000.0, rate=50_000.0, config_hash="cafe0123",
+                  label="conv", version=2, attribution=()):
+    manifest = {
+        "kind": "neurocube-manifest",
+        "version": version,
+        "label": label,
+        "config_hash": config_hash,
+        "git_rev": "deadbeef",
+        "totals": {"layers": 1, "cycles": cycles, "packets": 10.0,
+                   "host_seconds": cycles / rate,
+                   "simulated_cycles_per_second": rate},
+        "layers": [{"name": "conv", "kind": "conv", "cycles": cycles,
+                    "packets": 10.0}],
+    }
+    if attribution:
+        manifest["attribution"] = list(attribution)
+    return manifest
+
+
+class TestStore:
+    def test_record_layout_and_roundtrip(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        path = registry.record_run(make_manifest(), label="first")
+        assert path.parent == tmp_path / "cafe0123"
+        assert path.name.startswith("run-")
+        record = registry.records()[0]
+        assert record["kind"] == "neurocube-run-record"
+        assert record["version"] == 1
+        assert record["label"] == "first"
+        assert record["fingerprint"] == "cafe0123"
+        assert record["manifest"]["totals"]["cycles"] == 1000.0
+
+    def test_records_oldest_first_append_only(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        for label in ("a", "b", "c"):
+            registry.record_run(make_manifest(), label=label)
+        assert [r["label"] for r in registry.records()] == ["a", "b",
+                                                            "c"]
+        # Append-only: three distinct files, none rewritten.
+        assert len(list((tmp_path / "cafe0123").glob("run-*.json"))) == 3
+
+    def test_missing_fingerprint_partitions_separately(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record_run(make_manifest(config_hash=None))
+        registry.record_run(make_manifest())
+        assert registry.fingerprints() == ["cafe0123", UNFINGERPRINTED]
+
+    def test_non_dict_manifest_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            RunRegistry(tmp_path).record_run("not-a-dict")
+
+    def test_torn_and_foreign_files_skipped(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record_run(make_manifest())
+        part = tmp_path / "cafe0123"
+        (part / "run-torn.json").write_text("{not json")
+        (part / "run-alien.json").write_text(json.dumps({"kind": "x"}))
+        assert len(registry.records()) == 1
+
+    def test_newer_schema_raises_loudly(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        path = registry.record_run(make_manifest())
+        record = json.loads(path.read_text())
+        record["version"] = 99
+        path.write_text(json.dumps(record))
+        with pytest.raises(SchemaMismatch):
+            registry.records()
+
+    def test_metric_value_paths(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record_run(make_manifest(), bench={"conv": {
+            "stats": {"mean": 0.5}}})
+        record = registry.records()[0]
+        assert metric_value(record, "totals.cycles") == 1000.0
+        assert metric_value(record, "bench.conv.stats.mean") == 0.5
+        assert metric_value(record, "totals.absent") is None
+
+    def test_export_document(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record_run(make_manifest())
+        doc = registry.export()
+        assert doc["kind"] == "neurocube-run-registry-export"
+        assert doc["fingerprints"] == ["cafe0123"]
+        assert len(doc["records"]) == 1
+
+
+class TestRegress:
+    def test_single_record_never_drifts(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record_run(make_manifest())
+        assert registry.regress() == []
+
+    def test_cycles_regress_upward(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record_run(make_manifest(cycles=1000.0))
+        registry.record_run(make_manifest(cycles=2000.0))
+        findings = registry.regress(metrics=("totals.cycles",))
+        assert [f.metric for f in findings] == ["totals.cycles"]
+        assert findings[0].ratio == pytest.approx(2.0)
+
+    def test_rates_regress_downward(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record_run(make_manifest(rate=50_000.0))
+        registry.record_run(make_manifest(rate=20_000.0))
+        metric = "totals.simulated_cycles_per_second"
+        findings = registry.regress(metrics=(metric,))
+        assert [f.metric for f in findings] == [metric]
+        # A *faster* latest run is not drift.
+        registry.record_run(make_manifest(rate=60_000.0))
+        assert registry.regress(metrics=(metric,)) == []
+
+    def test_reference_is_best_of_window(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        for cycles in (1000.0, 5000.0, 1100.0):
+            registry.record_run(make_manifest(cycles=cycles))
+        # Latest 1100 vs best-of {1000, 5000} = 1000: +10%, no drift.
+        assert registry.regress(metrics=("totals.cycles",)) == []
+
+    def test_drift_finding_formats(self):
+        finding = DriftFinding(fingerprint="cafe", metric="t.c",
+                               latest=2.0, reference=1.0, ratio=2.0,
+                               window=3)
+        assert "2x" in finding.format().replace("2.00x", "2x")
+
+
+class TestNcbenchCli:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        """A registry dir plus two manifest files on disk."""
+        manifests = []
+        for index, cycles in enumerate((1000.0, 1200.0)):
+            path = tmp_path / f"manifest_{index}.json"
+            path.write_text(json.dumps(make_manifest(
+                cycles=cycles,
+                attribution=[{"name": "conv", "verdict":
+                              "compute-bound"}])))
+            manifests.append(path)
+        return tmp_path / "registry", manifests
+
+    def test_record_then_timeline_over_two_runs(self, store, capsys):
+        registry, manifests = store
+        for path in manifests:
+            assert ncbench_main(["record", "--registry", str(registry),
+                                 "--manifest", str(path)]) == 0
+        capsys.readouterr()
+        assert ncbench_main(["timeline", "--registry",
+                             str(registry)]) == 0
+        out = capsys.readouterr().out
+        assert "2 recorded run(s)" in out
+        assert "1000" in out and "1200" in out
+        # The embedded attribution rides along on the record.
+        records = RunRegistry(registry).records()
+        assert records[0]["attribution"][0]["verdict"] == (
+            "compute-bound")
+
+    def test_regress_exit_codes(self, store, capsys):
+        registry, manifests = store
+        ncbench_main(["record", "--registry", str(registry),
+                      "--manifest", str(manifests[0])])
+        # One record: informational success.
+        assert ncbench_main(["regress", "--registry",
+                             str(registry)]) == 0
+        ncbench_main(["record", "--registry", str(registry),
+                      "--manifest", str(manifests[1])])
+        capsys.readouterr()
+        # +20% cycles under the default 30% threshold: no drift.
+        assert ncbench_main(["regress", "--registry", str(registry),
+                             "--last", "5"]) == 0
+        assert "no drift" in capsys.readouterr().out
+        # Tighten the threshold: drift, exit 1.
+        assert ncbench_main(["regress", "--registry", str(registry),
+                             "--threshold", "0.1",
+                             "--metric", "totals.cycles"]) == 1
+        assert "DRIFT" in capsys.readouterr().out
+
+    def test_record_without_manifest_uses_shell(self, tmp_path,
+                                                capsys):
+        registry = tmp_path / "registry"
+        assert ncbench_main(["record", "--registry", str(registry),
+                             "--label", "bench-only"]) == 0
+        record = RunRegistry(registry).records()[0]
+        assert record["label"] == "bench-only"
+        assert record["fingerprint"] == UNFINGERPRINTED
+
+    def test_record_rejects_future_manifest(self, tmp_path, capsys):
+        bad = tmp_path / "future.json"
+        bad.write_text(json.dumps(make_manifest(version=99)))
+        assert ncbench_main(["record", "--registry",
+                             str(tmp_path / "registry"),
+                             "--manifest", str(bad)]) == 2
+        assert "schema version 99" in capsys.readouterr().err
+
+    def test_export_writes_artifact(self, store, tmp_path, capsys):
+        registry, manifests = store
+        ncbench_main(["record", "--registry", str(registry),
+                      "--manifest", str(manifests[0])])
+        out = tmp_path / "export.json"
+        assert ncbench_main(["export", "--registry", str(registry),
+                             "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["kind"] == "neurocube-run-registry-export"
+        assert len(doc["records"]) == 1
+
+
+class TestBenchCompareNotes:
+    def test_fresh_store_note(self, tmp_path):
+        notes = registry_drift_notes(str(tmp_path / "registry"), 5)
+        assert notes == ["  [registry: 0 recorded run(s), "
+                         "no history to compare]"]
+
+    def test_no_drift_note(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record_run(make_manifest(cycles=1000.0))
+        registry.record_run(make_manifest(cycles=1010.0))
+        notes = registry_drift_notes(str(tmp_path), 5)
+        assert notes == ["  [registry: no drift over the last 5 "
+                         "recorded run(s)]"]
+
+    def test_drift_note(self, tmp_path):
+        registry = RunRegistry(tmp_path)
+        registry.record_run(make_manifest(cycles=1000.0))
+        registry.record_run(make_manifest(cycles=3000.0))
+        notes = registry_drift_notes(str(tmp_path), 5)
+        assert len(notes) >= 1
+        assert all(note.startswith("  [registry drift:")
+                   for note in notes)

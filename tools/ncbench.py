@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Checkout shim for the ``ncbench`` CLI.
+
+The implementation lives in :mod:`repro.obs.ncbench` (installed as the
+``ncbench`` console script); this wrapper makes ``python
+tools/ncbench.py`` work from an uninstalled checkout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.obs.ncbench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
