@@ -132,6 +132,28 @@ def _stream_note(base_extra: dict, cur_extra: dict) -> str:
     return f"  [{rate:,.0f} warm frames/s]"
 
 
+def _cubes_note(cur_extra: dict) -> str:
+    """Format multi-cube sharding counters when a benchmark attached any.
+
+    Sharded benchmarks attach ``cubes`` (cluster size),
+    ``intercube_comm_cycles`` (cycles spent at exchange barriers) and
+    ``sharded_speedup`` (wall-clock factor over the serial sharded run).
+    Informational only — the hard gates (bit-identity, >= 2x on 4
+    cubes) are asserts inside the benchmarks themselves.
+    """
+    cubes = cur_extra.get("cubes")
+    if not cubes:
+        return ""
+    parts = [f"cubes: {cubes}"]
+    comm = cur_extra.get("intercube_comm_cycles")
+    if comm is not None:
+        parts.append(f"comm {comm:,.0f} cycles")
+    speedup = cur_extra.get("sharded_speedup")
+    if speedup is not None:
+        parts.append(f"{speedup:.2f}x sharded speedup")
+    return f"  [{', '.join(parts)}]"
+
+
 def registry_drift_notes(registry_dir: str, last: int) -> list[str]:
     """Informational drift notes from the cross-run registry.
 
@@ -192,6 +214,7 @@ def compare(baseline: dict[str, dict], current: dict[str, dict],
         note += _memo_note(current[name]["extra_info"])
         note += _stream_note(baseline[name]["extra_info"],
                              current[name]["extra_info"])
+        note += _cubes_note(current[name]["extra_info"])
         print(f"  {name}: {metric} {base_value:.6g}s -> {cur_value:.6g}s "
               f"({base_value / cur_value:.2f}x speedup)  {marker}{note}")
         if regressed:

@@ -36,6 +36,15 @@ from repro.core.multicube import (
     MultiCubeReport,
 )
 from repro.core.roofline import RooflineModel, RooflineReport
+from repro.core.shard import (
+    CubeLinkExchange,
+    CubeSlice,
+    ShardPlan,
+    ShardRunReport,
+    ShardedLayer,
+    ShardedSimulator,
+    shard_network,
+)
 
 __all__ = [
     "NeurocubeConfig",
@@ -70,4 +79,11 @@ __all__ = [
     "registers_for_descriptor",
     "RooflineModel",
     "RooflineReport",
+    "CubeLinkExchange",
+    "CubeSlice",
+    "ShardPlan",
+    "ShardRunReport",
+    "ShardedLayer",
+    "ShardedSimulator",
+    "shard_network",
 ]

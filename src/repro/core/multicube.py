@@ -22,7 +22,7 @@ all-gather.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.core.analytic import AnalyticModel
 from repro.core.compiler import compile_inference, compile_training
@@ -46,12 +46,18 @@ class MultiCubeConfig:
         n_cubes: number of cubes.
         links_per_cube: external SerDes links per cube.
         link_bandwidth: per-link bandwidth, bytes/s (HMC-Ext channel).
+        cube_capacity_bytes: per-cube vault DRAM capacity budget in
+            bytes, or None for unlimited.  When set, the sharded
+            partitioner (:func:`repro.core.shard.shard_network`) refuses
+            any plan whose per-cube footprint exceeds it — the mechanism
+            behind "this workload only fits when sharded".
     """
 
     cube: NeurocubeConfig
     n_cubes: int
     links_per_cube: int = LINKS_PER_CUBE
     link_bandwidth: float = HMC_EXT.peak_bandwidth
+    cube_capacity_bytes: float | None = None
 
     def __post_init__(self) -> None:
         if self.n_cubes < 1:
@@ -61,6 +67,11 @@ class MultiCubeConfig:
             raise ConfigurationError("links_per_cube must be >= 1")
         if self.link_bandwidth <= 0:
             raise ConfigurationError("link_bandwidth must be positive")
+        if (self.cube_capacity_bytes is not None
+                and self.cube_capacity_bytes <= 0):
+            raise ConfigurationError(
+                "cube_capacity_bytes must be positive when set, got "
+                f"{self.cube_capacity_bytes}")
 
     @property
     def total_peak_gops(self) -> float:
@@ -189,16 +200,29 @@ class MultiCubeModel:
         """Model the network on the cluster."""
         compiler = compile_training if training else compile_inference
         program = compiler(network, self.config.cube, duplicate)
+        return self.evaluate_program(program)
+
+    def evaluate_program(self, program,
+                         single_cycles=None) -> MultiCubeReport:
+        """Model an already-compiled program on the cluster.
+
+        ``single_cycles`` (per-descriptor single-cube cycle counts, in
+        descriptor order) lets :meth:`scaling_curve` evaluate them once
+        and reuse them for every cluster size; when None they are
+        computed here.
+        """
+        if single_cycles is None:
+            single_cycles = [
+                self._cube_model.evaluate_descriptor(d).cycles
+                for d in program.descriptors]
         n = self.config.n_cubes
         report = MultiCubeReport(
             network_name=program.network_name, n_cubes=n,
             f_clk_hz=self.config.cube.f_pe_hz,
             total_ops=program.total_ops,
-            single_cube_cycles=sum(
-                self._cube_model.evaluate_descriptor(d).cycles
-                for d in program.descriptors))
-        for desc in program.descriptors:
-            single = self._cube_model.evaluate_descriptor(desc).cycles
+            single_cube_cycles=sum(single_cycles))
+        for desc, single in zip(program.descriptors, single_cycles,
+                                strict=True):
             # Per-cube share: work divides by n; the per-pass overhead
             # (PNG programming) does not.
             overhead = (self._cube_model.factors.pass_overhead_cycles
@@ -211,13 +235,20 @@ class MultiCubeModel:
         return report
 
     def scaling_curve(self, network: Network, cube_counts,
-                      duplicate: bool = True) -> list[MultiCubeReport]:
-        """Evaluate the network across a range of cluster sizes."""
+                      duplicate: bool = True,
+                      training: bool = False) -> list[MultiCubeReport]:
+        """Evaluate the network across a range of cluster sizes.
+
+        The network is compiled once and the per-descriptor single-cube
+        cycles evaluated once; every cluster size reuses both (they do
+        not depend on ``n_cubes``).
+        """
+        compiler = compile_training if training else compile_inference
+        program = compiler(network, self.config.cube, duplicate)
+        single_cycles = [self._cube_model.evaluate_descriptor(d).cycles
+                         for d in program.descriptors]
         reports = []
         for n in cube_counts:
-            model = MultiCubeModel(MultiCubeConfig(
-                cube=self.config.cube, n_cubes=n,
-                links_per_cube=self.config.links_per_cube,
-                link_bandwidth=self.config.link_bandwidth))
-            reports.append(model.evaluate_network(network, duplicate))
+            model = MultiCubeModel(replace(self.config, n_cubes=n))
+            reports.append(model.evaluate_program(program, single_cycles))
         return reports

@@ -338,6 +338,17 @@ class ParallelPassExecutor:
                             else replace(rep, index=task.index))
         return outcomes
 
+    def map(self, worker, items: list) -> list:
+        """Run ``worker`` over arbitrary picklable items, in order.
+
+        The sharded multi-cube executor (:mod:`repro.core.shard`)
+        dispatches one item per cube through this; the same in-process
+        rule as :meth:`_execute` (``workers <= 1`` or a single item runs
+        inline through the identical code path) is what makes its
+        serial-vs-parallel bit-identity structural too.
+        """
+        return self._execute(worker, items)
+
     def _execute(self, worker, tasks: list[MapTask]) -> list[MapOutcome]:
         if self.workers == 1 or len(tasks) <= 1:
             return [worker(task) for task in tasks]

@@ -989,15 +989,31 @@ class NeurocubeSimulator:
     # ------------------------------------------------------------------
 
     def run_network(self, network: Network, x: np.ndarray,
-                    duplicate: bool = True) -> tuple[np.ndarray, RunReport]:
+                    duplicate: bool = True,
+                    cubes: int = 1) -> tuple[np.ndarray, RunReport]:
         """Simulate a full network on one input sample, layer by layer.
 
         ``x`` is quantised on entry; each layer's simulated output feeds
         the next, with ``Flatten`` applied as a host-side reshape.  Only
         practical for small networks — use the analytic model for
-        paper-scale ones.
+        paper-scale ones.  With ``cubes > 1`` the network is sharded
+        across a multi-cube cluster (:mod:`repro.core.shard`) and the
+        returned report is the cluster-level fold; the full
+        :class:`~repro.core.shard.ShardRunReport` is available through
+        :class:`~repro.core.shard.ShardedSimulator` directly.
         """
         from repro.fixedpoint import quantize_float
+
+        if cubes > 1:
+            from repro.core.multicube import MultiCubeConfig
+            from repro.core.shard import ShardedSimulator
+
+            sharded = ShardedSimulator(
+                MultiCubeConfig(cube=self.config, n_cubes=cubes),
+                faults=self.faults, checkpoint=self.checkpoint)
+            output, shard_report = sharded.run_network(network, x,
+                                                       duplicate)
+            return output, shard_report.report
 
         with ambient_phase("compile"):
             program = compile_inference(network, self.config, duplicate)

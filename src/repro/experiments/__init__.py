@@ -15,6 +15,7 @@ from repro.experiments.registry import EXPERIMENTS, get_experiment, register
 from repro.experiments import (  # noqa: E402  (registration imports)
     ext_lstm,
     ext_scaling,
+    ext_shard,
     ext_stream,
     fig01_memory_capacity,
     fig09_network_params,
@@ -35,6 +36,7 @@ __all__ = [
     "get_experiment",
     "ext_lstm",
     "ext_scaling",
+    "ext_shard",
     "ext_stream",
     "fig01_memory_capacity",
     "fig09_network_params",

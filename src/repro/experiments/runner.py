@@ -34,7 +34,10 @@ stderr per experiment (``[memo] ...``) and, with ``--json``, folded
 into the top-level ``__memo__`` key.  ``--stream N`` streams N frames
 through streaming-capable experiments (``ext_stream``): timing is
 simulated once per distinct layer shape, then N frames replay it
-through the functional fast path.
+through the functional fast path.  ``--cubes N`` shards multi-cube-
+capable experiments (``ext_shard``) across N cubes, one process per
+cube with conservative link-time sync — bit-identical to the same
+shards run serially (the experiment asserts it).
 
 With ``--heartbeat N``, each experiment runs inside an ambient
 :class:`repro.obs.LiveTelemetry` session: host phases (compile /
@@ -118,6 +121,11 @@ def build_parser() -> argparse.ArgumentParser:
              "shape, then N frames replay it through the functional "
              "fast path")
     run_parser.add_argument(
+        "--cubes", type=int, default=None, metavar="N",
+        help="shard multi-cube-capable experiments (ext_shard) across "
+             "N cubes: one process per cube with conservative link-time "
+             "sync, bit-identical to the same shards run serially")
+    run_parser.add_argument(
         "--heartbeat", type=int, default=0, metavar="N",
         help="live telemetry: time host phases and snapshot metrics "
              "every N simulated cycles (0: off); with --trace, writes "
@@ -189,6 +197,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments import ext_stream
 
         ext_stream.set_frame_count(stream)
+    cubes = getattr(args, "cubes", None)
+    if cubes is not None:
+        from repro.experiments import ext_shard
+
+        ext_shard.set_cube_count(cubes)
     heartbeat = getattr(args, "heartbeat", 0)
     registry = getattr(args, "registry", None)
     if registry is not None and not tracing:
@@ -226,6 +239,10 @@ def main(argv: list[str] | None = None) -> int:
             from repro.experiments import ext_stream
 
             ext_stream.set_frame_count(None)
+        if cubes is not None:
+            from repro.experiments import ext_shard
+
+            ext_shard.set_cube_count(None)
     if as_json:
         if memo_totals is not None:
             collected["__memo__"] = memo_totals.as_dict()

@@ -41,6 +41,12 @@ class FaultConfig:
         mac_stuck_rate: per-(PE, lane) probability that a MAC's output
             latch has one permanently stuck bit (a manufacturing/wear
             fault: constant for a given seed, not per-cycle).
+        intercube_corrupt_rate: per-transmission probability that an
+            inter-cube SerDes frame arrives corrupted (multi-cube
+            sharded runs only; protected by the same CRC/retransmit
+            protocol as mesh links — see docs/multicube.md).
+        intercube_drop_rate: per-transmission probability an inter-cube
+            frame is lost outright (detected by ack timeout).
         crc: stamp packets with a CRC-8 and check it at every link
             receive.  CRC-8 detects all single-bit corruptions, turning
             them into retries; with ``crc=False`` corrupted payloads
@@ -68,6 +74,8 @@ class FaultConfig:
     vault_jitter_rate: float = 0.0
     vault_jitter_max: int = 4
     mac_stuck_rate: float = 0.0
+    intercube_corrupt_rate: float = 0.0
+    intercube_drop_rate: float = 0.0
     crc: bool = True
     max_retries: int = 3
     retry_backoff: int = 2
@@ -76,7 +84,8 @@ class FaultConfig:
     def __post_init__(self) -> None:
         for name in ("dram_bitflip_rate", "noc_corrupt_rate",
                      "noc_drop_rate", "vault_jitter_rate",
-                     "mac_stuck_rate"):
+                     "mac_stuck_rate", "intercube_corrupt_rate",
+                     "intercube_drop_rate"):
             value = getattr(self, name)
             if not 0.0 <= value <= 1.0:
                 raise ConfigurationError(
@@ -84,6 +93,10 @@ class FaultConfig:
         if self.noc_corrupt_rate + self.noc_drop_rate > 1.0:
             raise ConfigurationError(
                 "noc_corrupt_rate + noc_drop_rate must not exceed 1")
+        if self.intercube_corrupt_rate + self.intercube_drop_rate > 1.0:
+            raise ConfigurationError(
+                "intercube_corrupt_rate + intercube_drop_rate must "
+                "not exceed 1")
         if self.ecc not in ECC_MODES:
             raise ConfigurationError(
                 f"unknown ECC model {self.ecc!r}; choose from {ECC_MODES}")
@@ -107,12 +120,20 @@ class FaultConfig:
                 or self.noc_corrupt_rate > 0.0
                 or self.noc_drop_rate > 0.0
                 or self.vault_jitter_rate > 0.0
-                or self.mac_stuck_rate > 0.0)
+                or self.mac_stuck_rate > 0.0
+                or self.intercube_corrupt_rate > 0.0
+                or self.intercube_drop_rate > 0.0)
 
     @property
     def noc_active(self) -> bool:
         """True when the link stage must run its fault/retry path."""
         return self.noc_corrupt_rate > 0.0 or self.noc_drop_rate > 0.0
+
+    @property
+    def intercube_active(self) -> bool:
+        """True when inter-cube exchanges must run their fault path."""
+        return (self.intercube_corrupt_rate > 0.0
+                or self.intercube_drop_rate > 0.0)
 
     def with_(self, **overrides) -> FaultConfig:
         """A copy with the given fields replaced."""

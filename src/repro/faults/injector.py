@@ -37,6 +37,8 @@ SITE_LINK_BIT = 4
 SITE_JITTER = 5
 SITE_JITTER_SPAN = 6
 SITE_MAC = 7
+SITE_CUBE_LINK = 8
+SITE_CUBE_LINK_BIT = 9
 
 
 def _flip_bits(raw: int, bits: tuple[int, ...]) -> int:
@@ -72,6 +74,11 @@ class FaultStats:
     watchdog_fires: int = 0
     writebacks_forgiven: int = 0
     late_packets: int = 0
+    intercube_corruptions: int = 0
+    intercube_drops: int = 0
+    intercube_silent_corruptions: int = 0
+    intercube_retries: int = 0
+    intercube_frames_lost: int = 0
 
     def merge(self, other: FaultStats) -> None:
         """Fold another pass's counters in (serial fold order)."""
@@ -276,6 +283,89 @@ class FaultInjector:
         bit = self.rng.randint(ITEM_BITS, self.salt, SITE_LINK_BIT,
                                link_index, cycle)
         return _flip_bits(raw, (bit,))
+
+    # ------------------------------------------------------------------
+    # inter-cube SerDes link transients (multi-cube sharded runs)
+    # ------------------------------------------------------------------
+
+    @property
+    def intercube_active(self) -> bool:
+        """True when inter-cube exchanges must take their fault path."""
+        return self.config.intercube_active
+
+    def intercube_fault(self, exchange_salt: int, cube: int,
+                        attempt: int) -> str | None:
+        """Fault outcome for one inter-cube frame transmission attempt.
+
+        Returns "drop", "corrupt" or None.  Keyed by the exchange's
+        *logical* identity (a :func:`repro.faults.rng.pass_salt` of the
+        exchange index and receiving cube) plus the attempt number —
+        never by wall order or worker identity — so serial and sharded
+        executions of the same plan draw the identical fault set.
+        """
+        config = self.config
+        u = self.rng.uniform(self.salt, SITE_CUBE_LINK, exchange_salt,
+                             cube, attempt)
+        if u < config.intercube_drop_rate:
+            return "drop"
+        if u < config.intercube_drop_rate + config.intercube_corrupt_rate:
+            return "corrupt"
+        return None
+
+    def intercube_corrupt_site(self, exchange_salt: int, cube: int,
+                               n_items: int) -> tuple[int, int]:
+        """(item index, bit) of a silent inter-cube frame corruption."""
+        item = self.rng.randint(max(1, n_items), self.salt,
+                                SITE_CUBE_LINK_BIT, exchange_salt, cube, 1)
+        bit = self.rng.randint(ITEM_BITS, self.salt, SITE_CUBE_LINK_BIT,
+                               exchange_salt, cube, 2)
+        return item, bit
+
+    def intercube_transfer(self, exchange_salt: int, cube: int,
+                           serialization_cycles: int) -> tuple[int, int,
+                                                               str | None]:
+        """Run the CRC/retransmit protocol for one cube's inbound frame.
+
+        Mirrors the mesh-link protocol at frame granularity: with CRC
+        on, a corrupted frame is detected and retransmitted (retry ``k``
+        waits ``retry_backoff * 2**k`` cycles plus the frame's
+        serialization time again); a dropped frame additionally waits
+        one ``retry_backoff`` for the ack timeout.  With CRC off, a
+        corruption lands silently.  After ``max_retries`` failed
+        retransmissions the frame is declared lost.
+
+        Returns ``(extra_cycles, retransmissions, outcome)`` where
+        ``outcome`` is None (clean delivery after 0+ retries),
+        "corrupt" (silent corruption, CRC off) or "lost" (retry budget
+        exhausted; the caller zeroes the received region and records the
+        degradation).  At rate 0 the first draw is clean and the method
+        returns ``(0, 0, None)`` without touching any counter.
+        """
+        config = self.config
+        extra = 0
+        retransmissions = 0
+        attempt = 0
+        while True:
+            fault = self.intercube_fault(exchange_salt, cube, attempt)
+            if fault is None:
+                return extra, retransmissions, None
+            if fault == "corrupt":
+                self.stats.intercube_corruptions += 1
+                if not config.crc:
+                    self.stats.intercube_silent_corruptions += 1
+                    return extra, retransmissions, "corrupt"
+            else:
+                self.stats.intercube_drops += 1
+            if attempt >= config.max_retries:
+                self.stats.intercube_frames_lost += 1
+                return extra, retransmissions, "lost"
+            self.stats.intercube_retries += 1
+            backoff = config.retry_backoff * (2 ** attempt)
+            if fault == "drop":
+                backoff += config.retry_backoff
+            extra += backoff + serialization_cycles
+            retransmissions += 1
+            attempt += 1
 
     # ------------------------------------------------------------------
     # stuck-at MAC faults (permanent; salt-independent)

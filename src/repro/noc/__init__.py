@@ -15,6 +15,7 @@ from repro.noc.routing import LOCAL_PORTS, Port
 from repro.noc.router import Router
 from repro.noc.topology import FullyConnected, Mesh2D, Topology
 from repro.noc.interconnect import Interconnect, NocStats
+from repro.noc.cubelink import CubeLinkModel, CubeLinkStats
 
 __all__ = [
     "Packet",
@@ -30,4 +31,6 @@ __all__ = [
     "FullyConnected",
     "Interconnect",
     "NocStats",
+    "CubeLinkModel",
+    "CubeLinkStats",
 ]

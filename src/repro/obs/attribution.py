@@ -34,8 +34,11 @@ from repro.core.roofline import RooflineModel
 from repro.errors import ConfigurationError
 
 #: The closed verdict vocabulary, in display precedence order.
+#: "intercube-link-bound" is emitted only by multi-cube sharded runs
+#: (:mod:`repro.core.shard`) for layers whose inter-cube exchange
+#: barrier costs at least as much as the slowest cube's compute.
 VERDICTS = ("compute-bound", "vault-bandwidth-bound", "noc-bound",
-            "stall-dominated")
+            "stall-dominated", "intercube-link-bound")
 
 #: Fraction of measured cycles the stall ledgers must cover before the
 #: static verdict is overridden with ``stall-dominated``.

@@ -70,6 +70,8 @@ METRIC_FAMILIES: dict[str, tuple[str, str]] = {
         "counter", "heartbeat snapshots emitted"),
     "neurocube_pe_mac_utilization": (
         "gauge", "MAC-array busy fraction of the last layer run"),
+    "neurocube_intercube_link_occupancy": (
+        "gauge", "per-cube SerDes link busy fraction of a sharded run"),
     "neurocube_layer_cycles": (
         "histogram", "per-layer simulated cycle distribution"),
 }
@@ -465,3 +467,30 @@ def attribute_report(report, config, descriptors=()):
     from repro.obs.attribution import attribute_layers
 
     return attribute_layers(report.layers, descriptors, config)
+
+
+def intercube_attribution(name, kind, exchange_cycles, compute_cycles):
+    """Attribution row for an exchange-bound multi-cube sharded layer.
+
+    Thin delegation for the same NC102 reason as
+    :func:`attribute_report`: the sharded executor
+    (:mod:`repro.core.shard`) calls this for layers whose inter-cube
+    link barrier costs at least as much as the slowest cube's compute,
+    without importing :mod:`repro.obs.attribution` at module level.
+    """
+    from repro.obs.attribution import LayerAttribution
+
+    total = exchange_cycles + compute_cycles
+    return LayerAttribution(
+        name=name, kind=kind, verdict="intercube-link-bound",
+        measured_cycles=float(total),
+        predicted_cycles=float(compute_cycles),
+        gap=(exchange_cycles / compute_cycles if compute_cycles
+             else 0.0),
+        predicted_bound="intercube_link",
+        stall_share=0.0,
+        shares={"intercube_link": (exchange_cycles / total if total
+                                   else 0.0),
+                "compute": compute_cycles / total if total else 0.0},
+        top_counters=(("intercube_exchange_cycles",
+                       float(exchange_cycles)),))

@@ -1,0 +1,302 @@
+"""Sharded-vs-serial bit-identity: the multi-cube executor's contract.
+
+A sharded run (one process per cube, conservative link-time sync) must
+be bit-identical — outputs, total cycles, per-layer stats, fault
+counters — to the same shards run serially in one process, across
+workloads (conv / fc / LSTM), simulator modes (lock-step / skip-ahead)
+and cluster sizes (1 / 2 / 4 cubes).  A 1-cube shard plan must in turn
+be bit-identical to the plain single-cube ``run_network`` path, and the
+sharded *functional outputs* must match the single-cube reference at
+every cluster size (row/neuron partitioning never changes arithmetic).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MultiCubeConfig,
+    NeurocubeConfig,
+    NeurocubeSimulator,
+)
+from repro.core.shard import ShardedSimulator, shard_network
+from repro.errors import MappingError
+from repro.faults import CheckpointSpec, FaultConfig
+from repro.nn.activations import Sigmoid, Tanh
+from repro.nn.layers import Conv2D, Dense, Flatten, MaxPool2D
+from repro.nn.models import fully_connected_classifier, small_lstm
+from repro.nn.network import Network
+
+LOCK_STEP = NeurocubeConfig(sim_skip_ahead=False)
+SKIP_AHEAD = NeurocubeConfig(sim_skip_ahead=True)
+CONFIGS = {"lock-step": LOCK_STEP, "skip-ahead": SKIP_AHEAD}
+
+#: High inter-cube rates so every exchange exercises the retry path.
+LOSSY_LINKS = FaultConfig(seed=11, intercube_corrupt_rate=0.4,
+                          intercube_drop_rate=0.3, max_retries=2)
+
+
+def conv_network() -> Network:
+    """Conv stack whose every layer splits across 4 cubes (>= 4 rows
+    per cube against the 4x4 vault grid)."""
+    return Network([
+        Conv2D(2, 3, activation=Tanh(), name="conv"),
+        MaxPool2D(2, name="pool"),
+        Flatten(name="flatten"),
+        Dense(16, activation=Sigmoid(), name="fc"),
+    ], input_shape=(1, 18, 12), name="shard_conv", seed=3)
+
+
+def conv_input() -> np.ndarray:
+    return np.random.default_rng(7).uniform(-1.0, 1.0, (1, 18, 12))
+
+
+def fc_network() -> Network:
+    return fully_connected_classifier(48, 64, 8, seed=5)
+
+
+def fc_input() -> np.ndarray:
+    return np.random.default_rng(9).uniform(-1.0, 1.0, (48,))
+
+
+def cluster(config: NeurocubeConfig, cubes: int,
+            **kwargs) -> MultiCubeConfig:
+    return MultiCubeConfig(cube=config, n_cubes=cubes, **kwargs)
+
+
+def assert_reports_identical(serial, parallel) -> None:
+    """Every observable of the two shard reports must match exactly."""
+    assert serial.total_cycles == parallel.total_cycles
+    assert serial.report.layers == parallel.report.layers
+    assert serial.cube_layers == parallel.cube_layers
+    assert ([e.cycles for e in serial.exchanges]
+            == [e.cycles for e in parallel.exchanges])
+    assert ([e.per_cube_cycles for e in serial.exchanges]
+            == [e.per_cube_cycles for e in parallel.exchanges])
+    assert serial.link == parallel.link
+    if serial.fault_stats is None:
+        assert parallel.fault_stats is None
+    else:
+        assert (serial.fault_stats.as_dict()
+                == parallel.fault_stats.as_dict())
+    assert (len(serial.report.degraded)
+            == len(parallel.report.degraded))
+
+
+class TestFunctionalEquivalence:
+    @pytest.mark.parametrize("mode", sorted(CONFIGS))
+    @pytest.mark.parametrize("cubes", [1, 2, 4])
+    def test_conv_sharded_matches_serial_and_reference(self, mode,
+                                                       cubes):
+        config = CONFIGS[mode]
+        net, x = conv_network(), conv_input()
+        ref_out, ref = NeurocubeSimulator(config).run_network(net, x)
+        mc = cluster(config, cubes)
+        serial_out, serial = ShardedSimulator(
+            mc, workers=1).run_network(net, x)
+        parallel_out, parallel = ShardedSimulator(
+            mc, workers=cubes).run_network(net, x)
+        assert np.array_equal(serial_out, parallel_out)
+        assert np.array_equal(serial_out, ref_out)
+        assert_reports_identical(serial, parallel)
+        if cubes == 1:
+            # A 1-cube plan is the unsharded program: same descriptor
+            # names, same cycles, no exchanges.
+            assert serial.total_cycles == ref.total_cycles
+            assert serial.report.layers == ref.layers
+            assert not serial.exchanges
+
+    @pytest.mark.parametrize("cubes", [2, 4])
+    def test_fc_sharded_matches_serial_and_reference(self, cubes):
+        net, x = fc_network(), fc_input()
+        ref_out, _ = NeurocubeSimulator(SKIP_AHEAD).run_network(net, x)
+        mc = cluster(SKIP_AHEAD, cubes)
+        serial_out, serial = ShardedSimulator(
+            mc, workers=1).run_network(net, x)
+        parallel_out, parallel = ShardedSimulator(
+            mc, workers=cubes).run_network(net, x)
+        assert np.array_equal(serial_out, parallel_out)
+        assert np.array_equal(serial_out, ref_out)
+        assert_reports_identical(serial, parallel)
+
+    def test_functional_lstm_directs_to_run_timing(self):
+        net = small_lstm(inputs=16, hidden_units=32, steps=4)
+        x = np.zeros((4, 16))
+        with pytest.raises(MappingError, match="run_timing"):
+            ShardedSimulator(cluster(SKIP_AHEAD, 2)).run_network(net, x)
+
+    def test_simulator_cubes_flag_delegates(self):
+        net, x = conv_network(), conv_input()
+        ref_out, _ = NeurocubeSimulator(SKIP_AHEAD).run_network(net, x)
+        out, report = NeurocubeSimulator(SKIP_AHEAD).run_network(
+            net, x, cubes=2)
+        assert np.array_equal(out, ref_out)
+        assert report.source == "cycle"
+        assert [layer.name for layer in report.layers] == [
+            "conv", "pool", "fc"]
+
+
+class TestTimingEquivalence:
+    @pytest.mark.parametrize("mode", sorted(CONFIGS))
+    @pytest.mark.parametrize("cubes", [1, 2, 4])
+    def test_lstm_timing_sharded_matches_serial(self, mode, cubes):
+        config = CONFIGS[mode]
+        net = small_lstm(inputs=16, hidden_units=32, steps=4)
+        mc = cluster(config, cubes)
+        serial = ShardedSimulator(mc, workers=1).run_timing(net)
+        parallel = ShardedSimulator(mc, workers=cubes).run_timing(net)
+        assert_reports_identical(serial, parallel)
+        # All five LSTM descriptors (4 gates + cell update) shard.
+        assert len(serial.report.layers) == 5
+
+    def test_exchange_barrier_is_additive(self):
+        """Layer cycles = exchange barrier + slowest cube's compute."""
+        net, x = conv_network(), conv_input()
+        _, report = ShardedSimulator(
+            cluster(SKIP_AHEAD, 2), workers=1).run_network(net, x)
+        by_layer = {o.exchange.layer: o.cycles for o in report.exchanges}
+        for entry, stats in zip(report.plan.layers, report.report.layers,
+                                strict=True):
+            cube_max = max(s.cycles for s in
+                           report.cube_layers[entry.index])
+            assert stats.cycles == cube_max + by_layer.get(entry.name, 0)
+
+
+class TestFaultEquivalence:
+    @pytest.mark.parametrize("cubes", [2, 4])
+    def test_lossy_links_identical_serial_vs_parallel(self, cubes):
+        net, x = conv_network(), conv_input()
+        mc = cluster(SKIP_AHEAD, cubes)
+        serial_out, serial = ShardedSimulator(
+            mc, workers=1, faults=LOSSY_LINKS).run_network(net, x)
+        parallel_out, parallel = ShardedSimulator(
+            mc, workers=cubes, faults=LOSSY_LINKS).run_network(net, x)
+        assert np.array_equal(serial_out, parallel_out)
+        assert_reports_identical(serial, parallel)
+        stats = serial.fault_stats
+        assert stats.intercube_corruptions + stats.intercube_drops > 0
+
+    def test_silent_corruption_without_crc(self):
+        net, x = conv_network(), conv_input()
+        ref_out, _ = NeurocubeSimulator(SKIP_AHEAD).run_network(net, x)
+        faults = FaultConfig(seed=5, intercube_corrupt_rate=0.9,
+                             crc=False)
+        mc = cluster(SKIP_AHEAD, 4)
+        serial_out, serial = ShardedSimulator(
+            mc, workers=1, faults=faults).run_network(net, x)
+        parallel_out, parallel = ShardedSimulator(
+            mc, workers=4, faults=faults).run_network(net, x)
+        assert np.array_equal(serial_out, parallel_out)
+        assert_reports_identical(serial, parallel)
+        assert serial.fault_stats.intercube_silent_corruptions > 0
+        # Silent corruption must actually corrupt.
+        assert not np.array_equal(serial_out, ref_out)
+
+    def test_rate_zero_pinned_to_injector_free(self):
+        net, x = conv_network(), conv_input()
+        mc = cluster(SKIP_AHEAD, 4)
+        zero_out, zero = ShardedSimulator(
+            mc, workers=1, faults=FaultConfig(seed=11)).run_network(
+                net, x)
+        bare_out, bare = ShardedSimulator(mc, workers=1).run_network(
+            net, x)
+        assert np.array_equal(zero_out, bare_out)
+        assert zero.total_cycles == bare.total_cycles
+        assert zero.report.layers == bare.report.layers
+        assert ([e.cycles for e in zero.exchanges]
+                == [e.cycles for e in bare.exchanges])
+
+    def test_lost_frames_degrade_gracefully(self):
+        """Exhausted retries zero the received region and say so."""
+        net, x = conv_network(), conv_input()
+        faults = FaultConfig(seed=2, intercube_drop_rate=0.95,
+                             max_retries=1)
+        mc = cluster(SKIP_AHEAD, 2)
+        serial_out, serial = ShardedSimulator(
+            mc, workers=1, faults=faults).run_network(net, x)
+        parallel_out, parallel = ShardedSimulator(
+            mc, workers=2, faults=faults).run_network(net, x)
+        assert np.array_equal(serial_out, parallel_out)
+        assert_reports_identical(serial, parallel)
+        assert serial.fault_stats.intercube_frames_lost > 0
+        kinds = {d.kind for d in serial.report.degraded}
+        assert "intercube_frame_lost" in kinds
+
+
+class TestCheckpointAcrossCubes:
+    def test_resume_across_cubes_is_bit_identical(self, tmp_path):
+        """Snapshots land in per-cube namespaces and resume cleanly."""
+        net, x = conv_network(), conv_input()
+        mc = cluster(LOCK_STEP, 2)
+        save = CheckpointSpec(directory=str(tmp_path), every=100)
+        base_out, base = ShardedSimulator(
+            mc, workers=1, checkpoint=save).run_network(net, x)
+        snapshots = list(tmp_path.glob("*.pkl"))
+        assert snapshots
+        # Per-cube descriptor names namespace the snapshot labels.
+        assert any(".cube0" in p.name for p in snapshots)
+        assert any(".cube1" in p.name for p in snapshots)
+        resume = CheckpointSpec(directory=str(tmp_path), resume=True)
+        resumed_out, resumed = ShardedSimulator(
+            mc, workers=2, checkpoint=resume).run_network(net, x)
+        assert np.array_equal(resumed_out, base_out)
+        assert resumed.total_cycles == base.total_cycles
+        assert resumed.report.layers == base.report.layers
+
+
+class TestPlanInvariants:
+    def test_too_many_cubes_for_small_layer(self):
+        net = conv_network()
+        with pytest.raises(MappingError, match="cannot shard"):
+            shard_network(net, cluster(SKIP_AHEAD, 64))
+
+    def test_capacity_refuses_single_cube_admits_four(self):
+        net = conv_network()
+        fits4 = shard_network(net, cluster(SKIP_AHEAD, 4))
+        alone = shard_network(net, cluster(SKIP_AHEAD, 1))
+        capacity = (max(fits4.per_cube_bytes)
+                    + alone.per_cube_bytes[0]) / 2
+        with pytest.raises(MappingError, match="does not fit"):
+            shard_network(net, cluster(SKIP_AHEAD, 1,
+                                       cube_capacity_bytes=capacity))
+        plan = shard_network(net, cluster(SKIP_AHEAD, 4,
+                                          cube_capacity_bytes=capacity))
+        assert plan.n_cubes == 4
+
+    def test_exchange_bytes_mirror_analytic_model(self):
+        """Interior-cube halo bytes equal the analytic per-cube charge."""
+        from repro.core import MultiCubeModel
+        from repro.core.compiler import compile_inference
+
+        net = conv_network()
+        mc = cluster(SKIP_AHEAD, 4)
+        plan = shard_network(net, mc)
+        model = MultiCubeModel(mc)
+        program = compile_inference(net, mc.cube, True)
+        by_name = {d.name: d for d in program.descriptors}
+        for entry in plan.layers:
+            if entry.exchange is None or entry.exchange.kind != "halo":
+                continue
+            analytic = model._comm_bytes(by_name[entry.name])
+            assert max(entry.exchange.sent_bytes) == analytic
+        gathers = [e for e in plan.exchanges if e.kind == "all_gather"]
+        for exchange in gathers:
+            desc = by_name[exchange.layer]
+            total = desc.connections * (mc.n_cubes - 1) * 2
+            assert sum(exchange.sent_bytes) == total
+
+    def test_one_cube_plan_keeps_descriptor_names(self):
+        plan = shard_network(conv_network(), cluster(SKIP_AHEAD, 1))
+        for entry in plan.layers:
+            assert entry.descriptors == (entry.base,)
+        assert not plan.exchanges
+
+    def test_cube_pass_plans_are_buildable(self):
+        from repro.core.shard import cube_pass_plans
+
+        mc = cluster(SKIP_AHEAD, 2)
+        plan = shard_network(conv_network(), mc)
+        for cube in range(2):
+            plans = cube_pass_plans(plan, cube, mc.cube)
+            assert plans
