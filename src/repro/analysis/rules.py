@@ -515,3 +515,82 @@ class NoAdhocPhaseTiming(Rule):
                            f"host phases via repro.obs.live timers "
                            f"(ambient_phase / LiveTelemetry.phase) "
                            f"instead")
+
+
+#: Builtins whose result depends on the order their input arrives in
+#: (float sums, sequence construction, string joins).  Feeding them a
+#: set makes the outcome hash-order-dependent.
+_ORDER_DEPENDENT_FOLDS = frozenset({"sum", "list", "tuple"})
+
+
+def _set_expr_label(node: ast.expr) -> str | None:
+    """A short label when ``node`` is syntactically an unordered set."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if isinstance(node, ast.Call):
+        name = _dotted_name(node.func)
+        if name in ("set", "frozenset"):
+            return f"a {name}(...) call"
+    return None
+
+
+@register
+class NoUnorderedFolds(Rule):
+    """NC111: no iteration/reduction over unordered sets in the cycle
+    model."""
+
+    code = "NC111"
+    title = "no set-ordered iteration or dict.popitem in cycle-model folds"
+    rationale = (
+        "Set iteration order follows the hash seed, and dict.popitem "
+        "pops whatever happens to be last — a reduction folded over "
+        "either gives results that differ between interpreter runs.  "
+        "The sharded executor's barrier arithmetic is exactly such a "
+        "fold (parent-side integer math over per-cube outcomes, in "
+        "cube order); any cycle-model reduction must iterate a list, "
+        "tuple or sorted() view so serial, parallel and replayed runs "
+        "fold identically.")
+
+    def check(self, ctx: ModuleContext) -> Iterator[tuple[int, int, str]]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                label = _set_expr_label(node.iter)
+                if label is not None:
+                    yield (node.iter.lineno, node.iter.col_offset,
+                           f"for-loop over {label} in cycle-model "
+                           f"module {ctx.module}; iteration order "
+                           f"follows the hash seed — fold over a list, "
+                           f"tuple or sorted() view")
+            elif isinstance(node, (ast.ListComp, ast.SetComp,
+                                   ast.DictComp, ast.GeneratorExp)):
+                for gen in node.generators:
+                    label = _set_expr_label(gen.iter)
+                    if label is not None:
+                        yield (gen.iter.lineno, gen.iter.col_offset,
+                               f"comprehension over {label} in "
+                               f"cycle-model module {ctx.module}; "
+                               f"iterate a sorted() view instead")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (isinstance(func, ast.Attribute)
+                        and func.attr == "popitem"):
+                    yield (node.lineno, node.col_offset,
+                           f"'{ast.unparse(func)}()' in cycle-model "
+                           f"module {ctx.module}; popitem order is "
+                           f"incidental — pop an explicit key instead")
+                    continue
+                name = func.id if isinstance(func, ast.Name) else None
+                is_join = (isinstance(func, ast.Attribute)
+                           and func.attr == "join")
+                if ((name in _ORDER_DEPENDENT_FOLDS or is_join)
+                        and node.args):
+                    label = _set_expr_label(node.args[0])
+                    if label is not None:
+                        what = "join" if is_join else name
+                        yield (node.lineno, node.col_offset,
+                               f"order-dependent '{what}' over {label} "
+                               f"in cycle-model module {ctx.module}; "
+                               f"the fold result would follow the "
+                               f"hash seed — sort first")

@@ -47,6 +47,18 @@ def set_default_validate(enabled: bool) -> None:
     _DEFAULT_VALIDATE = bool(enabled)
 
 
+def default_validate() -> bool:
+    """The current process-wide ``validate=`` default.
+
+    Every ``validate=None`` hook resolves through this — the compilers
+    here and the shard partitioner
+    (:func:`repro.core.shard.shard_network`) — so the runner's
+    ``--validate`` flag covers single-cube and sharded compilation
+    alike.
+    """
+    return _DEFAULT_VALIDATE
+
+
 def _maybe_validate(program: NeurocubeProgram, config: NeurocubeConfig,
                     validate: bool | None) -> NeurocubeProgram:
     """Run the static plan verifier over a freshly compiled program.

@@ -169,6 +169,17 @@ class MultiCubeModel:
         self.config = config
         self._cube_model = AnalyticModel(config.cube)
 
+    def comm_bytes(self, desc) -> float:
+        """Bytes each cube must exchange for one descriptor.
+
+        Public because the static shard-plan verifier
+        (:mod:`repro.analysis.shardcheck`, NC302) holds the executable
+        partitioner's per-cube exchange byte counts to exactly these
+        semantics — the analytic and measured communication figures can
+        never drift apart.
+        """
+        return self._comm_bytes(desc)
+
     def _comm_bytes(self, desc) -> float:
         """Bytes each cube must exchange for one descriptor."""
         n = self.config.n_cubes

@@ -53,7 +53,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.compiler import compile_inference
+from repro.core.compiler import compile_inference, default_validate
 from repro.core.config import NeurocubeConfig
 from repro.core.layerdesc import LayerDescriptor
 from repro.core.metrics import LayerStats, RunReport
@@ -324,7 +324,8 @@ def _exchange_bytes(desc: LayerDescriptor, n: int,
 
 
 def shard_network(network: Network, config: MultiCubeConfig,
-                  duplicate: bool = True) -> ShardPlan:
+                  duplicate: bool = True,
+                  validate: bool | None = None) -> ShardPlan:
     """Partition a network across the cluster (compiler level).
 
     Compiles the network for one cube, then rewrites every descriptor
@@ -334,10 +335,30 @@ def shard_network(network: Network, config: MultiCubeConfig,
     executor does too).  Raises :class:`repro.errors.MappingError` when
     a layer is too small for the cube count or — with
     ``cube_capacity_bytes`` set — when any cube's DRAM footprint
-    exceeds its capacity.
+    exceeds its capacity (the message carries the NC303 report: the
+    violating cube, its heaviest layer, and the bytes over budget).
+
+    Args:
+        network: a built :class:`repro.nn.Network`.
+        config: the target cluster.
+        duplicate: passed through to the single-cube compiler.
+        validate: statically verify the finished plan with
+            :mod:`repro.analysis.shardcheck` (checks NC301-NC306)
+            before returning, raising
+            :class:`repro.errors.PlanCheckError` on any violation; None
+            (the default) follows
+            :func:`repro.core.compiler.set_default_validate` — the same
+            process-wide switch the compile hooks use, so the runner's
+            ``--validate`` flag covers shard plans too.
     """
     n = config.n_cubes
-    program = compile_inference(network, config.cube, duplicate)
+    if validate is None:
+        validate = default_validate()
+    # The single-cube compile hook runs on the *base* program; when the
+    # shard hook is live the whole plan (shards included) is verified
+    # below, so let the compiler follow the same resolved setting.
+    program = compile_inference(network, config.cube, duplicate,
+                                validate=validate)
     item_bytes = config.cube.qformat.total_bits // 8
     entries: list[ShardedLayer] = []
     prev_owned: list[int] | None = None
@@ -361,18 +382,30 @@ def shard_network(network: Network, config: MultiCubeConfig,
         sum(entry.descriptors[cube].layout.total_bytes
             for entry in entries)
         for cube in range(n))
-    if config.cube_capacity_bytes is not None:
-        for cube, total in enumerate(per_cube):
-            if total > config.cube_capacity_bytes:
-                raise MappingError(
-                    f"network {network.name!r} does not fit: cube "
-                    f"{cube} needs {total / 1e6:.2f} MB against a "
-                    f"capacity of "
-                    f"{config.cube_capacity_bytes / 1e6:.2f} MB on "
-                    f"{n} cube(s); shard across more cubes")
-    return ShardPlan(network_name=network.name, n_cubes=n,
+    plan = ShardPlan(network_name=network.name, n_cubes=n,
                      duplicate=duplicate, layers=tuple(entries),
                      per_cube_bytes=per_cube)
+    if validate:
+        # Lazy import: repro.analysis depends on this module's plan
+        # types, so a module-level import would be circular.  The full
+        # NC3xx sweep includes the NC303 capacity check, so an
+        # over-budget plan fails here with the structured report.
+        from repro.analysis.shardcheck import check_shard_plan
+
+        check_shard_plan(plan, config,
+                         label=f"shard plan for {network.name!r}")
+    elif config.cube_capacity_bytes is not None:
+        # Validate off: keep the MappingError path as the backstop, but
+        # let the static NC303 check author the diagnosis (violating
+        # cube, heaviest layer, bytes over budget).
+        from repro.analysis.shardcheck import capacity_violations
+
+        over = capacity_violations(plan, config)
+        if over:
+            raise MappingError(
+                f"network {network.name!r} does not fit: "
+                f"{over[0].message}")
+    return plan
 
 
 def cube_pass_plans(plan: ShardPlan, cube: int,
@@ -630,19 +663,23 @@ class ShardedSimulator:
     # -- run entry points ----------------------------------------------
 
     def run_network(self, network: Network, x: np.ndarray,
-                    duplicate: bool = True) -> tuple[np.ndarray,
-                                                     ShardRunReport]:
+                    duplicate: bool = True,
+                    validate: bool | None = None) -> tuple[np.ndarray,
+                                                           ShardRunReport]:
         """Simulate a full network, functionally, sharded across cubes.
 
         Functional sharding needs one descriptor per compute layer
         (LSTMs lower to five — use :meth:`run_timing` for those) and,
         for fc layers, a :class:`~repro.nn.layers.Dense` instance
-        (other fc-kind layers are timing-only here too).
+        (other fc-kind layers are timing-only here too).  ``validate``
+        statically verifies the shard plan (NC301-NC306) before any
+        cube process is spawned; None follows the process-wide default.
         """
         # Host wall-clock only; never feeds any simulated result.
         # nclint: allow(NC101) host-side timing
         started = time.perf_counter()
-        plan = shard_network(network, self.config, duplicate)
+        plan = shard_network(network, self.config, duplicate,
+                             validate=validate)
         by_layer: dict[int, ShardedLayer] = {}
         for entry in plan.layers:
             if entry.layer_index in by_layer:
@@ -680,7 +717,8 @@ class ShardedSimulator:
         return current, self._finalize(state)
 
     def run_timing(self, network: Network,
-                   duplicate: bool = True) -> ShardRunReport:
+                   duplicate: bool = True,
+                   validate: bool | None = None) -> ShardRunReport:
         """Simulate timing only, sharded — every descriptor, no tensors.
 
         Iterates the plan's descriptor order directly, so multi-
@@ -690,7 +728,8 @@ class ShardedSimulator:
         """
         # nclint: allow(NC101) host-side timing
         started = time.perf_counter()
-        plan = shard_network(network, self.config, duplicate)
+        plan = shard_network(network, self.config, duplicate,
+                             validate=validate)
         state = self._begin_run(plan, network.name)
         for entry in plan.layers:
             exchange_cycles = self._run_exchange(state, entry, None,
@@ -838,7 +877,7 @@ class ShardedSimulator:
                 per_cube.append(0)
                 continue
             serialization = state.links.serialization_cycles(sent)
-            delivery = serialization + state.links.latency_cycles
+            delivery = state.links.delivery_cycles(sent)
             extra = 0
             retransmissions = 0
             outcome = None

@@ -990,7 +990,9 @@ class NeurocubeSimulator:
 
     def run_network(self, network: Network, x: np.ndarray,
                     duplicate: bool = True,
-                    cubes: int = 1) -> tuple[np.ndarray, RunReport]:
+                    cubes: int = 1,
+                    validate: bool | None = None) -> tuple[np.ndarray,
+                                                           RunReport]:
         """Simulate a full network on one input sample, layer by layer.
 
         ``x`` is quantised on entry; each layer's simulated output feeds
@@ -1001,6 +1003,11 @@ class NeurocubeSimulator:
         returned report is the cluster-level fold; the full
         :class:`~repro.core.shard.ShardRunReport` is available through
         :class:`~repro.core.shard.ShardedSimulator` directly.
+        ``validate`` statically verifies the sharded plan
+        (:mod:`repro.analysis.shardcheck`, NC301-NC306) before any cube
+        runs; None follows the process-wide ``--validate`` default
+        (single-cube compiles consult the same switch inside
+        :func:`~repro.core.compiler.compile_inference`).
         """
         from repro.fixedpoint import quantize_float
 
@@ -1011,12 +1018,13 @@ class NeurocubeSimulator:
             sharded = ShardedSimulator(
                 MultiCubeConfig(cube=self.config, n_cubes=cubes),
                 faults=self.faults, checkpoint=self.checkpoint)
-            output, shard_report = sharded.run_network(network, x,
-                                                       duplicate)
+            output, shard_report = sharded.run_network(
+                network, x, duplicate, validate=validate)
             return output, shard_report.report
 
         with ambient_phase("compile"):
-            program = compile_inference(network, self.config, duplicate)
+            program = compile_inference(network, self.config, duplicate,
+                                        validate=validate)
         descriptors = {d.layer_index: d for d in program.descriptors}
         current = quantize_float(np.asarray(x, dtype=np.float64),
                                  self.config.qformat)

@@ -104,6 +104,7 @@ class ShardReport:
     analytic_comm_cycles: float
     bit_identical: bool
     outputs_match_reference: bool
+    statically_verified: bool = False
     link_occupancy: list = field(default_factory=list)
     layers: list = field(default_factory=list)
 
@@ -134,8 +135,9 @@ class ShardReport:
         lines.append(
             f"serial == parallel bit-identical: {self.bit_identical}; "
             f"outputs match single-cube reference: "
-            f"{self.outputs_match_reference}; link occupancy "
-            f"{occupancy or 'n/a'}")
+            f"{self.outputs_match_reference}; shard plan statically "
+            f"verified (NC3xx): {self.statically_verified}; link "
+            f"occupancy {occupancy or 'n/a'}")
         return "\n".join(lines)
 
 
@@ -169,6 +171,13 @@ def run(cubes: int | None = None) -> ShardReport:
         and [e.cycles for e in serial.exchanges]
             == [e.cycles for e in parallel.exchanges])
 
+    # The static NC3xx sweep over the very plan the runs executed —
+    # the experiment-level witness that every exchange, byte count and
+    # shard geometry was verified before the cycle engine ran.
+    from repro.analysis.shardcheck import verify_shard_plan
+
+    statically_verified = not verify_shard_plan(serial.plan, cluster)
+
     # The analytic model charges comm once per descriptor after the
     # first — the same exchange schedule the executor runs.
     analytic = MultiCubeModel(cluster).evaluate_network(network)
@@ -195,6 +204,7 @@ def run(cubes: int | None = None) -> ShardReport:
         bit_identical=bool(bit_identical),
         outputs_match_reference=bool(
             np.array_equal(serial_out, reference_out)),
+        statically_verified=bool(statically_verified),
         link_occupancy=[serial.link_occupancy(cube)
                         for cube in range(cubes)],
         layers=rows)

@@ -104,6 +104,19 @@ class CubeLinkModel:
             return 0
         return serialization + self.latency_cycles
 
+    def barrier_cycles(self, sent_bytes) -> int:
+        """Conservative barrier delay of one exchange, fault-free.
+
+        The slowest cube's frame delivery over the per-cube payloads —
+        the exact integer the sharded executor pays at each exchange
+        rendezvous when no link fault fires.  A pure cube-order fold
+        (``max`` over :meth:`delivery_cycles`), so it is permutation-
+        invariant; the static verifier (``ncshardcheck`` NC305) pins
+        the executor's barrier arithmetic against it.
+        """
+        return max((self.delivery_cycles(n) for n in sent_bytes),
+                   default=0)
+
     def record_send(self, cube: int, n_bytes: int,
                     transmissions: int = 1) -> None:
         """Charge one frame send (plus retransmissions) to a cube.

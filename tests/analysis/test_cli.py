@@ -57,7 +57,7 @@ def test_nclint_list_rules(capsys):
 def test_nccheck_list_checks(capsys):
     assert nccheck_main(["--list-checks"]) == 0
     out = capsys.readouterr().out
-    for code in ("NC201", "NC207"):
+    for code in ("NC201", "NC207", "NC301", "NC306"):
         assert code in out
 
 
@@ -68,7 +68,39 @@ def test_nccheck_self_test_writes_artifact(tmp_path, capsys):
     report = json.loads(report_path.read_text())
     assert report["kind"] == "nccheck-selftest"
     assert report["failures"] == []
-    assert len(report["checks"]) == 7
+    # 7 NC2xx plan checks + 6 NC3xx shard checks.
+    assert len(report["checks"]) == 13
+    codes = {check["code"] for check in report["checks"]}
+    assert {"NC201", "NC301", "NC306"} <= codes
+
+
+def test_nccheck_cubes_gate_writes_artifact(tmp_path, capsys):
+    report_path = tmp_path / "shardcheck.json"
+    assert nccheck_main(["--cubes", "1,2",
+                         "--json", str(report_path)]) == 0
+    out = capsys.readouterr().out
+    assert "0 shard-plan violation(s)" in out
+    report = json.loads(report_path.read_text())
+    assert report["kind"] == "ncshardcheck-report-set"
+    assert report["cube_counts"] == [1, 2]
+    assert report["violation_count"] == 0
+    assert len(report["reports"]) == 2
+    for sub in report["reports"]:
+        statuses = {check["code"]: check["status"]
+                    for check in sub["checks"]}
+        # No capacity budget on the demo cluster, so NC303 reports
+        # "skipped", never a silent "passed".
+        assert statuses["NC303"] == "skipped"
+        assert statuses["NC301"] == "passed"
+
+
+def test_nccheck_cubes_rejects_bad_counts(capsys):
+    try:
+        nccheck_main(["--cubes", "0"])
+    except SystemExit as error:
+        assert error.code == 2
+    else:  # pragma: no cover - argparse always exits
+        raise AssertionError("expected argparse error")
 
 
 def test_nccheck_requires_a_mode(capsys):

@@ -27,7 +27,7 @@ def test_rule_registry_is_populated():
     catalogue = nclint.rule_catalogue()
     got = {entry["code"] for entry in catalogue}
     assert {"NC101", "NC102", "NC103", "NC104", "NC105", "NC106",
-            "NC107", "NC108", "NC109"} <= got
+            "NC107", "NC108", "NC109", "NC110", "NC111"} <= got
     # Every entry documents itself.
     for entry in catalogue:
         assert entry["title"] and entry["rationale"]
@@ -270,6 +270,84 @@ def test_nc109_applies_to_memo_package_otherwise():
     # Only the store module itself is exempt, not the whole package.
     assert "NC109" in codes("import pickle\n",
                             module="repro.memo.session")
+
+
+# -- NC111: unordered folds ------------------------------------------------
+
+def test_nc111_fires_on_for_over_set_literal():
+    assert "NC111" in codes("""
+        def drain(self):
+            for cube in {self.left, self.right}:
+                cube.step()
+        """)
+
+
+def test_nc111_fires_on_for_over_set_call():
+    assert "NC111" in codes("""
+        def drain(self, pending):
+            for cube in set(pending):
+                cube.step()
+        """)
+
+
+def test_nc111_fires_on_comprehension_over_set_comp():
+    assert "NC111" in codes("""
+        def fold(self, outcomes):
+            return [o.cycles for o in {o for o in outcomes}]
+        """)
+
+
+def test_nc111_fires_on_sum_over_set():
+    assert "NC111" in codes("""
+        def total(self, sent):
+            return sum({b for b in sent})
+        """)
+
+
+def test_nc111_fires_on_join_over_set():
+    assert "NC111" in codes("""
+        def label(self, names):
+            return ",".join(set(names))
+        """)
+
+
+def test_nc111_fires_on_popitem():
+    assert "NC111" in codes("""
+        def drain(self, queue):
+            while queue:
+                key, outcome = queue.popitem()
+        """)
+
+
+def test_nc111_silent_on_sorted_view():
+    assert "NC111" not in codes("""
+        def fold(self, outcomes):
+            total = 0
+            for key in sorted(set(outcomes)):
+                total += outcomes[key]
+            return sum(sorted({o for o in outcomes}))
+        """)
+
+
+def test_nc111_silent_on_list_iteration():
+    assert "NC111" not in codes("""
+        def fold(self, outcomes):
+            return sum(o.cycles for o in outcomes)
+        """)
+
+
+def test_nc111_silent_outside_cycle_model():
+    assert "NC111" not in codes("for x in {1, 2}:\n    pass\n",
+                                module="repro.experiments.runner")
+
+
+def test_nc111_pragma_waives_with_reason():
+    source = """
+        def drain(self):
+            for cube in {self.left}:  # nclint: allow(NC111) singleton
+                cube.step()
+        """
+    assert "NC111" not in codes(source)
 
 
 # -- machinery -------------------------------------------------------------
