@@ -30,6 +30,9 @@ def nclint_main(argv: list[str] | None = None) -> int:
                              "(the CI artifact)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify every rule fires on its seeded "
+                             "fixture and that allow() waives it")
     args = parser.parse_args(argv)
 
     if args.list_rules:
@@ -37,6 +40,20 @@ def nclint_main(argv: list[str] | None = None) -> int:
             print(f"{entry['code']}: {entry['title']}")
             print(f"    {entry['rationale']}")
         return 0
+
+    if args.self_test:
+        failures = nclint.self_test()
+        for failure in failures:
+            print(f"nclint self-test FAILED: {failure}")
+        rules = nclint.rule_catalogue()
+        print(f"nclint self-test: {len(rules)} rule(s), "
+              f"{len(failures)} failure(s)")
+        if args.json_path:
+            nclint.write_report(
+                {"kind": "nclint-selftest-report",
+                 "rules_checked": len(rules),
+                 "failures": failures}, args.json_path)
+        return 1 if failures else 0
 
     select = (args.select.split(",") if args.select else None)
     violations, files_checked = nclint.lint_paths(args.paths or ["src"],

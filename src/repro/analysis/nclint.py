@@ -208,6 +208,47 @@ def lint_paths(paths: Iterable[str | Path],
     return violations, checked
 
 
+def self_test() -> list[str]:
+    """Verify every registered rule fires on its seeded fixture.
+
+    For each rule in the registry: lint its
+    :data:`repro.analysis.rules.SELF_TEST_FIXTURES` entry restricted to
+    that one code and require at least one hit, then re-lint with an
+    ``nclint: allow(<code>)`` pragma inserted directly above the first
+    hit and require silence there — proving both the detector and its
+    waiver path work.  Returns failure strings; empty means pass.
+    """
+    _ensure_rules_loaded()
+    from repro.analysis.rules import SELF_TEST_FIXTURES
+
+    failures: list[str] = []
+    for code in sorted(RULES):
+        fixture = SELF_TEST_FIXTURES.get(code)
+        if fixture is None:
+            failures.append(f"{code}: no self-test fixture seeded")
+            continue
+        module, source = fixture
+        hits = [v for v in lint_source(source, module, select=[code])
+                if v.code == code]
+        if not hits:
+            failures.append(f"{code}: rule did not fire on its fixture")
+            continue
+        lines = source.splitlines()
+        lines.insert(hits[0].line - 1,
+                     f"# nclint: allow({code}) self-test waiver")
+        waived = lint_source("\n".join(lines) + "\n", module,
+                             select=[code])
+        if any(v.code == code and v.line == hits[0].line + 1
+               for v in waived):
+            failures.append(f"{code}: allow() pragma did not waive "
+                            f"the fixture violation")
+    for code in SELF_TEST_FIXTURES:
+        if code not in RULES:
+            failures.append(f"{code}: fixture seeded but no such rule "
+                            f"is registered")
+    return failures
+
+
 def rule_catalogue() -> list[dict]:
     """The registered rules as JSON-compatible records."""
     _ensure_rules_loaded()

@@ -560,7 +560,8 @@ class NeurocubeSimulator:
             # no ambient live session, so ambient_timer is None there
             # and the store runs timer-free.
             store = CheckpointStore(checkpoint.directory,
-                                    timer=ambient_timer("checkpoint"))
+                                    timer=ambient_timer("checkpoint"),
+                                    keep_last=checkpoint.keep_last)
             every = checkpoint.every
             if checkpoint.resume:
                 resume_cycle = store.latest(pass_label)

@@ -1,0 +1,108 @@
+"""Extension experiment: the fault-tolerant simulation service.
+
+Not a paper figure — the serving story on top of the Neurocube
+reproduction: a supervised worker pool (:mod:`repro.serve`) packs a
+mixed batch of inference/streaming/training jobs, with admission
+control, per-job retry on worker failure and a cross-request plan
+cache.  The experiment runs a small mixed batch through an in-process
+:class:`~repro.serve.service.SimulationService` and reports one row
+per job (state, attempts, cycles, warm-plan flag) plus the service's
+queue and plan-cache counters.
+
+The runner's ``--serve-jobs N`` flag scales the batch via
+:func:`set_job_count`: N jobs are drawn round-robin from the
+inference/streaming/training mix.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.experiments.registry import register
+
+#: Jobs in the batch when no ``--serve-jobs N`` override is active.
+DEFAULT_JOBS = 3
+
+_job_count: int | None = None
+
+
+def set_job_count(jobs: int | None) -> None:
+    """Override the served batch size (the runner's ``--serve-jobs N``).
+
+    None restores the default.
+    """
+    if jobs is not None and jobs < 1:
+        raise ConfigurationError(
+            f"serve job count must be >= 1, got {jobs}")
+    global _job_count
+    _job_count = jobs
+
+
+def batch_specs(count: int) -> list:
+    """``count`` deterministic job specs, round-robin over workloads."""
+    from repro.serve import JobSpec
+
+    mix = (("inference", {}), ("streaming", {"frames": 2}),
+           ("training", {"epochs": 3}))
+    return [JobSpec(workload=mix[index % len(mix)][0], seed=index,
+                    **mix[index % len(mix)][1])
+            for index in range(count)]
+
+
+@dataclass
+class ServeReport:
+    """One service pass: per-job rows plus service counters."""
+
+    jobs: list[dict] = field(default_factory=list)
+    queue: dict = field(default_factory=dict)
+    plan_cache: dict | None = None
+
+    def to_table(self) -> str:
+        lines = [f"{'job':<12} {'workload':<10} {'state':<9} "
+                 f"{'attempts':>8} {'cycles':>10} {'warm':>5}"]
+        for job in self.jobs:
+            result = job.get("result") or {}
+            lines.append(
+                f"{job['job_id']:<12} {job['spec']['workload']:<10} "
+                f"{job['state']:<9} {job['attempts']:>8} "
+                f"{result.get('cycles', 0):>10,} "
+                f"{'yes' if result.get('warm_plan') else 'no':>5}")
+        lines.append(f"queue: accepted={self.queue.get('accepted', 0)} "
+                     f"rejected={self.queue.get('rejected', 0)}")
+        if self.plan_cache is not None:
+            lines.append(
+                f"plan cache: hits={self.plan_cache.get('hits', 0)} "
+                f"misses={self.plan_cache.get('misses', 0)}")
+        return "\n".join(lines)
+
+
+@register("ext_serve", "Fault-tolerant simulation service (supervised "
+                       "worker pool, mixed job batch)")
+def run(jobs: int | None = None) -> ServeReport:
+    """Serve a mixed job batch through an in-process service.
+
+    Args:
+        jobs: batch size; None uses the ``--serve-jobs N`` override
+            when active, else :data:`DEFAULT_JOBS`.
+    """
+    from repro.serve import ServicePolicy, SimulationService
+
+    if jobs is None:
+        jobs = _job_count if _job_count is not None else DEFAULT_JOBS
+    specs = batch_specs(jobs)
+
+    async def go() -> ServeReport:
+        service = SimulationService(ServicePolicy(
+            workers=2, max_queue_depth=max(8, len(specs))))
+        await service.start()
+        job_ids = [service.submit(spec) for spec in specs]
+        rows = [await service.result(job_id, timeout_s=600.0)
+                for job_id in job_ids]
+        stats = service.stats()
+        await service.stop()
+        return ServeReport(jobs=rows, queue=stats["queue"],
+                           plan_cache=stats["plan_cache"])
+
+    return asyncio.run(go())

@@ -122,6 +122,11 @@ def build_parser() -> argparse.ArgumentParser:
              "shape, then N frames replay it through the functional "
              "fast path")
     run_parser.add_argument(
+        "--serve-jobs", type=int, default=None, metavar="N",
+        help="serve N mixed jobs in service-capable experiments "
+             "(ext_serve): inference/streaming/training round-robin "
+             "through the supervised worker pool")
+    run_parser.add_argument(
         "--cubes", type=int, default=None, metavar="N",
         help="shard multi-cube-capable experiments (ext_shard) across "
              "N cubes: one process per cube with conservative link-time "
@@ -198,6 +203,11 @@ def main(argv: list[str] | None = None) -> int:
         from repro.experiments import ext_stream
 
         ext_stream.set_frame_count(stream)
+    serve_jobs = getattr(args, "serve_jobs", None)
+    if serve_jobs is not None:
+        from repro.experiments import ext_serve
+
+        ext_serve.set_job_count(serve_jobs)
     cubes = getattr(args, "cubes", None)
     if cubes is not None:
         from repro.experiments import ext_shard
@@ -240,6 +250,10 @@ def main(argv: list[str] | None = None) -> int:
             from repro.experiments import ext_stream
 
             ext_stream.set_frame_count(None)
+        if serve_jobs is not None:
+            from repro.experiments import ext_serve
+
+            ext_serve.set_job_count(None)
         if cubes is not None:
             from repro.experiments import ext_shard
 

@@ -43,16 +43,24 @@ class CheckpointSpec:
         resume: when True, each pass first looks for its newest
             snapshot in ``directory`` and resumes from it; passes with
             no snapshot start from cycle 0 as usual.
+        keep_last: retain only the newest K snapshots per pass label,
+            pruning older ones after each save; 0 keeps everything.
+            The newest snapshot is never pruned, so a label always
+            stays resumable.
     """
 
     directory: str
     every: int = 0
     resume: bool = False
+    keep_last: int = 0
 
     def __post_init__(self) -> None:
         if self.every < 0:
             raise ConfigurationError(
                 f"checkpoint period must be >= 0, got {self.every}")
+        if self.keep_last < 0:
+            raise ConfigurationError(
+                f"checkpoint keep_last must be >= 0, got {self.keep_last}")
         if not self.every and not self.resume:
             raise ConfigurationError(
                 "checkpoint spec needs a period (every > 0), resume=True, "
@@ -72,12 +80,21 @@ class CheckpointStore:
             I/O in one (how live telemetry bills the ``checkpoint``
             phase without this module importing the obs layer).  Host-
             side only — it never affects snapshot contents.
+        keep_last: retain only the newest K snapshots per label; every
+            :meth:`save` prunes older ones afterwards.  0 disables
+            pruning.  The just-saved (newest) snapshot is exempt, so a
+            label is always resumable even with ``keep_last=1``.
     """
 
-    def __init__(self, directory: str | Path, timer=None) -> None:
+    def __init__(self, directory: str | Path, timer=None,
+                 keep_last: int = 0) -> None:
+        if keep_last < 0:
+            raise ConfigurationError(
+                f"checkpoint keep_last must be >= 0, got {keep_last}")
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.timer = timer
+        self.keep_last = keep_last
 
     def _path(self, label: str, cycle: int) -> Path:
         if "@" in label or "/" in label:
@@ -102,7 +119,30 @@ class CheckpointStore:
                 pickle.dump(payload, handle,
                             protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
+        if self.keep_last:
+            self.prune(label, self.keep_last)
         return path
+
+    def prune(self, label: str, keep_last: int) -> list[Path]:
+        """Delete all but the newest ``keep_last`` snapshots of a label.
+
+        Each removal is a single ``unlink`` (atomic on POSIX), oldest
+        first, so an interrupted prune leaves a well-formed store that
+        is simply less pruned.  ``keep_last`` is clamped to 1: the
+        newest snapshot is never deleted, so resume always finds the
+        furthest-forward state.  Returns the deleted paths.
+        """
+        keep = max(1, keep_last)
+        cycles = self.checkpoints(label)
+        deleted = []
+        for cycle in cycles[:-keep] if len(cycles) > keep else []:
+            path = self._path(label, cycle)
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                continue
+            deleted.append(path)
+        return deleted
 
     def checkpoints(self, label: str) -> list[int]:
         """Snapshot cycles available for a pass label, ascending."""

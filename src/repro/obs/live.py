@@ -74,6 +74,21 @@ METRIC_FAMILIES: dict[str, tuple[str, str]] = {
         "gauge", "per-cube SerDes link busy fraction of a sharded run"),
     "neurocube_layer_cycles": (
         "histogram", "per-layer simulated cycle distribution"),
+    # -- repro.serve service families ----------------------------------
+    "neurocube_serve_queue_depth": (
+        "gauge", "jobs waiting in the admission queue"),
+    "neurocube_serve_admission_rejects": (
+        "counter", "submissions rejected by reason"),
+    "neurocube_serve_jobs": (
+        "counter", "jobs reaching a terminal state, by state"),
+    "neurocube_serve_job_retries": (
+        "counter", "job attempts restarted after a worker failure"),
+    "neurocube_serve_worker_restarts": (
+        "counter", "supervised workers respawned, by cause"),
+    "neurocube_serve_plan_cache": (
+        "counter", "plan-cache lookups by outcome"),
+    "neurocube_serve_job_latency_ms": (
+        "histogram", "submit-to-terminal job latency by tenant"),
 }
 
 _NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")

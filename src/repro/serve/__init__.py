@@ -1,0 +1,53 @@
+"""Simulation-as-a-service: a supervised, fault-tolerant job service.
+
+``repro.serve`` turns the experiment runner into a long-lived
+multi-tenant service: inference, training and streaming jobs are
+submitted through an in-process API (:class:`SimulationService`) or a
+local Unix socket (:mod:`repro.serve.protocol`, the ``ncserve`` CLI)
+and packed onto a pool of supervised worker processes.
+
+Robustness is the point, not the request plumbing:
+
+* a bounded admission queue rejects overload with a typed
+  :class:`Overloaded` carrying a retry-after hint;
+* tenants share the queue under smooth weighted-fair dequeue;
+* per-job deadlines reject stale queued work and preempt or degrade
+  running work;
+* worker liveness is heartbeat-based; a crashed (SIGKILL'd) or wedged
+  worker is detected, its job retried with bounded exponential backoff
+  (the :class:`repro.faults.FaultConfig` backoff vocabulary), and a
+  poison job is quarantined as a :class:`repro.faults.DegradedResult`
+  after ``max_retries`` — never an infinite retry loop;
+* long training jobs checkpoint at epoch boundaries through
+  :class:`repro.faults.CheckpointStore`, so preemption migrates them to
+  another worker bit-identically;
+* a cross-request plan cache (:mod:`repro.serve.plancache`) keyed by
+  plan structural hashes + the :func:`repro.memo.memo_fingerprint`
+  makes warm submissions skip compilation.
+
+Failure handling is *testable* because it is deterministic: the chaos
+harness (:mod:`repro.serve.chaos`) drives worker kills and stalls from
+:class:`repro.faults.DeterministicRNG` site keys, so every chaos run is
+replayable by seed.  See ``docs/serving.md``.
+"""
+
+from repro.serve.chaos import ChaosConfig, ChaosController
+from repro.serve.jobs import (JobRecord, JobResult, JobSpec, JobState,
+                              Overloaded, ServicePolicy)
+from repro.serve.plancache import PlanCache
+from repro.serve.queue import AdmissionQueue
+from repro.serve.service import SimulationService
+
+__all__ = [
+    "AdmissionQueue",
+    "ChaosConfig",
+    "ChaosController",
+    "JobRecord",
+    "JobResult",
+    "JobSpec",
+    "JobState",
+    "Overloaded",
+    "PlanCache",
+    "ServicePolicy",
+    "SimulationService",
+]

@@ -1,0 +1,128 @@
+"""Deterministic chaos harness for the simulation service.
+
+Chaos decisions are drawn from :class:`repro.faults.DeterministicRNG`
+under fixed site keys — ``f(seed, site, job_seq, attempt)`` — with no
+ambient entropy anywhere, so a chaos run is replayable by seed: the
+same seed kills the same job attempts at the same workload stages
+every time, which is what lets tests assert that a SIGKILL'd job's
+retry is bit-identical to an undisturbed run.
+
+The plan for one attempt rides inside the job message; the *worker*
+executes it (killing itself at a stage boundary, or going silent to
+trip the heartbeat timeout).  Parent-side timing never decides what
+dies, so the harness has no races.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.faults.rng import DeterministicRNG
+
+#: RNG site keys (stable; new sites get new numbers, never reuse).
+SITE_KILL = 0x5EC1
+SITE_STALL = 0x5EC2
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """What to break, how often, and under which seed.
+
+    Attributes:
+        seed: the chaos seed; every decision derives from it.
+        kill_rate: probability an attempt's worker SIGKILLs itself.
+        stall_rate: probability an attempt's worker goes silent
+            (heartbeats stop) long enough to trip the liveness timeout.
+        stall_s: how long a stalled worker sleeps.
+        stage: workload stage at which a kill fires (``"start"``,
+            ``"mid"``, ``"finish"``, ``"epoch"`` or ``"frame"``); for
+            indexed stages the index is drawn deterministically.
+        first_attempt_only: only ever disturb attempt 1 of a job, so a
+            retried job runs clean — the configuration the bit-identity
+            chaos gate uses.  False keeps injecting on retries (the
+            poison-quarantine path).
+    """
+
+    seed: int
+    kill_rate: float = 0.0
+    stall_rate: float = 0.0
+    stall_s: float = 0.5
+    stage: str = "mid"
+    first_attempt_only: bool = True
+
+    def __post_init__(self) -> None:
+        for rate, name in ((self.kill_rate, "kill_rate"),
+                           (self.stall_rate, "stall_rate")):
+            if not 0.0 <= rate <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {rate}")
+        if self.stall_s <= 0:
+            raise ConfigurationError(
+                f"stall_s must be > 0, got {self.stall_s}")
+
+
+@dataclass
+class ChaosController:
+    """Draws per-attempt chaos plans; lives in the supervisor.
+
+    Attributes:
+        config: the :class:`ChaosConfig` in force.
+        planned: every non-None plan handed out, in draw order —
+            the replay log tests assert against.
+    """
+
+    config: ChaosConfig
+    planned: list = field(default_factory=list)
+
+    def plan_for(self, job_seq: int, attempt: int) -> dict | None:
+        """The chaos plan for one dispatch attempt, or None.
+
+        Pure in (config.seed, job_seq, attempt): dispatch order,
+        worker identity and wall-clock never matter.
+        """
+        if self.config.first_attempt_only and attempt > 1:
+            return None
+        rng = DeterministicRNG(self.config.seed)
+        plan = None
+        if rng.bernoulli(self.config.kill_rate, SITE_KILL, job_seq,
+                         attempt):
+            plan = {"action": "kill", "stage": self.config.stage}
+        elif rng.bernoulli(self.config.stall_rate, SITE_STALL, job_seq,
+                           attempt):
+            plan = {"action": "stall", "stall_s": self.config.stall_s}
+        if plan is not None:
+            self.planned.append(
+                {"job_seq": job_seq, "attempt": attempt, **plan})
+        return plan
+
+
+def make_probe(plan: dict | None):
+    """The worker-side chaos probe for one kill plan (identity-free).
+
+    Returns a ``probe(stage, index)`` callable that SIGKILLs the
+    current process at the plan's stage — indistinguishable from an
+    OOM kill as far as the supervisor can tell.  Stage ``"mid"``
+    matches any mid-workload stage (``mid``/``epoch``/``frame``) so
+    one config covers every workload kind; a plan whose stage never
+    occurs fires at ``"finish"`` instead, so a planned kill always
+    happens (the replay log stays truthful).  Stall plans are handled
+    by the worker loop itself, not the probe.
+    """
+    if plan is None or plan.get("action") != "kill":
+        return None
+
+    want_stage = plan["stage"]
+
+    def probe(stage: str, index: int = 0) -> None:
+        import os
+        import signal
+
+        matched = (stage == want_stage
+                   or (want_stage == "mid"
+                       and stage in ("epoch", "frame"))
+                   or stage == "finish")
+        if matched:
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    return probe

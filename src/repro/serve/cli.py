@@ -1,0 +1,258 @@
+"""``ncserve``: command-line front end of the simulation service.
+
+``serve`` runs the socket server; ``submit``/``status``/``result``/
+``cancel``/``stats``/``drain``/``shutdown`` talk to a running one;
+``batch`` drives the CI mixed-workload scenario (cold + warm + over-
+deadline + queue flood) and ``smoke`` runs the seeded chaos gate fully
+in-process — kill a worker mid-job, assert every job still reaches a
+terminal state with outputs bit-identical to an undisturbed run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import sys
+import tempfile
+
+from repro.serve.chaos import ChaosConfig, ChaosController
+from repro.serve.jobs import JobSpec, ServicePolicy
+from repro.serve.service import SimulationService
+
+
+def _spec_from_args(args) -> JobSpec:
+    return JobSpec(workload=args.workload, tenant=args.tenant,
+                   seed=args.seed, frames=args.frames,
+                   epochs=args.epochs, deadline_s=args.deadline,
+                   preemptible=args.preemptible)
+
+
+def _add_spec_flags(parser) -> None:
+    parser.add_argument("--workload", default="inference",
+                        choices=("inference", "training", "streaming",
+                                 "poison"))
+    parser.add_argument("--tenant", default="default")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--frames", type=int, default=4)
+    parser.add_argument("--epochs", type=int, default=3)
+    parser.add_argument("--deadline", type=float, default=None)
+    parser.add_argument("--preemptible", action="store_true")
+
+
+def _policy_from_args(args) -> ServicePolicy:
+    return ServicePolicy(workers=args.workers,
+                         max_queue_depth=args.queue_depth,
+                         memo_dir=args.memo_dir,
+                         checkpoint_dir=args.checkpoint_dir)
+
+
+def _client(args):
+    from repro.serve.protocol import ServeClient
+
+    return ServeClient(args.socket, timeout_s=args.timeout)
+
+
+def _print(doc: dict) -> None:
+    print(json.dumps(doc, indent=2, sort_keys=True))
+
+
+def _cmd_serve(args) -> int:
+    from repro.serve.protocol import serve_socket
+
+    service = SimulationService(_policy_from_args(args))
+    asyncio.run(serve_socket(service, args.socket,
+                             ready_file=args.ready_file))
+    return 0
+
+
+def _cmd_submit(args) -> int:
+    with _client(args) as client:
+        response = client.request("submit",
+                                  spec=_spec_from_args(args).to_dict())
+        if response.get("ok") and args.wait:
+            response = client.request("result",
+                                      job_id=response["job_id"])
+    _print(response)
+    return 0 if response.get("ok") else 1
+
+
+def _cmd_simple(op: str):
+    def run(args) -> int:
+        with _client(args) as client:
+            fields = ({"job_id": args.job_id}
+                      if hasattr(args, "job_id") else {})
+            response = client.request(op, **fields)
+        if op == "stats" and args.out and response.get("ok"):
+            with open(args.out, "w") as handle:
+                json.dump(response["stats"], handle, indent=2,
+                          sort_keys=True)
+        _print(response)
+        return 0 if response.get("ok") else 1
+    return run
+
+
+def _cmd_batch(args) -> int:
+    """The CI mixed batch: cold, warm, over-deadline, then a flood."""
+    with _client(args) as client:
+        submitted = []
+        mix = ([("inference", None)] * args.cold
+               + [("streaming", None)] * args.warm
+               + [("inference", args.deadline)] * args.over_deadline)
+        for index, (workload, deadline) in enumerate(mix):
+            response = client.request(
+                "submit", spec=JobSpec(workload=workload, seed=index,
+                                       deadline_s=deadline).to_dict())
+            if not response.get("ok"):
+                _print(response)
+                return 1
+            submitted.append(response["job_id"])
+        jobs = [client.request("result", job_id=job_id)["job"]
+                for job_id in submitted]
+        rejects = 0
+        flood_ids = []
+        for index in range(args.flood):
+            response = client.request(
+                "submit", spec=JobSpec(workload="streaming",
+                                       seed=1000 + index,
+                                       frames=2).to_dict())
+            if not response.get("ok"):
+                if response.get("error") != "overloaded":
+                    _print(response)
+                    return 1
+                rejects += 1
+            else:
+                flood_ids.append(response["job_id"])
+        for job_id in flood_ids:
+            jobs.append(client.request("result", job_id=job_id)["job"])
+        stats = client.request("stats")["stats"]
+    states = sorted({job["state"] for job in jobs})
+    summary = {"jobs": len(jobs), "states": states,
+               "flood_rejects": rejects,
+               "queue_rejected": stats["queue"]["rejected"]}
+    _print(summary)
+    from repro.serve.jobs import JobState
+
+    if any(state not in JobState.TERMINAL for state in states):
+        print("batch: non-terminal job state", file=sys.stderr)
+        return 1
+    if args.flood and rejects == 0:
+        print("batch: queue flood produced no rejects", file=sys.stderr)
+        return 1
+    return 0
+
+
+async def _run_jobs(service: SimulationService,
+                    specs: list[JobSpec]) -> list[dict]:
+    """Start a service, run every spec to a terminal state, stop."""
+    await service.start()
+    job_ids = [service.submit(spec) for spec in specs]
+    jobs = [await service.result(job_id, timeout_s=120.0)
+            for job_id in job_ids]
+    await service.stop()
+    return jobs
+
+
+def _smoke_specs(checkpointed: bool) -> list[JobSpec]:
+    return [
+        JobSpec(workload="inference", seed=1),
+        JobSpec(workload="streaming", seed=2, frames=2),
+        JobSpec(workload="training", seed=3, epochs=3,
+                preemptible=checkpointed),
+    ]
+
+
+def _cmd_smoke(args) -> int:
+    """Seeded chaos gate, fully in-process.  Exit 0 iff it holds."""
+    with tempfile.TemporaryDirectory(prefix="ncserve-smoke-") as tmp:
+        def policy() -> ServicePolicy:
+            return ServicePolicy(workers=2,
+                                 checkpoint_dir=f"{tmp}/ckpt",
+                                 memo_dir=f"{tmp}/memo")
+
+        baseline = asyncio.run(_run_jobs(
+            SimulationService(policy()), _smoke_specs(True)))
+        chaos = ChaosController(ChaosConfig(
+            seed=args.seed, kill_rate=1.0, stage="mid",
+            first_attempt_only=True))
+        service = SimulationService(policy(), chaos=chaos)
+        disturbed = asyncio.run(_run_jobs(service, _smoke_specs(True)))
+    failures = []
+    for base, job in zip(baseline, disturbed, strict=True):
+        if job["state"] != "done":
+            failures.append(f"{job['job_id']}: state {job['state']}")
+        elif (job["result"]["output_digest"]
+              != base["result"]["output_digest"]):
+            failures.append(f"{job['job_id']}: digest diverged "
+                            f"after chaos retry")
+    if not chaos.planned:
+        failures.append("chaos harness planned no kills")
+    if not any(job["attempts"] > 1 for job in disturbed):
+        failures.append("no job was actually retried")
+    summary = {"seed": args.seed, "planned_kills": len(chaos.planned),
+               "jobs": [{"job_id": j["job_id"], "state": j["state"],
+                         "attempts": j["attempts"]} for j in disturbed],
+               "failures": failures}
+    _print(summary)
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="ncserve",
+        description="Fault-tolerant Neurocube simulation service "
+                    "(see docs/serving.md).")
+    parser.add_argument("--socket", default="/tmp/ncserve.sock",
+                        help="unix socket path (default: %(default)s)")
+    parser.add_argument("--timeout", type=float, default=120.0,
+                        help="client request timeout seconds")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("serve", help="run the socket service")
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--queue-depth", type=int, default=8,
+                   dest="queue_depth")
+    p.add_argument("--memo-dir", default=None)
+    p.add_argument("--checkpoint-dir", default=None)
+    p.add_argument("--ready-file", default=None,
+                   help="touched once the socket is listening")
+    p.set_defaults(func=_cmd_serve)
+
+    p = sub.add_parser("submit", help="submit one job")
+    _add_spec_flags(p)
+    p.add_argument("--wait", action="store_true",
+                   help="block until the job is terminal")
+    p.set_defaults(func=_cmd_submit)
+
+    for op, needs_id in (("status", True), ("result", True),
+                         ("cancel", True), ("stats", False),
+                         ("drain", False), ("shutdown", False)):
+        p = sub.add_parser(op)
+        if needs_id:
+            p.add_argument("job_id")
+        if op == "stats":
+            p.add_argument("--out", default=None,
+                           help="also write the manifest JSON here")
+        p.set_defaults(func=_cmd_simple(op))
+
+    p = sub.add_parser("batch",
+                       help="CI mixed batch against a running service")
+    p.add_argument("--cold", type=int, default=2)
+    p.add_argument("--warm", type=int, default=2)
+    p.add_argument("--over-deadline", type=int, default=1,
+                   dest="over_deadline")
+    p.add_argument("--deadline", type=float, default=0.001)
+    p.add_argument("--flood", type=int, default=16)
+    p.set_defaults(func=_cmd_batch)
+
+    p = sub.add_parser("smoke",
+                       help="in-process seeded chaos gate")
+    p.add_argument("--seed", type=int, default=7)
+    p.set_defaults(func=_cmd_smoke)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,280 @@
+"""Job vocabulary of the simulation service.
+
+Everything here is plain data: specs cross the worker-process boundary
+as dicts, records live only in the supervisor.  The retry/backoff
+fields of :class:`ServicePolicy` deliberately reuse the
+:class:`repro.faults.FaultConfig` vocabulary (``max_retries``, a
+``backoff * 2**(k-1)`` schedule) so service-level retries read like the
+simulator's fault retries, and a quarantined poison job is recorded
+with the same :class:`repro.faults.DegradedResult` ledger type the
+fault injector uses.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import asdict, dataclass, field
+
+from repro.errors import ConfigurationError
+
+#: Workload kinds a job may request.  ``poison`` always raises inside
+#: the worker — it exists so tests (and the chaos smoke) can exercise
+#: the retry/quarantine path without patching anything.
+WORKLOADS = ("inference", "training", "streaming", "poison")
+
+
+class JobState:
+    """Terminal and transient job states (plain strings on the wire)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    DEGRADED = "degraded"
+    REJECTED = "rejected"
+    CANCELLED = "cancelled"
+
+    #: States a job never leaves; :meth:`JobRecord.terminal` tests these.
+    TERMINAL = (DONE, DEGRADED, REJECTED, CANCELLED)
+
+
+class Overloaded(Exception):
+    """Typed admission rejection: the queue is full or draining.
+
+    Attributes:
+        retry_after: suggested seconds before resubmitting (a hint
+            derived from queue depth and recent service rate, not a
+            promise).
+        reason: ``"queue_full"`` or ``"draining"``.
+    """
+
+    def __init__(self, retry_after: float, reason: str = "queue_full"):
+        self.retry_after = float(retry_after)
+        self.reason = reason
+        super().__init__(
+            f"service overloaded ({reason}); retry after "
+            f"{self.retry_after:.3f}s")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What a tenant asks for: one simulation job.
+
+    Attributes:
+        workload: one of :data:`WORKLOADS`.
+        tenant: fair-share lane this job bills to.
+        seed: deterministic workload seed — two jobs with equal specs
+            produce bit-identical results, which is what makes retry
+            and chaos replay checkable.
+        frames: streamed frames (``streaming`` only).
+        epochs: training epochs (``training`` only).
+        deadline_s: seconds from submission until the job must have
+            finished; None disables the deadline.
+        preemptible: allow deadline preemption: the job is killed at a
+            checkpoint boundary and resumed on another worker instead
+            of being degraded (``training`` jobs checkpoint per epoch).
+        checkpoint_keep_last: epoch snapshots retained per training job
+            (:attr:`repro.faults.CheckpointSpec.keep_last`).
+    """
+
+    workload: str = "inference"
+    tenant: str = "default"
+    seed: int = 0
+    frames: int = 4
+    epochs: int = 3
+    deadline_s: float | None = None
+    preemptible: bool = False
+    checkpoint_keep_last: int = 2
+
+    def __post_init__(self) -> None:
+        if self.workload not in WORKLOADS:
+            raise ConfigurationError(
+                f"unknown workload {self.workload!r}; "
+                f"expected one of {WORKLOADS}")
+        if self.frames < 1:
+            raise ConfigurationError(
+                f"frames must be >= 1, got {self.frames}")
+        if self.epochs < 1:
+            raise ConfigurationError(
+                f"epochs must be >= 1, got {self.epochs}")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be > 0, got {self.deadline_s}")
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> JobSpec:
+        known = {f for f in cls.__dataclass_fields__}
+        unknown = set(data) - known
+        if unknown:
+            raise ConfigurationError(
+                f"unknown job-spec fields {sorted(unknown)}")
+        return cls(**data)
+
+
+@dataclass
+class JobResult:
+    """What a finished job carries back to its tenant.
+
+    Attributes:
+        output_digest: sha256 hex digest of the workload's output bytes
+            — the bit-identity handle for retry/replay checks.
+        cycles: total simulated cycles billed to the job.
+        warm_plan: True when the compiled program came from the
+            cross-request plan cache (no compile in the worker).
+        plan_verified: True when the worker re-verified the shipped
+            plan hashes (always True unless the cache went stale).
+        memo: folded memo-store counters of the run, when any.
+        detail: workload-specific extras (frame counts, epochs run,
+            resume cycle, ...).
+    """
+
+    output_digest: str = ""
+    cycles: int = 0
+    warm_plan: bool = False
+    plan_verified: bool = True
+    memo: dict | None = None
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> JobResult:
+        return cls(**data)
+
+
+_job_seq = itertools.count()
+
+
+@dataclass
+class JobRecord:
+    """Supervisor-side lifecycle record of one submitted job.
+
+    Attributes:
+        job_id: service-unique id handed back to the tenant.
+        seq: monotone submission sequence number — the chaos
+            controller's site key, stable across retries.
+        spec: the submitted :class:`JobSpec`.
+        state: a :class:`JobState` constant.
+        attempts: dispatch attempts so far (1 on the first run).
+        worker_history: worker names that ran (or started) this job.
+        ledger: append-only failure records — one dict per crash,
+            timeout, preemption or quarantine, in the
+            :class:`repro.faults.DegradedResult` field vocabulary.
+        result: the :class:`JobResult` once terminal-successful.
+        error: last failure detail for degraded/rejected jobs.
+        submitted_at / finished_at: service-loop timestamps.
+        not_before: earliest dispatch time (retry backoff).
+    """
+
+    job_id: str
+    seq: int
+    spec: JobSpec
+    state: str = JobState.PENDING
+    attempts: int = 0
+    worker_history: list[str] = field(default_factory=list)
+    ledger: list[dict] = field(default_factory=list)
+    result: JobResult | None = None
+    error: str = ""
+    submitted_at: float = 0.0
+    finished_at: float = 0.0
+    not_before: float = 0.0
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    @property
+    def latency_s(self) -> float:
+        if not self.terminal:
+            return 0.0
+        return max(0.0, self.finished_at - self.submitted_at)
+
+    def to_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "seq": self.seq,
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+            "attempts": self.attempts,
+            "worker_history": list(self.worker_history),
+            "ledger": [dict(entry) for entry in self.ledger],
+            "result": self.result.to_dict() if self.result else None,
+            "error": self.error,
+            "latency_s": self.latency_s,
+        }
+
+
+def next_seq() -> int:
+    """The next job submission sequence number (process-wide)."""
+    return next(_job_seq)
+
+
+@dataclass(frozen=True)
+class ServicePolicy:
+    """Tunable service behaviour, all in one picklable place.
+
+    Attributes:
+        workers: supervised worker processes.
+        max_queue_depth: admission bound; a submit beyond it raises
+            :class:`Overloaded`.
+        tenant_weights: relative dequeue weights per tenant; tenants
+            not listed get weight 1.
+        max_retries: attempts before a failing job is quarantined
+            (the :class:`repro.faults.FaultConfig` field of the same
+            name, lifted to job granularity).
+        retry_backoff_s: base of the exponential backoff — retry k
+            waits ``retry_backoff_s * 2**(k-1)`` seconds, the
+            ``FaultConfig.retry_backoff`` schedule in host seconds.
+        heartbeat_interval_s: worker heartbeat period.
+        heartbeat_timeout_s: silence after which a worker is declared
+            dead and its job retried.
+        tick_s: supervisor loop period.
+        checkpoint_dir: where training jobs keep epoch snapshots
+            (required for preemptible training jobs).
+        memo_dir: persistent memo store shared by all workers' cold
+            timing phases; None disables it.
+        plan_cache: enable the cross-request compiled-plan cache.
+    """
+
+    workers: int = 2
+    max_queue_depth: int = 8
+    tenant_weights: dict = field(default_factory=dict)
+    max_retries: int = 3
+    retry_backoff_s: float = 0.05
+    heartbeat_interval_s: float = 0.05
+    heartbeat_timeout_s: float = 1.0
+    tick_s: float = 0.02
+    checkpoint_dir: str | None = None
+    memo_dir: str | None = None
+    plan_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ConfigurationError(
+                f"workers must be >= 1, got {self.workers}")
+        if self.max_queue_depth < 1:
+            raise ConfigurationError(
+                f"max_queue_depth must be >= 1, got {self.max_queue_depth}")
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}")
+        for value, name in ((self.retry_backoff_s, "retry_backoff_s"),
+                            (self.heartbeat_interval_s,
+                             "heartbeat_interval_s"),
+                            (self.heartbeat_timeout_s,
+                             "heartbeat_timeout_s"),
+                            (self.tick_s, "tick_s")):
+            if value <= 0:
+                raise ConfigurationError(
+                    f"{name} must be > 0, got {value}")
+
+    def backoff_s(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based): base * 2**(k-1)."""
+        return self.retry_backoff_s * (2 ** max(0, attempt - 1))
+
+    def weight_for(self, tenant: str) -> int:
+        weight = int(self.tenant_weights.get(tenant, 1))
+        return max(1, weight)

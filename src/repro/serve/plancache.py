@@ -1,0 +1,94 @@
+"""Cross-request compiled-plan cache.
+
+The Neurocube programmability story (PAPER.md §IV) at service scale:
+structurally identical requests — any tenant, any seed — share one
+compiled :class:`~repro.core.layerdesc.NeurocubeProgram`.  The cache
+key is the workload's *structure* plus :func:`repro.memo.store.
+memo_fingerprint` of the service configuration, so a timing-model or
+config change can never serve a stale program; the cached value
+additionally records every pass plan's
+:meth:`~repro.core.scheduler.PassPlan.structural_hash`, and the worker
+re-verifies those hashes against the shipped program before running it
+(the memo store's NC207 key=>hash discipline, applied to plans).
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.core.parallel import task_plan_hashes
+
+
+def program_plan_hashes(config, program) -> tuple[str, ...]:
+    """Structural hashes of every plan a program's descriptors imply.
+
+    Timing-only task construction (``layer=None``) is used for conv and
+    pool descriptors — the same chains :func:`~repro.core.parallel.
+    run_map_task` builds in timing mode — and the bare FC pass for fc
+    descriptors, so the hash list is a pure function of (config,
+    program) and recomputes identically in any process.
+    """
+    from repro.core.scheduler import build_fc_pass
+    from repro.core.simulator import NeurocubeSimulator
+
+    simulator = NeurocubeSimulator(config)
+    hashes: list[str] = []
+    for desc in program.descriptors:
+        if desc.kind == "fc":
+            plan = build_fc_pass(desc, config, None, None, None, None)
+            hashes.append(plan.structural_hash())
+            continue
+        if desc.kind == "pool":
+            tasks = simulator._pool_tasks(desc, None, None)
+        else:
+            tasks = simulator._conv_tasks(desc, None, None)
+        for task in tasks:
+            hashes.extend(task_plan_hashes(config, desc, None, task))
+    return tuple(hashes)
+
+
+class PlanCache:
+    """In-memory compile-once/serve-many program cache.
+
+    Values are pickled programs (ready to ship over the worker pipe)
+    plus their plan-hash manifest.  Counters feed the
+    ``neurocube_serve_plan_cache`` metric family.
+    """
+
+    def __init__(self, config) -> None:
+        from repro.memo.store import memo_fingerprint
+
+        self.config = config
+        self.fingerprint = memo_fingerprint(config)
+        self._entries: dict[tuple, tuple[bytes, tuple[str, ...]]] = {}
+        self.hits = 0
+        self.misses = 0
+        self.rejects = 0
+
+    def _key(self, workload_key: tuple) -> tuple:
+        return (self.fingerprint,) + tuple(workload_key)
+
+    def get(self, workload_key: tuple):
+        """``(program_bytes, plan_hashes)`` for a key, or None (cold)."""
+        entry = self._entries.get(self._key(workload_key))
+        if entry is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, workload_key: tuple, program) -> tuple[bytes, tuple]:
+        """Insert a freshly compiled program; returns the stored entry."""
+        hashes = program_plan_hashes(self.config, program)
+        entry = (pickle.dumps(program, pickle.HIGHEST_PROTOCOL), hashes)
+        self._entries[self._key(workload_key)] = entry
+        return entry
+
+    def invalidate(self, workload_key: tuple) -> None:
+        """Drop an entry a worker reported as failing verification."""
+        self.rejects += 1
+        self._entries.pop(self._key(workload_key), None)
+
+    def counters(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses,
+                "rejects": self.rejects, "entries": len(self._entries)}

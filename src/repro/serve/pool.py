@@ -1,0 +1,159 @@
+"""Supervised worker processes for the simulation service.
+
+A worker is a raw :class:`multiprocessing.Process` with a duplex pipe —
+deliberately *not* a ``ProcessPoolExecutor``, which declares the whole
+pool broken when any worker dies.  Here a SIGKILL'd worker is an
+expected event: the supervisor notices (dead process or missed
+heartbeats), respawns a fresh worker, and retries the victim's job.
+
+Inside the worker, :func:`repro.core.parallel.set_inline_only` pins all
+pass executors to the in-process path — a job asking for parallel
+passes must not fork a nested pool under an already-supervised process.
+A daemon heartbeat thread sends liveness beats over the pipe (guarded
+by a lock so beats never interleave with result frames); the chaos
+harness's ``stall`` plan simply pauses that thread, which is exactly
+what a wedged worker looks like from outside.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+from repro.serve import workloads
+from repro.serve.chaos import make_probe
+from repro.serve.jobs import JobSpec
+
+
+def _worker_main(conn, heartbeat_interval_s: float) -> None:
+    """Worker entry point: recv job frames, send result/error frames."""
+    from repro.core import parallel
+
+    parallel.set_inline_only(True)
+    send_lock = threading.Lock()
+    beating = threading.Event()
+    beating.set()
+    stop = threading.Event()
+
+    def heartbeat() -> None:
+        while not stop.wait(heartbeat_interval_s):
+            if not beating.is_set():
+                continue
+            try:
+                with send_lock:
+                    conn.send({"kind": "heartbeat"})
+            except (BrokenPipeError, OSError):
+                return
+
+    thread = threading.Thread(target=heartbeat, daemon=True)
+    thread.start()
+
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message.get("kind") == "stop":
+            break
+        if message.get("kind") != "job":
+            continue
+        job_id = message["job_id"]
+        chaos = message.get("chaos")
+        if chaos is not None and chaos.get("action") == "stall":
+            # A stalled worker goes silent (no heartbeats) and sleeps:
+            # from the supervisor this is indistinguishable from a hang
+            # and must trip the liveness timeout.
+            beating.clear()
+            stop.wait(float(chaos.get("stall_s", 0.5)))
+            beating.set()
+        probe = make_probe(chaos)
+        try:
+            spec = JobSpec.from_dict(message["spec"])
+            result = workloads.execute_job(
+                spec, job_id, message.get("context", {}),
+                program_bytes=message.get("program"),
+                plan_hashes=message.get("plan_hashes"),
+                chaos_probe=probe or workloads._no_chaos)
+            frame = {"kind": "result", "job_id": job_id, "result": result}
+        except BaseException as error:  # noqa: B036 - report, don't die
+            frame = {"kind": "error", "job_id": job_id,
+                     "error": f"{type(error).__name__}: {error}"}
+        try:
+            with send_lock:
+                conn.send(frame)
+        except (BrokenPipeError, OSError):
+            break
+    stop.set()
+
+
+class SupervisedWorker:
+    """Parent-side handle of one worker process."""
+
+    def __init__(self, name: str, heartbeat_interval_s: float) -> None:
+        self.name = name
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.process: multiprocessing.Process | None = None
+        self.conn = None
+        self.busy_job: str | None = None
+        self.last_heartbeat = 0.0
+        self.restarts = 0
+
+    def spawn(self, now: float) -> None:
+        """(Re)start the worker process with a fresh pipe."""
+        ctx = multiprocessing.get_context("fork")
+        parent, child = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_worker_main, args=(child, self.heartbeat_interval_s),
+            name=self.name, daemon=True)
+        self.process.start()
+        child.close()
+        self.conn = parent
+        self.busy_job = None
+        self.last_heartbeat = now
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    @property
+    def idle(self) -> bool:
+        return self.alive and self.busy_job is None
+
+    def dispatch(self, frame: dict) -> None:
+        self.conn.send(frame)
+        self.busy_job = frame["job_id"]
+
+    def drain_frames(self) -> list[dict]:
+        """All frames the worker has sent, without blocking.
+
+        A dead worker's half-closed pipe surfaces as EOF/era errors
+        here; the supervisor treats that exactly like a missed
+        heartbeat (the process poll is the authority).
+        """
+        frames = []
+        try:
+            while self.conn is not None and self.conn.poll(0):
+                frames.append(self.conn.recv())
+        except (EOFError, OSError):
+            pass
+        return frames
+
+    def kill(self) -> None:
+        """Hard-stop the process (preemption, liveness, shutdown)."""
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=5.0)
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+
+    def stop(self) -> None:
+        """Polite stop: ask first, then reap."""
+        try:
+            if self.conn is not None:
+                self.conn.send({"kind": "stop"})
+        except (BrokenPipeError, OSError):
+            pass
+        if self.process is not None:
+            self.process.join(timeout=2.0)
+        self.kill()

@@ -1,0 +1,136 @@
+"""Local-socket front end: JSON-lines over a Unix domain socket.
+
+One request per line, one response per line; every response carries
+``"ok"`` plus either the operation's payload or ``"error"`` /
+``"retry_after"``.  The wire protocol is deliberately tiny — the
+service API *is* :class:`~repro.serve.service.SimulationService`; this
+module only exposes it to other processes (the ``ncserve`` CLI, the CI
+``serve`` job) without inventing a second semantics.
+
+Ops: ``ping``, ``submit``, ``status``, ``result`` (blocks until the
+job is terminal), ``cancel``, ``stats``, ``drain`` (graceful: empties
+the queue, then stops the pool) and ``shutdown`` (stops the server
+loop).  Backpressure crosses the wire as
+``{"ok": false, "error": "overloaded", "retry_after": ...}``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import socket
+
+from repro.errors import ConfigurationError
+from repro.serve.jobs import JobSpec, Overloaded
+from repro.serve.service import SimulationService
+
+
+async def _handle_request(service: SimulationService, request: dict,
+                          shutdown: asyncio.Event) -> dict:
+    op = request.get("op")
+    try:
+        if op == "ping":
+            return {"ok": True, "pong": True}
+        if op == "submit":
+            spec = JobSpec.from_dict(request.get("spec", {}))
+            return {"ok": True, "job_id": service.submit(spec)}
+        if op == "status":
+            return {"ok": True, "job": service.status(request["job_id"])}
+        if op == "result":
+            job = await service.result(
+                request["job_id"], timeout_s=request.get("timeout_s"))
+            return {"ok": True, "job": job}
+        if op == "cancel":
+            return {"ok": True,
+                    "cancelled": service.cancel(request["job_id"])}
+        if op == "stats":
+            return {"ok": True, "stats": service.stats()}
+        if op == "drain":
+            return {"ok": True, "stats": await service.drain()}
+        if op == "shutdown":
+            shutdown.set()
+            return {"ok": True, "stopping": True}
+        return {"ok": False, "error": f"unknown op {op!r}"}
+    except Overloaded as error:
+        return {"ok": False, "error": "overloaded",
+                "reason": error.reason,
+                "retry_after": error.retry_after}
+    except (KeyError, ConfigurationError) as error:
+        return {"ok": False, "error": str(error)}
+
+
+async def serve_socket(service: SimulationService, path: str,
+                       ready_file: str | None = None) -> None:
+    """Run the socket server until a ``shutdown`` op arrives.
+
+    The service must not be started yet; this owns its lifecycle.
+    ``ready_file`` (when given) is created once the socket is
+    listening — the CI job's start barrier.
+    """
+    shutdown = asyncio.Event()
+    await service.start()
+
+    async def on_client(reader: asyncio.StreamReader,
+                        writer: asyncio.StreamWriter) -> None:
+        try:
+            while not shutdown.is_set():
+                line = await reader.readline()
+                if not line:
+                    break
+                try:
+                    request = json.loads(line)
+                except json.JSONDecodeError as error:
+                    response = {"ok": False,
+                                "error": f"bad json: {error}"}
+                else:
+                    response = await _handle_request(service, request,
+                                                     shutdown)
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+        except asyncio.CancelledError:
+            # Server shutdown cancels open client readers; that is the
+            # normal exit, not an error to log.
+            pass
+        finally:
+            writer.close()
+
+    server = await asyncio.start_unix_server(on_client, path=path)
+    if ready_file is not None:
+        # One async write would be overkill for a touch(); the linter
+        # pragma records that this is a deliberate, one-shot blocking
+        # call before any traffic exists.
+        # nclint: allow(NC112) startup barrier, pre-traffic
+        open(ready_file, "w").close()
+    async with server:
+        await shutdown.wait()
+    await service.stop()
+
+
+class ServeClient:
+    """Blocking JSON-lines client (the CLI side; plain sync code)."""
+
+    def __init__(self, path: str, timeout_s: float = 60.0) -> None:
+        self.path = path
+        self._sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._sock.settimeout(timeout_s)
+        self._sock.connect(path)
+        self._file = self._sock.makefile("rwb")
+
+    def request(self, op: str, **fields) -> dict:
+        payload = {"op": op, **fields}
+        self._file.write(json.dumps(payload).encode() + b"\n")
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ConnectionError("server closed the connection")
+        return json.loads(line)
+
+    def close(self) -> None:
+        self._file.close()
+        self._sock.close()
+
+    def __enter__(self) -> ServeClient:
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

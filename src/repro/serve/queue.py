@@ -1,0 +1,116 @@
+"""Bounded admission queue with weighted-fair tenant dequeue.
+
+Admission control is the service's first line of defence: a full queue
+rejects immediately with a typed :class:`~repro.serve.jobs.Overloaded`
+carrying a retry-after hint, instead of buffering unboundedly until the
+process dies.  Dequeue runs smooth weighted round-robin over tenant
+lanes (the nginx algorithm): each pick, every non-empty eligible lane
+gains its weight in credit, the richest lane is picked, and the pick
+pays the total credit handed out — so over time each tenant's share of
+dispatches converges to its weight share, without starving anyone, and
+with a deterministic tie-break (lane name) so tests can pin orderings.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.serve.jobs import JobRecord, Overloaded, ServicePolicy
+
+
+class AdmissionQueue:
+    """Per-tenant lanes behind one global admission bound."""
+
+    def __init__(self, policy: ServicePolicy) -> None:
+        self.policy = policy
+        self._lanes: dict[str, deque[JobRecord]] = {}
+        self._credit: dict[str, float] = {}
+        self.draining = False
+        self.accepted = 0
+        self.rejected = 0
+
+    @property
+    def depth(self) -> int:
+        return sum(len(lane) for lane in self._lanes.values())
+
+    def retry_after(self) -> float:
+        """The rejection hint: one backoff base per queued job.
+
+        Deliberately crude — it only needs to scale with load so
+        well-behaved clients spread their retries.
+        """
+        return self.policy.retry_backoff_s * max(1, self.depth)
+
+    def push(self, record: JobRecord, force: bool = False) -> None:
+        """Admit one job, or raise :class:`Overloaded`.
+
+        ``force`` bypasses the bound and the drain gate: re-admission
+        of an already-accepted job (a retry after a worker crash) must
+        never be rejected — the admission decision was taken once, at
+        submit time.
+        """
+        if not force:
+            if self.draining:
+                self.rejected += 1
+                raise Overloaded(self.retry_after(), reason="draining")
+            if self.depth >= self.policy.max_queue_depth:
+                self.rejected += 1
+                raise Overloaded(self.retry_after())
+            self.accepted += 1
+        tenant = record.spec.tenant
+        lane = self._lanes.get(tenant)
+        if lane is None:
+            lane = self._lanes[tenant] = deque()
+            self._credit.setdefault(tenant, 0.0)
+        if force:
+            # Retries go to the front of their lane: the job already
+            # waited its turn once.
+            lane.appendleft(record)
+        else:
+            lane.append(record)
+
+    def _eligible(self, tenant: str, now: float) -> bool:
+        lane = self._lanes.get(tenant)
+        return bool(lane) and lane[0].not_before <= now
+
+    def pop(self, now: float) -> JobRecord | None:
+        """The next job under weighted-fair round-robin, or None.
+
+        A lane whose head is still in retry backoff (``not_before`` in
+        the future) is skipped this pick without earning credit.
+        """
+        eligible = sorted(tenant for tenant in self._lanes
+                          if self._eligible(tenant, now))
+        if not eligible:
+            return None
+        total = 0
+        for tenant in eligible:
+            weight = self.policy.weight_for(tenant)
+            self._credit[tenant] += weight
+            total += weight
+        best = max(eligible, key=lambda t: (self._credit[t], t))
+        self._credit[best] -= total
+        record = self._lanes[best].popleft()
+        if not self._lanes[best]:
+            del self._lanes[best]
+        return record
+
+    def remove(self, job_id: str) -> JobRecord | None:
+        """Pull one queued job out (cancellation); None if not queued."""
+        for tenant, lane in list(self._lanes.items()):
+            for record in lane:
+                if record.job_id == job_id:
+                    lane.remove(record)
+                    if not lane:
+                        del self._lanes[tenant]
+                    return record
+        return None
+
+    def queued(self) -> list[JobRecord]:
+        """Every queued record (deadline sweeps iterate this)."""
+        return [record for lane in self._lanes.values()
+                for record in lane]
+
+    def drain(self) -> None:
+        """Close admission: every further non-forced push rejects."""
+        self.draining = True

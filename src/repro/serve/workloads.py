@@ -1,0 +1,291 @@
+"""Service workloads: what a worker actually runs for one job.
+
+Every workload is a deterministic function of its :class:`JobSpec` —
+same spec, same bit-identical output digest — which is what makes the
+service's failure handling *checkable*: a retried job after a worker
+SIGKILL, or a training job preempted and resumed on another worker,
+must reproduce the digest of an undisturbed run exactly.
+
+Workloads run entirely inside a supervised worker process (the module
+is import-light so worker startup stays cheap).  Chaos injection points
+(:func:`execute_job`'s ``chaos_probe``) bracket each workload stage;
+the probe is a no-op in production and a deterministic kill/stall site
+under the chaos harness.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+#: Deterministic seed of the served network's parameters.
+_NET_SEED = 23
+
+#: Input shape of the served workload network (16x16 tiles cleanly
+#: over the 16 vault channels; see ``ext_stream``).
+INPUT_SHAPE = (1, 16, 16)
+
+#: Training jobs update this many host-side weights per epoch.
+_TRAIN_WEIGHTS = 32
+
+
+class PoisonJobError(RuntimeError):
+    """The ``poison`` workload's unconditional failure."""
+
+
+def serve_config():
+    """The service's fixed simulator configuration (one per process)."""
+    from repro.core.config import NeurocubeConfig
+
+    return NeurocubeConfig.hmc_15nm()
+
+
+def serve_network(config):
+    """The served workload network: a small LUT-activated conv front end.
+
+    Activations are :class:`~repro.nn.activations.ActivationLUT`-wrapped
+    so the streaming workload's functional fast path is bit-exact
+    against simulated outputs (same contract as ``ext_stream``).
+    """
+    from repro import nn
+    from repro.nn.activations import ActivationLUT, Tanh
+
+    layers = [
+        nn.Conv2D(4, 3, activation=ActivationLUT(Tanh()), name="conv",
+                  qformat=config.qformat),
+        nn.MaxPool2D(2, name="pool"),
+    ]
+    return nn.Network(layers, input_shape=INPUT_SHAPE,
+                      name="serve_convpool", seed=_NET_SEED)
+
+
+def job_frames(seed: int, count: int) -> list[np.ndarray]:
+    """``count`` deterministic input frames for a job seed."""
+    rng = np.random.default_rng(int(seed) & 0xFFFFFFFF)
+    return [rng.uniform(-1.0, 1.0, INPUT_SHAPE) for _ in range(count)]
+
+
+def _digest(*arrays: np.ndarray) -> str:
+    """sha256 over the raw bytes of the arrays, in order."""
+    feed = hashlib.sha256()
+    for array in arrays:
+        arr = np.ascontiguousarray(np.asarray(array))
+        feed.update(str(arr.shape).encode())
+        feed.update(arr.dtype.str.encode())
+        feed.update(arr.tobytes())
+    return feed.hexdigest()
+
+
+#: Plan-hash verifications this process has already done, keyed by the
+#: shipped program bytes' digest.  Workers are long-lived: the first
+#: warm job recomputes the structural hashes (the NC207-style check),
+#: every later job with byte-identical program ships skips straight to
+#: unpickling.  The bytes digest pins the memo to the exact payload, so
+#: a changed program can never ride a stale verification.
+_VERIFIED_PLANS: dict[str, tuple] = {}
+
+
+def _load_program(config, network, program_bytes, plan_hashes):
+    """The compiled program: cache-shipped (verified) or freshly built.
+
+    Returns ``(program, warm, verified)``.  A shipped program is only
+    trusted after its plan structural hashes recompute to the shipped
+    list (the plan cache's NC207-style key=>hash invariant); on
+    mismatch the worker falls back to a fresh compile and reports
+    ``verified=False`` so the supervisor can count the stale entry.
+    Verification is memoized per program payload (see
+    :data:`_VERIFIED_PLANS`) so the steady-state warm path does not
+    re-pay the hash recomputation on every job.
+    """
+    from repro.core.compiler import compile_inference
+    from repro.serve.plancache import program_plan_hashes
+
+    if program_bytes is not None:
+        digest = hashlib.sha256(program_bytes).hexdigest()
+        live = _VERIFIED_PLANS.get(digest)
+        if live is None:
+            live = program_plan_hashes(config,
+                                       pickle.loads(program_bytes))
+            _VERIFIED_PLANS[digest] = live
+        if plan_hashes is None or tuple(plan_hashes) == live:
+            return pickle.loads(program_bytes), True, True
+        return compile_inference(network, config), False, False
+    return compile_inference(network, config), False, True
+
+
+def _run_layers(simulator, network, program, x):
+    """Per-layer functional run of a precompiled program.
+
+    The body of :meth:`NeurocubeSimulator.run_network` minus its
+    internal compile — the service compiles (or cache-loads) once per
+    distinct plan, not once per job.
+    """
+    from repro.fixedpoint import quantize_float
+    from repro.nn.layers import Flatten
+
+    descriptors = {d.layer_index: d for d in program.descriptors}
+    current = quantize_float(np.asarray(x, dtype=np.float64),
+                             simulator.config.qformat)
+    cycles = 0
+    for index, layer in enumerate(network.layers):
+        if isinstance(layer, Flatten):
+            current = current.reshape(-1)
+            continue
+        run = simulator.run_descriptor(descriptors[index], layer, current)
+        cycles += run.cycles
+        current = run.output
+    return current, cycles
+
+
+def _timing_cycles(simulator, network, program):
+    """Timing-only cycles of every compute layer of a program."""
+    from repro.nn.layers import Flatten
+
+    descriptors = {d.layer_index: d for d in program.descriptors}
+    cycles = 0
+    memo = None
+    for index, layer in enumerate(network.layers):
+        if isinstance(layer, Flatten):
+            continue
+        run = simulator.run_descriptor(descriptors[index])
+        cycles += run.cycles
+        if run.memo_stats is not None:
+            if memo is None:
+                memo = run.memo_stats
+            else:
+                memo.merge(run.memo_stats)
+    return cycles, memo
+
+
+def _no_chaos(stage: str, index: int = 0) -> None:
+    return None
+
+
+def execute_job(spec, job_id: str, context: dict,
+                program_bytes: bytes | None = None,
+                plan_hashes=None, chaos_probe=_no_chaos) -> dict:
+    """Run one job to completion inside the current process.
+
+    Args:
+        spec: the job's :class:`repro.serve.jobs.JobSpec`.
+        job_id: service job id (training checkpoint label namespace).
+        context: host-side wiring: ``checkpoint_dir`` / ``memo_dir``
+            (either may be None) and, for training resume, the
+            ``checkpoint_label`` the supervisor pinned at first
+            dispatch.
+        program_bytes: pickled compiled program from the plan cache, or
+            None to compile here (the cold path).
+        plan_hashes: the cache entry's recorded plan structural hashes;
+            verified against the shipped program before use.
+        chaos_probe: deterministic fault-injection hook; called as
+            ``chaos_probe(stage, index)`` at every stage boundary.
+
+    Returns a :class:`repro.serve.jobs.JobResult` field dict.
+    """
+    from repro.core.simulator import NeurocubeSimulator
+
+    chaos_probe("start", 0)
+    if spec.workload == "poison":
+        raise PoisonJobError(f"poison job {job_id} failed (by design)")
+
+    config = serve_config()
+    network = serve_network(config)
+    memo = None
+    if context.get("memo_dir"):
+        from repro.memo.store import MemoStore
+
+        memo = MemoStore(context["memo_dir"], config)
+    simulator = NeurocubeSimulator(config, memo=memo)
+    program, warm, verified = _load_program(config, network,
+                                            program_bytes, plan_hashes)
+    chaos_probe("mid", 0)
+
+    if spec.workload == "inference":
+        frame = job_frames(spec.seed, 1)[0]
+        output, cycles = _run_layers(simulator, network, program, frame)
+        result = {"output_digest": _digest(output), "cycles": cycles,
+                  "detail": {"frames": 1}}
+    elif spec.workload == "streaming":
+        result = _run_streaming(spec, simulator, network, program,
+                                chaos_probe)
+    elif spec.workload == "training":
+        result = _run_training(spec, job_id, context, simulator, network,
+                               program, chaos_probe)
+    else:
+        raise ConfigurationError(
+            f"unhandled workload {spec.workload!r}")
+
+    chaos_probe("finish", 0)
+    result["warm_plan"] = warm
+    result["plan_verified"] = verified
+    if memo is not None and memo.stats.any:
+        result["memo"] = memo.stats.as_dict()
+    return result
+
+
+def _run_streaming(spec, simulator, network, program, chaos_probe) -> dict:
+    """Streaming job: timing once (memo-served when warm), frames warm.
+
+    The cold timing phase is the memoizable part — with a persistent
+    memo store ambient in the worker a warm submission replays timing
+    from disk and only runs the functional fast path per frame.
+    """
+    from repro.fixedpoint import quantize_float
+
+    cycles, memo_stats = _timing_cycles(simulator, network, program)
+    outputs = []
+    for index, frame in enumerate(job_frames(spec.seed, spec.frames)):
+        chaos_probe("frame", index)
+        quantized = quantize_float(frame, simulator.config.qformat)
+        outputs.append(network.forward(quantized[np.newaxis])[0])
+    return {"output_digest": _digest(*outputs), "cycles": cycles,
+            "detail": {"frames": len(outputs)}}
+
+
+def _run_training(spec, job_id, context, simulator, network, program,
+                  chaos_probe) -> dict:
+    """Training job: epoch loop with per-epoch checkpoints.
+
+    Each epoch cycle-simulates the first compute layer timing-only (the
+    job's simulated-cycle bill) and applies a deterministic host-side
+    weight update; the post-epoch state is snapshotted into a
+    :class:`repro.faults.CheckpointStore` under the job's label.  A
+    preempted (killed) job re-dispatched anywhere resumes from the
+    newest epoch snapshot and reaches bit-identical final weights —
+    the update is a pure function of (weights, epoch).
+    """
+    rng = np.random.default_rng(int(spec.seed) & 0xFFFFFFFF)
+    weights = rng.standard_normal(_TRAIN_WEIGHTS)
+    cycles = 0
+    start_epoch = 0
+    resumed_from = None
+    store = None
+    label = context.get("checkpoint_label") or f"serve.{job_id}"
+    if context.get("checkpoint_dir"):
+        from repro.faults.checkpoint import CheckpointStore
+
+        store = CheckpointStore(context["checkpoint_dir"],
+                                keep_last=spec.checkpoint_keep_last)
+        latest = store.latest(label)
+        if latest is not None:
+            state = store.load(label, latest)
+            weights = state["weights"]
+            cycles = int(state["cycles"])
+            start_epoch = int(state["epoch"]) + 1
+            resumed_from = latest
+    first_desc = program.descriptors[0]
+    for epoch in range(start_epoch, spec.epochs):
+        chaos_probe("epoch", epoch)
+        run = simulator.run_descriptor(first_desc)
+        cycles += run.cycles
+        weights = np.tanh(weights + 0.05 * np.sin((epoch + 1) * weights))
+        if store is not None:
+            store.save(label, epoch, {"epoch": epoch, "weights": weights,
+                                      "cycles": cycles})
+    return {"output_digest": _digest(weights), "cycles": cycles,
+            "detail": {"epochs": spec.epochs, "start_epoch": start_epoch,
+                       "resumed_from": resumed_from}}

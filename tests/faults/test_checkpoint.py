@@ -92,3 +92,48 @@ class TestStore:
         nested = tmp_path / "a" / "b"
         CheckpointStore(nested).save("p", 0, {})
         assert nested.is_dir()
+
+
+class TestRetention:
+    def test_keep_last_prunes_older_snapshots(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep_last=2)
+        for cycle in (10, 20, 30, 40, 50):
+            store.save("p", cycle, {"cycle": cycle})
+        assert store.checkpoints("p") == [40, 50]
+        assert store.latest("p") == 50
+        assert store.load("p", 50) == {"cycle": 50}
+
+    def test_keep_last_one_keeps_the_label_resumable(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep_last=1)
+        for cycle in (10, 20, 30):
+            store.save("p", cycle, {"cycle": cycle})
+        assert store.checkpoints("p") == [30]
+        assert store.load("p", 30) == {"cycle": 30}
+
+    def test_prune_is_per_label(self, tmp_path):
+        store = CheckpointStore(tmp_path, keep_last=1)
+        store.save("a", 10, {})
+        store.save("a", 20, {})
+        store.save("b", 10, {})
+        assert store.checkpoints("a") == [20]
+        assert store.checkpoints("b") == [10]
+
+    def test_zero_keeps_everything(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for cycle in (10, 20, 30):
+            store.save("p", cycle, {})
+        assert store.checkpoints("p") == [10, 20, 30]
+
+    def test_explicit_prune_clamps_to_newest(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        for cycle in (10, 20, 30):
+            store.save("p", cycle, {})
+        deleted = store.prune("p", 0)  # clamped: newest never deleted
+        assert store.checkpoints("p") == [30]
+        assert len(deleted) == 2
+
+    def test_negative_keep_last_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            CheckpointStore(tmp_path, keep_last=-1)
+        with pytest.raises(ConfigurationError):
+            CheckpointSpec(directory="d", every=10, keep_last=-1)

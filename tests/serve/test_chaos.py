@@ -1,0 +1,153 @@
+"""Seeded chaos: kills, stalls and preemption are replayable by seed,
+and every disturbed job's output stays bit-identical to an undisturbed
+run — the ISSUE's chaos gate, as unit tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.serve import (ChaosConfig, ChaosController, JobSpec, JobState,
+                         ServicePolicy, SimulationService)
+
+RESULT_TIMEOUT_S = 120.0
+
+
+def run_jobs(specs, policy, chaos=None):
+    async def go():
+        service = SimulationService(policy, chaos=chaos)
+        await service.start()
+        job_ids = [service.submit(spec) for spec in specs]
+        jobs = [await service.result(job_id, timeout_s=RESULT_TIMEOUT_S)
+                for job_id in job_ids]
+        stats = service.stats()
+        await service.stop()
+        return jobs, stats
+    return asyncio.run(go())
+
+
+class TestPlanDeterminism:
+    def test_same_seed_same_plans(self):
+        config = ChaosConfig(seed=11, kill_rate=0.5, stall_rate=0.25)
+        first = [ChaosController(config).plan_for(seq, 1)
+                 for seq in range(32)]
+        second = [ChaosController(config).plan_for(seq, 1)
+                  for seq in range(32)]
+        assert first == second
+        assert any(plan is not None for plan in first)
+        assert any(plan is None for plan in first)
+
+    def test_different_seeds_diverge(self):
+        plans_a = [ChaosController(ChaosConfig(seed=1, kill_rate=0.5))
+                   .plan_for(seq, 1) for seq in range(64)]
+        plans_b = [ChaosController(ChaosConfig(seed=2, kill_rate=0.5))
+                   .plan_for(seq, 1) for seq in range(64)]
+        assert plans_a != plans_b
+
+    def test_first_attempt_only_spares_retries(self):
+        controller = ChaosController(
+            ChaosConfig(seed=3, kill_rate=1.0, first_attempt_only=True))
+        assert controller.plan_for(0, 1) is not None
+        assert controller.plan_for(0, 2) is None
+
+    def test_planned_log_records_draws(self):
+        controller = ChaosController(ChaosConfig(seed=3, kill_rate=1.0))
+        controller.plan_for(7, 1)
+        assert controller.planned == [
+            {"job_seq": 7, "attempt": 1, "action": "kill",
+             "stage": "mid"}]
+
+
+class TestKillRetryBitIdentity:
+    def test_killed_jobs_retry_to_identical_digests(self, tmp_path):
+        def policy():
+            return ServicePolicy(workers=2,
+                                 checkpoint_dir=str(tmp_path / "ckpt"),
+                                 retry_backoff_s=0.01)
+        specs = [JobSpec(workload="inference", seed=21),
+                 JobSpec(workload="training", seed=22, epochs=3)]
+        baseline, _ = run_jobs(specs, policy())
+        chaos = ChaosController(ChaosConfig(
+            seed=7, kill_rate=1.0, stage="mid", first_attempt_only=True))
+        disturbed, _ = run_jobs(specs, policy(), chaos=chaos)
+        assert chaos.planned, "chaos planned no kills"
+        for base, job in zip(baseline, disturbed, strict=True):
+            assert job["state"] == JobState.DONE
+            assert job["attempts"] > 1
+            assert (job["result"]["output_digest"]
+                    == base["result"]["output_digest"])
+
+    def test_killed_training_resumes_from_checkpoint(self, tmp_path):
+        # A kill at the epoch boundary leaves epoch snapshots behind;
+        # the retry must resume past them (start_epoch > 0), land on a
+        # different worker, and still reach the undisturbed weights.
+        policy = ServicePolicy(workers=2,
+                               checkpoint_dir=str(tmp_path / "ckpt"),
+                               retry_backoff_s=0.01)
+        spec = JobSpec(workload="training", seed=31, epochs=4)
+        baseline, _ = run_jobs([spec], policy)
+        chaos = ChaosController(ChaosConfig(
+            seed=9, kill_rate=1.0, stage="epoch",
+            first_attempt_only=True))
+        disturbed, _ = run_jobs([spec], policy, chaos=chaos)
+        job = disturbed[0]
+        assert job["state"] == JobState.DONE
+        assert job["attempts"] == 2
+        workers = job["worker_history"]
+        assert len(set(workers)) == 2, workers
+        assert (job["result"]["output_digest"]
+                == baseline[0]["result"]["output_digest"])
+        detail = job["result"]["detail"]
+        if detail["start_epoch"] > 0:  # kill fired after a snapshot
+            assert detail["resumed_from"] is not None
+
+
+class TestStallTripsLiveness:
+    def test_stalled_worker_is_declared_dead_and_job_retried(self):
+        policy = ServicePolicy(workers=1, heartbeat_interval_s=0.02,
+                               heartbeat_timeout_s=0.2,
+                               retry_backoff_s=0.01)
+        chaos = ChaosController(ChaosConfig(
+            seed=5, stall_rate=1.0, stall_s=2.0,
+            first_attempt_only=True))
+        jobs, stats = run_jobs([JobSpec(workload="inference", seed=41)],
+                               policy, chaos=chaos)
+        job = jobs[0]
+        assert job["state"] == JobState.DONE
+        assert job["attempts"] == 2
+        assert any(entry["kind"] == "worker_heartbeat_timeout"
+                   for entry in job["ledger"])
+        assert any(worker["restarts"] >= 1
+                   for worker in stats["workers"])
+
+
+class TestDeadlinePreemption:
+    def test_preempted_training_migrates_and_matches_baseline(
+            self, tmp_path):
+        policy = ServicePolicy(workers=2,
+                               checkpoint_dir=str(tmp_path / "ckpt"),
+                               retry_backoff_s=0.01)
+        baseline, _ = run_jobs(
+            [JobSpec(workload="training", seed=51, epochs=10)], policy)
+        preemptee = JobSpec(workload="training", seed=51, epochs=10,
+                            deadline_s=0.1, preemptible=True)
+        disturbed, _ = run_jobs([preemptee], policy)
+        job = disturbed[0]
+        assert job["state"] == JobState.DONE
+        assert any(entry["kind"] == "deadline_preempted"
+                   for entry in job["ledger"])
+        workers = job["worker_history"]
+        assert len(workers) >= 2
+        assert len(set(workers)) == 2, workers
+        assert (job["result"]["output_digest"]
+                == baseline[0]["result"]["output_digest"])
+
+    def test_non_preemptible_overrun_degrades(self):
+        jobs, _ = run_jobs(
+            [JobSpec(workload="training", seed=52, epochs=10,
+                     deadline_s=0.1)],
+            ServicePolicy(workers=1))
+        job = jobs[0]
+        assert job["state"] == JobState.DEGRADED
+        assert any(entry["kind"] == "deadline_exceeded"
+                   for entry in job["ledger"])

@@ -1,0 +1,81 @@
+"""Graceful drain: admission closes, in-flight work finishes, pool
+stops with an empty queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import (JobSpec, JobState, Overloaded, ServicePolicy,
+                         SimulationService)
+
+RESULT_TIMEOUT_S = 120.0
+
+
+class TestDrain:
+    def test_drain_rejects_new_work_and_finishes_in_flight(self):
+        async def go():
+            service = SimulationService(ServicePolicy(workers=1))
+            await service.start()
+            in_flight = [
+                service.submit(JobSpec(workload="streaming", seed=1,
+                                       frames=2)),
+                service.submit(JobSpec(workload="inference", seed=2)),
+            ]
+            drain_task = asyncio.create_task(service.drain())
+            await asyncio.sleep(0)  # let drain close the gate
+            with pytest.raises(Overloaded) as info:
+                service.submit(JobSpec(workload="inference", seed=3))
+            assert info.value.reason == "draining"
+            manifest = await asyncio.wait_for(drain_task,
+                                              RESULT_TIMEOUT_S)
+            jobs = [service.status(job_id) for job_id in in_flight]
+            return manifest, jobs, service
+        manifest, jobs, service = asyncio.run(go())
+        assert manifest["draining"] is True
+        assert manifest["queue"]["depth"] == 0
+        for job in jobs:
+            assert job["state"] == JobState.DONE
+        # The pool is gone after drain; nothing is left running.
+        assert service.workers == []
+
+    def test_drain_on_idle_service_returns_promptly(self):
+        async def go():
+            service = SimulationService(ServicePolicy(workers=1))
+            await service.start()
+            return await asyncio.wait_for(service.drain(),
+                                          RESULT_TIMEOUT_S)
+        manifest = asyncio.run(go())
+        assert manifest["kind"] == "neurocube-serve-manifest"
+        assert manifest["queue"]["depth"] == 0
+        assert manifest["jobs"]["total"] == 0
+
+    def test_drain_still_quarantines_poison_jobs(self):
+        # Drain must not wait forever on a job that can never succeed:
+        # the retry/quarantine path keeps running while draining.
+        async def go():
+            service = SimulationService(
+                ServicePolicy(workers=1, max_retries=1,
+                              retry_backoff_s=0.01))
+            await service.start()
+            job_id = service.submit(JobSpec(workload="poison"))
+            manifest = await asyncio.wait_for(service.drain(),
+                                              RESULT_TIMEOUT_S)
+            return manifest, service.status(job_id)
+        manifest, job = asyncio.run(go())
+        assert job["state"] == JobState.DEGRADED
+        assert manifest["queue"]["depth"] == 0
+
+    def test_rejected_submission_names_the_drain(self):
+        async def go():
+            service = SimulationService(ServicePolicy(workers=1))
+            await service.start()
+            await service.drain()
+            # After drain the service is stopped; submit refuses.
+            return service
+        service = asyncio.run(go())
+        from repro.errors import ConfigurationError
+        with pytest.raises(ConfigurationError):
+            service.submit(JobSpec())

@@ -1,0 +1,142 @@
+"""Socket front end: JSON-lines round trips, errors, shutdown."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+import time
+
+from repro.serve import JobSpec, ServicePolicy, SimulationService
+from repro.serve.protocol import ServeClient, serve_socket
+
+RESULT_TIMEOUT_S = 120.0
+
+
+async def request(reader, writer, op: str, **fields) -> dict:
+    writer.write(json.dumps({"op": op, **fields}).encode() + b"\n")
+    await writer.drain()
+    return json.loads(await reader.readline())
+
+
+def test_socket_round_trip(tmp_path):
+    path = str(tmp_path / "serve.sock")
+    ready = tmp_path / "ready"
+
+    async def go():
+        service = SimulationService(ServicePolicy(workers=1))
+        server = asyncio.create_task(
+            serve_socket(service, path, ready_file=str(ready)))
+        while not ready.exists():
+            await asyncio.sleep(0.01)
+        reader, writer = await asyncio.open_unix_connection(path)
+        replies = {}
+        replies["ping"] = await request(reader, writer, "ping")
+        replies["submit"] = await request(
+            reader, writer, "submit",
+            spec=JobSpec(workload="inference", seed=1).to_dict())
+        job_id = replies["submit"]["job_id"]
+        replies["status"] = await request(reader, writer, "status",
+                                          job_id=job_id)
+        replies["result"] = await request(reader, writer, "result",
+                                          job_id=job_id,
+                                          timeout_s=RESULT_TIMEOUT_S)
+        replies["stats"] = await request(reader, writer, "stats")
+        replies["unknown_job"] = await request(reader, writer, "status",
+                                               job_id="job-999999")
+        replies["unknown_op"] = await request(reader, writer,
+                                              "frobnicate")
+        replies["bad_spec"] = await request(
+            reader, writer, "submit", spec={"workload": "nope"})
+        writer.write(b"this is not json\n")
+        await writer.drain()
+        replies["bad_json"] = json.loads(await reader.readline())
+        replies["shutdown"] = await request(reader, writer, "shutdown")
+        writer.close()
+        await asyncio.wait_for(server, RESULT_TIMEOUT_S)
+        return replies
+
+    replies = asyncio.run(go())
+    assert replies["ping"] == {"ok": True, "pong": True}
+    assert replies["submit"]["ok"]
+    assert replies["status"]["ok"]
+    assert replies["result"]["job"]["state"] == "done"
+    assert replies["result"]["job"]["result"]["output_digest"]
+    assert replies["stats"]["stats"]["kind"] == "neurocube-serve-manifest"
+    assert not replies["unknown_job"]["ok"]
+    assert not replies["unknown_op"]["ok"]
+    assert "unknown op" in replies["unknown_op"]["error"]
+    assert not replies["bad_spec"]["ok"]
+    assert not replies["bad_json"]["ok"]
+    assert "bad json" in replies["bad_json"]["error"]
+    assert replies["shutdown"] == {"ok": True, "stopping": True}
+
+
+def test_overload_crosses_the_wire(tmp_path):
+    path = str(tmp_path / "serve.sock")
+    ready = tmp_path / "ready"
+
+    async def go():
+        service = SimulationService(
+            ServicePolicy(workers=1, max_queue_depth=1))
+        server = asyncio.create_task(
+            serve_socket(service, path, ready_file=str(ready)))
+        while not ready.exists():
+            await asyncio.sleep(0.01)
+        reader, writer = await asyncio.open_unix_connection(path)
+        overloads = []
+        accepted = []
+        for seed in range(6):
+            reply = await request(
+                reader, writer, "submit",
+                spec=JobSpec(workload="streaming", seed=seed,
+                             frames=2).to_dict())
+            if reply["ok"]:
+                accepted.append(reply["job_id"])
+            else:
+                overloads.append(reply)
+        for job_id in accepted:
+            await request(reader, writer, "result", job_id=job_id,
+                          timeout_s=RESULT_TIMEOUT_S)
+        drained = await request(reader, writer, "drain")
+        await request(reader, writer, "shutdown")
+        writer.close()
+        await asyncio.wait_for(server, RESULT_TIMEOUT_S)
+        return overloads, drained
+
+    overloads, drained = asyncio.run(go())
+    assert overloads, "queue flood produced no rejects"
+    for reply in overloads:
+        assert reply["error"] == "overloaded"
+        assert reply["reason"] == "queue_full"
+        assert reply["retry_after"] > 0
+    assert drained["ok"]
+    assert drained["stats"]["queue"]["depth"] == 0
+
+
+def test_blocking_client_against_threaded_server(tmp_path):
+    # ServeClient is the CLI's sync path; run the server loop in a
+    # thread and talk to it exactly as `ncserve submit --wait` would.
+    path = str(tmp_path / "serve.sock")
+    ready = tmp_path / "ready"
+    service = SimulationService(ServicePolicy(workers=1))
+    thread = threading.Thread(
+        target=lambda: asyncio.run(
+            serve_socket(service, path, ready_file=str(ready))),
+        daemon=True)
+    thread.start()
+    deadline = time.time() + 30.0
+    while not ready.exists():
+        assert time.time() < deadline, "server never became ready"
+        time.sleep(0.01)
+    with ServeClient(path, timeout_s=RESULT_TIMEOUT_S) as client:
+        assert client.request("ping")["pong"]
+        submitted = client.request(
+            "submit", spec=JobSpec(workload="streaming", seed=3,
+                                   frames=2).to_dict())
+        job = client.request("result",
+                             job_id=submitted["job_id"])["job"]
+        assert job["state"] == "done"
+        assert client.request("shutdown")["ok"]
+    thread.join(timeout=30.0)
+    assert not thread.is_alive()

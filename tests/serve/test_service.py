@@ -1,0 +1,193 @@
+"""Service lifecycle: completion, plan cache, deadlines, quarantine.
+
+These tests run real supervised worker processes; specs are kept small
+(two-frame streams, three-epoch trainings) so each service run stays
+around a second.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.live import MetricsRegistry
+from repro.serve import (JobSpec, JobState, Overloaded, ServicePolicy,
+                         SimulationService)
+
+RESULT_TIMEOUT_S = 120.0
+
+
+def run_jobs(specs, policy=None, registry=None):
+    """Start a service, run every spec to terminal, return (jobs, stats)."""
+    async def go():
+        service = SimulationService(policy or ServicePolicy(),
+                                    registry=registry)
+        await service.start()
+        job_ids = [service.submit(spec) for spec in specs]
+        jobs = [await service.result(job_id, timeout_s=RESULT_TIMEOUT_S)
+                for job_id in job_ids]
+        stats = service.stats()
+        await service.stop()
+        return jobs, stats
+    return asyncio.run(go())
+
+
+class TestCompletion:
+    def test_inference_and_streaming_complete(self):
+        registry = MetricsRegistry()
+        jobs, stats = run_jobs(
+            [JobSpec(workload="inference", seed=1),
+             JobSpec(workload="streaming", seed=2, frames=2)],
+            registry=registry)
+        for job in jobs:
+            assert job["state"] == JobState.DONE
+            assert job["attempts"] == 1
+            assert job["result"]["output_digest"]
+            assert job["result"]["cycles"] > 0
+        assert stats["kind"] == "neurocube-serve-manifest"
+        assert stats["jobs"]["by_state"] == {"done": 2}
+        snapshot = registry.snapshot()
+        assert any(sample["labels"].get("state") == "done"
+                   for sample in
+                   snapshot["neurocube_serve_jobs"]["samples"])
+
+    def test_equal_specs_are_bit_identical(self):
+        spec = JobSpec(workload="inference", seed=5)
+        first, _ = run_jobs([spec])
+        second, _ = run_jobs([spec])
+        assert (first[0]["result"]["output_digest"]
+                == second[0]["result"]["output_digest"])
+
+    def test_submit_requires_running_service(self):
+        service = SimulationService()
+        with pytest.raises(ConfigurationError):
+            service.submit(JobSpec())
+
+
+class TestPlanCache:
+    def test_second_job_rides_the_warm_plan(self):
+        jobs, stats = run_jobs([JobSpec(workload="inference", seed=1),
+                                JobSpec(workload="inference", seed=2)],
+                               policy=ServicePolicy(workers=1))
+        assert jobs[1]["result"]["warm_plan"] is True
+        assert all(job["result"]["plan_verified"] for job in jobs)
+        counters = stats["plan_cache"]
+        assert counters["hits"] >= 1
+        assert counters["misses"] >= 1
+
+    def test_plan_cache_can_be_disabled(self):
+        jobs, stats = run_jobs(
+            [JobSpec(workload="inference", seed=1)],
+            policy=ServicePolicy(workers=1, plan_cache=False))
+        assert jobs[0]["state"] == JobState.DONE
+        assert jobs[0]["result"]["warm_plan"] is False
+        assert stats["plan_cache"] is None
+
+
+class TestAdmission:
+    def test_flood_rejects_beyond_queue_depth(self):
+        async def go():
+            registry = MetricsRegistry()
+            service = SimulationService(
+                ServicePolicy(workers=1, max_queue_depth=1),
+                registry=registry)
+            await service.start()
+            accepted, rejects = [], 0
+            hints = []
+            for seed in range(6):
+                try:
+                    accepted.append(service.submit(
+                        JobSpec(workload="streaming", seed=seed,
+                                frames=2)))
+                except Overloaded as error:
+                    rejects += 1
+                    hints.append(error.retry_after)
+            jobs = [await service.result(job_id,
+                                         timeout_s=RESULT_TIMEOUT_S)
+                    for job_id in accepted]
+            await service.stop()
+            return jobs, rejects, hints, registry.snapshot()
+        jobs, rejects, hints, snapshot = asyncio.run(go())
+        assert rejects > 0
+        assert all(hint > 0 for hint in hints)
+        assert all(job["state"] == JobState.DONE for job in jobs)
+        rejects = snapshot["neurocube_serve_admission_rejects"]
+        assert any(sample["labels"].get("reason") == "queue_full"
+                   for sample in rejects["samples"])
+
+
+class TestDeadlines:
+    def test_deadline_expired_while_queued_rejects(self):
+        # One worker, busy with a stream; the dated job expires queued.
+        jobs, _ = run_jobs(
+            [JobSpec(workload="streaming", seed=1, frames=4),
+             JobSpec(workload="inference", seed=2, deadline_s=0.001)],
+            policy=ServicePolicy(workers=1))
+        assert jobs[0]["state"] == JobState.DONE
+        dated = jobs[1]
+        assert dated["state"] == JobState.REJECTED
+        assert "deadline" in dated["error"]
+        assert any(entry["kind"] == "deadline_queued"
+                   for entry in dated["ledger"])
+
+
+class TestPoisonQuarantine:
+    def test_poison_job_trips_the_circuit_breaker(self):
+        policy = ServicePolicy(workers=1, max_retries=2,
+                               retry_backoff_s=0.01)
+        jobs, stats = run_jobs([JobSpec(workload="poison")],
+                               policy=policy)
+        job = jobs[0]
+        assert job["state"] == JobState.DEGRADED
+        assert job["attempts"] == policy.max_retries + 1
+        assert "quarantined" in job["error"]
+        kinds = [entry["kind"] for entry in job["ledger"]]
+        assert kinds.count("worker_exception") == job["attempts"]
+        assert kinds[-1] == "poison_quarantined"
+        assert stats["jobs"]["by_state"] == {"degraded": 1}
+
+    def test_poison_does_not_take_neighbours_down(self):
+        jobs, _ = run_jobs(
+            [JobSpec(workload="poison"),
+             JobSpec(workload="inference", seed=3)],
+            policy=ServicePolicy(workers=2, max_retries=1,
+                                 retry_backoff_s=0.01))
+        states = {job["spec"]["workload"]: job["state"] for job in jobs}
+        assert states["poison"] == JobState.DEGRADED
+        assert states["inference"] == JobState.DONE
+
+
+class TestCancel:
+    def test_cancel_queued_job(self):
+        async def go():
+            service = SimulationService(ServicePolicy(workers=1))
+            await service.start()
+            first = service.submit(JobSpec(workload="streaming", seed=1,
+                                           frames=2))
+            second = service.submit(JobSpec(workload="inference", seed=2))
+            assert service.cancel(second) is True
+            cancelled = await service.result(second,
+                                             timeout_s=RESULT_TIMEOUT_S)
+            done = await service.result(first,
+                                        timeout_s=RESULT_TIMEOUT_S)
+            assert service.cancel(second) is False  # already terminal
+            await service.stop()
+            return cancelled, done
+        cancelled, done = asyncio.run(go())
+        assert cancelled["state"] == JobState.CANCELLED
+        assert done["state"] == JobState.DONE
+
+    def test_unknown_job_raises(self):
+        async def go():
+            service = SimulationService()
+            await service.start()
+            try:
+                with pytest.raises(KeyError):
+                    service.status("job-999999")
+                with pytest.raises(KeyError):
+                    service.cancel("job-999999")
+            finally:
+                await service.stop()
+        asyncio.run(go())

@@ -1,0 +1,19 @@
+#!/usr/bin/env python3
+"""Checkout shim for the ``ncserve`` CLI.
+
+The implementation lives in :mod:`repro.serve.cli` (installed as the
+``ncserve`` console script); this wrapper makes ``python tools/ncserve.py``
+work from an uninstalled checkout.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parents[1] / "src"))
+
+from repro.serve.cli import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())
